@@ -1,0 +1,323 @@
+//! `figures` — regenerate every evaluation figure of the paper as printed
+//! series (the bench-harness deliverable; see DESIGN.md's experiment index
+//! and EXPERIMENTS.md for paper-vs-measured).
+//!
+//! ```sh
+//! cargo run --release -p vpa-bench --bin figures          # everything
+//! cargo run --release -p vpa-bench --bin figures fig3     # one group
+//! ```
+//!
+//! Groups: `fig3` (3.7–3.10 order cost), `fig4` (4.9/4.10 semantic ids),
+//! `fig9_1` (enabling VM), `fig9_2` (doc-size sweep), `fig9_3`
+//! (selectivity), `fig9_4` (insert size), `fig9_5` (delete size), `fig9_6`
+//! (fragment deletion).
+
+use std::time::Instant;
+use vpa_bench::*;
+use vpa_core::ViewManager;
+use xat::exec::ExecOptions;
+
+fn main() {
+    let filter = std::env::args().nth(1).unwrap_or_default();
+    let run = |name: &str| filter.is_empty() || filter == name;
+    // Scaled-down defaults keep the full sweep to a few minutes; pass
+    // FIGURES_SCALE=paper for the paper's 5–25 MB documents.
+    let paper_scale = std::env::var("FIGURES_SCALE").as_deref() == Ok("paper");
+    let mbs: Vec<usize> = if paper_scale { vec![5, 10, 15, 20, 25] } else { vec![1, 2, 3, 4, 5] };
+
+    if run("fig3") {
+        fig3_order_cost(&mbs);
+    }
+    if run("fig4") {
+        fig4_semid_cost(&mbs);
+    }
+    if run("fig9_1") {
+        fig9_1_enable_cost();
+    }
+    if run("fig9_2") {
+        fig9_2_doc_size();
+    }
+    if run("fig9_3") {
+        fig9_3_selectivity();
+    }
+    if run("fig9_4") {
+        fig9_4_insert_size();
+    }
+    if run("fig9_5") {
+        fig9_5_delete_size();
+    }
+    if run("fig9_6") {
+        fig9_6_fragment_delete();
+    }
+}
+
+/// Figures 3.7–3.10: order-handling cost relative to execution, per query,
+/// over document sizes; plus the cost breakdown at the largest size.
+fn fig3_order_cost(mbs: &[usize]) {
+    for (fig, name, query) in [
+        ("Fig 3.7", "Query 1 (document order)", Q1_PROFILES),
+        ("Fig 3.8", "Query 2 (order by)", Q2_CITIES),
+        ("Fig 3.9", "Query 3 (join / for-nesting order)", Q3_SELLER_DATES),
+        ("Fig 3.10", "Query 4 (construction order)", Q4_CONSTRUCTION),
+    ] {
+        println!("\n== {fig}: {name} — order cost vs execution ==");
+        println!("{:>6} {:>12} {:>12} {:>8}", "MB", "exec(ms)", "order(ms)", "order%");
+        let mut last = None;
+        for &mb in mbs {
+            let store = site_store(mb);
+            let (total, stats, _) = run_query(&store, query, ExecOptions::default());
+            let order = stats.order_total();
+            println!(
+                "{:>6} {} {} {:>7.2}%",
+                mb,
+                ms(total),
+                ms(order),
+                100.0 * order.as_secs_f64() / total.as_secs_f64().max(1e-12),
+            );
+            last = Some(stats);
+        }
+        if let Some(stats) = last {
+            println!("breakdown at largest size (paper's chart (b)):");
+            println!(
+                "  order schema: {}   overriding keys: {}   final sort: {}",
+                ms(stats.order_schema),
+                ms(stats.overriding),
+                ms(stats.final_sort),
+            );
+        }
+    }
+}
+
+/// Figures 4.9/4.10: semantic-identifier generation overhead + breakdown.
+fn fig4_semid_cost(mbs: &[usize]) {
+    for (fig, name, query) in [
+        ("Fig 4.9", "Query 1 (retag fragments)", Q1_PROFILES),
+        ("Fig 4.10", "Query 2 (nested construction)", Q4_CONSTRUCTION),
+    ] {
+        println!("\n== {fig}: {name} — semantic-id generation overhead ==");
+        println!("{:>6} {:>12} {:>12} {:>8}", "MB", "exec(ms)", "semid(ms)", "semid%");
+        for &mb in mbs {
+            let store = site_store(mb);
+            let (total, stats, _) = run_query(&store, query, ExecOptions::default());
+            println!(
+                "{:>6} {} {} {:>7.2}%",
+                mb,
+                ms(total),
+                ms(stats.semid),
+                100.0 * stats.semid.as_secs_f64() / total.as_secs_f64().max(1e-12),
+            );
+        }
+    }
+}
+
+/// Figure 9.1: cost of *enabling* the view-maintenance machinery (semantic
+/// ids + counts) during initial computation.
+fn fig9_1_enable_cost() {
+    println!("\n== Fig 9.1: cost of enabling view maintenance ==");
+    println!("{:>8} {:>12} {:>12} {:>9}", "books", "plain(ms)", "vm-on(ms)", "overhead");
+    for books in [250usize, 500, 1000, 2000, 4000] {
+        let (store, _) = bib_store(books);
+        // Warm caches, then take the better of two runs per configuration.
+        let _ = run_query(&store, GROUPED_BIB_VIEW, ExecOptions::plain());
+        let best = |opts: ExecOptions| {
+            let (a, _, _) = run_query(&store, GROUPED_BIB_VIEW, opts);
+            let (b, _, _) = run_query(&store, GROUPED_BIB_VIEW, opts);
+            a.min(b)
+        };
+        let plain = best(ExecOptions::plain());
+        let vm_on = best(ExecOptions::default());
+        println!(
+            "{:>8} {} {} {:>8.2}%",
+            books,
+            ms(plain),
+            ms(vm_on),
+            100.0 * (vm_on.as_secs_f64() / plain.as_secs_f64().max(1e-12) - 1.0),
+        );
+    }
+}
+
+/// Figure 9.2: maintenance vs recomputation across source document sizes,
+/// fixed small update; with the phase breakdown (bottom charts).
+fn fig9_2_doc_size() {
+    for (name, view) in [("Query 1 (flat)", FLAT_BIB_VIEW), ("Query 2 (grouped join)", GROUPED_BIB_VIEW)] {
+        println!("\n== Fig 9.2: varying source size — {name} ==");
+        println!(
+            "{:>8} {:>12} {:>12} {:>10} {:>10} {:>10}",
+            "books", "maint(ms)", "recomp(ms)", "validate", "propagate", "apply"
+        );
+        for books in [250usize, 500, 1000, 2000, 4000] {
+            let (store, cfg) = bib_store(books);
+            let script = datagen::insert_books_script(&cfg, books, 1, Some(1900));
+            let p = measure_maintenance(store, view, &script);
+            println!(
+                "{:>8} {} {} {} {} {}",
+                books,
+                ms(p.maintain),
+                ms(p.recompute),
+                ms(p.validate),
+                ms(p.propagate),
+                ms(p.apply),
+            );
+        }
+    }
+}
+
+/// Figure 9.3: varying view selectivity (year-domain size: fewer years ⇒
+/// each group selects more books ⇒ a delta touches more derived data).
+fn fig9_3_selectivity() {
+    println!("\n== Fig 9.3: varying view selectivity ==");
+    println!("{:>8} {:>10} {:>12} {:>12}", "years", "sel(%)", "maint(ms)", "recomp(ms)");
+    let books = 2000usize;
+    for years in [2usize, 5, 10, 20, 50] {
+        let cfg = datagen::BibConfig { books, years, priced_ratio: 0.8, extra_entries: 50, seed: 9 };
+        let mut store = xmlstore::Store::new();
+        store.load_doc("bib.xml", &datagen::bib_xml(&cfg)).unwrap();
+        store.load_doc("prices.xml", &datagen::prices_xml(&cfg)).unwrap();
+        let script = datagen::insert_books_script(&cfg, books, 1, Some(1900));
+        let p = measure_maintenance(store, GROUPED_BIB_VIEW, &script);
+        println!(
+            "{:>8} {:>9.1}% {} {}",
+            years,
+            100.0 / years as f64,
+            ms(p.maintain),
+            ms(p.recompute),
+        );
+    }
+}
+
+/// Figure 9.4: varying insert-update size, with the phase breakdown.
+fn fig9_4_insert_size() {
+    println!("\n== Fig 9.4: varying insert size ==");
+    println!(
+        "{:>8} {:>12} {:>12} {:>10} {:>10} {:>10}",
+        "inserts", "maint(ms)", "recomp(ms)", "validate", "propagate", "apply"
+    );
+    let books = 2000usize;
+    for n in [1usize, 5, 25, 100, 400] {
+        let (store, cfg) = bib_store(books);
+        let script = datagen::insert_books_script(&cfg, books, n, None);
+        let p = measure_maintenance(store, GROUPED_BIB_VIEW, &script);
+        println!(
+            "{:>8} {} {} {} {} {}",
+            n,
+            ms(p.maintain),
+            ms(p.recompute),
+            ms(p.validate),
+            ms(p.propagate),
+            ms(p.apply),
+        );
+    }
+}
+
+/// Figure 9.5: varying delete-update size for both queries.
+fn fig9_5_delete_size() {
+    for (name, view) in [("Query 1 (flat)", FLAT_BIB_VIEW), ("Query 2 (grouped join)", GROUPED_BIB_VIEW)] {
+        println!("\n== Fig 9.5: varying delete size — {name} ==");
+        println!(
+            "{:>8} {:>12} {:>12} {:>12}",
+            "deletes", "maint(ms)", "recomp(ms)", "resolve(ms)"
+        );
+        let books = 2000usize;
+        for n in [1usize, 5, 25, 100, 400] {
+            let (store, _) = bib_store(books);
+            let script = datagen::delete_books_script(0, n);
+            let p = measure_maintenance(store, view, &script);
+            println!("{:>8} {} {} {}", n, ms(p.maintain), ms(p.recompute), ms(p.resolve));
+        }
+    }
+}
+
+/// Figure 9.6: deleting an entire derived fragment — the count-aware deep
+/// union disconnects the fragment root directly (§8.3.2), versus the
+/// node-by-node deletion a naive apply would perform.
+fn fig9_6_fragment_delete() {
+    println!("\n== Fig 9.6: whole-fragment deletion (root disconnect) ==");
+    println!(
+        "{:>12} {:>14} {:>16} {:>14} {:>12}",
+        "group size", "disconnect(ms)", "node-by-node(ms)", "full-maint(ms)", "recomp(ms)"
+    );
+    for group in [50usize, 200, 800, 3200] {
+        // All books in one year: deleting that year removes one huge yGroup.
+        let cfg = datagen::BibConfig {
+            books: group,
+            years: 1,
+            priced_ratio: 1.0,
+            extra_entries: 0,
+            seed: 9,
+        };
+        let mut store = xmlstore::Store::new();
+        store.load_doc("bib.xml", &datagen::bib_xml(&cfg)).unwrap();
+        store.load_doc("prices.xml", &datagen::prices_xml(&cfg)).unwrap();
+        let mut vm = ViewManager::new(store, GROUPED_BIB_VIEW).unwrap();
+        let fragment_nodes = vm.extent().size();
+        // (a) Naive apply baseline ([LD00]-style): delete every descendant
+        // of the doomed fragment one by one inside the extent.
+        let naive = {
+            let mut extent = vm.extent().clone();
+            let t = Instant::now();
+            let n = delete_node_by_node(&mut extent.roots);
+            assert!(n >= fragment_nodes - 1);
+            t.elapsed()
+        };
+        // (b) Count-aware deep union: the delta carries only the fragment
+        // root with count −1; the whole subtree disconnects at once.
+        let disconnect = {
+            let mut extent = vm.extent().clone();
+            let group_sem = extent.roots[0].children[0].sem.clone();
+            let doomed = xat::VNode {
+                sem: group_sem,
+                data: xmlstore::NodeData::element("yGroup"),
+                count: -extent.roots[0].children[0].count,
+                children: Vec::new(),
+            };
+            let mut root_delta = extent.roots[0].clone();
+            root_delta.children = vec![doomed];
+            root_delta.count = 0;
+            let t = Instant::now();
+            xat::extent::deep_union_siblings(&mut extent.roots, root_delta);
+            let d = t.elapsed();
+            assert!(extent.roots.is_empty() || extent.roots[0].children.is_empty());
+            d
+        };
+        // (c) Full incremental maintenance (validate + propagate + apply)
+        // and (d) recompute, for context.
+        let script = datagen::delete_year_script(1900);
+        let t0 = Instant::now();
+        vm.apply_update_script(&script).unwrap();
+        let full = t0.elapsed();
+        let t1 = Instant::now();
+        let oracle = vm.recompute_xml().unwrap();
+        let recomp = t1.elapsed();
+        assert_eq!(vm.extent_xml(), oracle);
+        println!(
+            "{:>12} {} {} {:>14} {}",
+            group,
+            ms(disconnect),
+            ms(naive),
+            ms(full),
+            ms(recomp),
+        );
+    }
+}
+
+/// The naive deletion Fig 9.6 compares against (the [LD00] strategy the
+/// paper criticizes): remove leaves first, walking the whole fragment.
+fn delete_node_by_node(roots: &mut Vec<xat::VNode>) -> usize {
+    let mut removed = 0;
+    while let Some(root) = roots.first_mut() {
+        fn drop_one_leaf(n: &mut xat::VNode) -> bool {
+            if let Some(i) = n.children.iter().position(|c| c.children.is_empty()) {
+                n.children.remove(i);
+                return true;
+            }
+            n.children.iter_mut().any(drop_one_leaf)
+        }
+        if drop_one_leaf(root) {
+            removed += 1;
+        } else {
+            roots.remove(0);
+            removed += 1;
+        }
+    }
+    removed
+}

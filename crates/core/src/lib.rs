@@ -1,0 +1,41 @@
+//! # vpa-core — the VPA view-maintenance framework
+//!
+//! The paper's primary contribution (§1.4): incremental maintenance of
+//! materialized XQuery views in three phases, mirroring the propagate–apply
+//! framework of mainstream engines (Figure 1.5):
+//!
+//! 1. **Validate** ([`validate`]) — source XQuery updates are modeled as
+//!    *update trees* ([`update`]), checked for **relevancy** against the
+//!    view's *Source Access Pattern Tree* (SAPT, Fig 5.2), annotated with
+//!    sufficient information (delete fragments are extracted from the
+//!    pre-update store), and **batched** per document and update kind.
+//! 2. **Propagate** ([`propagate`]) — *Incremental Maintenance Plans* are
+//!    derived from the view plan **in the same algebra** (Ch. 7): each IMP
+//!    term replaces one occurrence of the updated document by a
+//!    `DeltaSource` (and the other occurrences by pre-/post-state sources,
+//!    telescoping `Δ(V) = Σᵢ V(S_pre^{<i}, Δᵢ, S_post^{>i})`), and is
+//!    executed by the ordinary `xat` engine. The result is a *delta update
+//!    tree* with signed derivation counts (Ch. 6).
+//! 3. **Apply** ([`crate::manager`]) — delta update trees refresh the
+//!    materialized extent through the **count-aware Deep Union** (§6.6,
+//!    Ch. 8): nodes merge by semantic identifier, counts sum, a node whose
+//!    count reaches zero is removed by disconnecting its root — an entire
+//!    fragment disappears without visiting descendants (§8.3.2), and
+//!    insertion positions come from the semantic ids' order prefixes.
+//!
+//! [`ViewManager`] packages the whole lifecycle: define → materialize →
+//! `apply_updates` → refreshed extent, with per-phase cost statistics
+//! matching the breakdowns of the paper's Chapter 9 experiments, plus a
+//! `recompute` oracle implementing the paper's correctness definition
+//! (§1.2: the refreshed view must equal the view recomputed over the
+//! updated sources).
+
+pub mod manager;
+pub mod propagate;
+pub mod update;
+pub mod validate;
+
+pub use manager::{MaintError, MaintStats, ViewManager};
+pub use propagate::propagate_batch;
+pub use update::{resolve_update_script, resolve_updates, ResolvedUpdate, UpdateKind};
+pub use validate::{Relevancy, Sapt};

@@ -1,0 +1,475 @@
+//! Source update modeling (Ch. 5): resolving parsed XQuery update
+//! statements against the store into concrete *update primitives*.
+//!
+//! A parsed [`UpdateStmt`] binds a variable over a path (possibly with
+//! positional predicates, Fig 1.3(a)) and filters with a `where` clause; a
+//! [`ResolvedUpdate`] pins the affected node keys. Resolution happens
+//! against the **pre-update** store, which also supplies the *sufficiency*
+//! annotation of §5.2.2: a delete update referencing a node only by a
+//! predicate (Fig 1.3(b)) is annotated with its full fragment, extracted
+//! before anything is removed.
+
+use flexkey::FlexKey;
+use std::fmt;
+use xmlstore::{Frag, InsertPos, Store};
+use xquery_lang::{parse_updates, BoolExpr, CmpOp, Expr, NodeTest, PathSource, Step, StepPredicate, UpdateAction, UpdateStmt};
+
+/// The kind of a resolved update primitive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum UpdateKind {
+    Delete,
+    Insert,
+    Modify,
+}
+
+/// A fully resolved source update primitive (an *update tree* root: the
+/// hierarchy/order information is carried by the FlexKeys themselves).
+#[derive(Clone, Debug)]
+pub enum ResolvedUpdate {
+    /// Insert `frag` under `parent` at `pos`.
+    Insert {
+        doc: String,
+        parent: FlexKey,
+        pos: InsertPos,
+        frag: Frag,
+    },
+    /// Delete the subtree rooted at `target`. `frag` is the sufficiency
+    /// annotation: the full fragment extracted from the pre-update store.
+    Delete {
+        doc: String,
+        target: FlexKey,
+        frag: Frag,
+    },
+    /// Replace the text content of `target` with `new_value`.
+    ReplaceText {
+        doc: String,
+        target: FlexKey,
+        new_value: String,
+    },
+}
+
+impl ResolvedUpdate {
+    pub fn doc(&self) -> &str {
+        match self {
+            ResolvedUpdate::Insert { doc, .. }
+            | ResolvedUpdate::Delete { doc, .. }
+            | ResolvedUpdate::ReplaceText { doc, .. } => doc,
+        }
+    }
+
+    pub fn kind(&self) -> UpdateKind {
+        match self {
+            ResolvedUpdate::Insert { .. } => UpdateKind::Insert,
+            ResolvedUpdate::Delete { .. } => UpdateKind::Delete,
+            ResolvedUpdate::ReplaceText { .. } => UpdateKind::Modify,
+        }
+    }
+
+    /// Number of nodes in the update payload (update size, Figures 9.4/9.5).
+    pub fn size(&self) -> usize {
+        match self {
+            ResolvedUpdate::Insert { frag, .. } | ResolvedUpdate::Delete { frag, .. } => frag.size(),
+            ResolvedUpdate::ReplaceText { .. } => 1,
+        }
+    }
+}
+
+/// Resolution error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateError(pub String);
+
+impl fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "update resolution error: {}", self.0)
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+/// Parse an update script and resolve every statement against `store`.
+pub fn resolve_update_script(store: &Store, script: &str) -> Result<Vec<ResolvedUpdate>, UpdateError> {
+    let stmts = parse_updates(script).map_err(|e| UpdateError(e.to_string()))?;
+    resolve_updates(store, &stmts)
+}
+
+/// Resolve parsed update statements against the (pre-update) store.
+pub fn resolve_updates(store: &Store, stmts: &[UpdateStmt]) -> Result<Vec<ResolvedUpdate>, UpdateError> {
+    let mut out = Vec::new();
+    for stmt in stmts {
+        out.extend(resolve_one(store, stmt)?);
+    }
+    Ok(out)
+}
+
+fn resolve_one(store: &Store, stmt: &UpdateStmt) -> Result<Vec<ResolvedUpdate>, UpdateError> {
+    let handle = store
+        .doc_handle(&stmt.doc)
+        .ok_or_else(|| UpdateError(format!("unknown document {}", stmt.doc)))?;
+    // Bind the target variable.
+    let mut bindings = eval_steps(store, &handle, &stmt.path)?;
+    if let Some(w) = &stmt.where_ {
+        bindings.retain(|k| eval_where(store, k, &stmt.var, w));
+    }
+    let mut out = Vec::new();
+    for target in bindings {
+        match &stmt.action {
+            UpdateAction::InsertAfter { fragment_xml } => {
+                let frag = xmlstore::parse_document(fragment_xml)
+                    .map_err(|e| UpdateError(e.to_string()))?;
+                let parent = target
+                    .parent()
+                    .ok_or_else(|| UpdateError("cannot insert beside a document root".into()))?;
+                out.push(ResolvedUpdate::Insert {
+                    doc: stmt.doc.clone(),
+                    parent,
+                    pos: InsertPos::After(target.clone()),
+                    frag,
+                });
+            }
+            UpdateAction::InsertBefore { fragment_xml } => {
+                let frag = xmlstore::parse_document(fragment_xml)
+                    .map_err(|e| UpdateError(e.to_string()))?;
+                let parent = target
+                    .parent()
+                    .ok_or_else(|| UpdateError("cannot insert beside a document root".into()))?;
+                out.push(ResolvedUpdate::Insert {
+                    doc: stmt.doc.clone(),
+                    parent,
+                    pos: InsertPos::Before(target.clone()),
+                    frag,
+                });
+            }
+            UpdateAction::InsertInto { fragment_xml } => {
+                let frag = xmlstore::parse_document(fragment_xml)
+                    .map_err(|e| UpdateError(e.to_string()))?;
+                out.push(ResolvedUpdate::Insert {
+                    doc: stmt.doc.clone(),
+                    parent: target.clone(),
+                    pos: InsertPos::Last,
+                    frag,
+                });
+            }
+            UpdateAction::Delete { rel_path } => {
+                let victims = if rel_path.is_empty() {
+                    vec![target.clone()]
+                } else {
+                    eval_steps(store, &target, rel_path)?
+                };
+                for v in victims {
+                    // Sufficiency (§5.2.2): capture the entire fragment from
+                    // the pre-update store.
+                    let frag = store
+                        .extract_frag(&v)
+                        .ok_or_else(|| UpdateError(format!("dangling delete target {v}")))?;
+                    out.push(ResolvedUpdate::Delete { doc: stmt.doc.clone(), target: v, frag });
+                }
+            }
+            UpdateAction::ReplaceWith { rel_path, new_value } => {
+                let victims = if rel_path.is_empty() {
+                    vec![target.clone()]
+                } else {
+                    eval_steps(store, &target, rel_path)?
+                };
+                for v in victims {
+                    out.push(ResolvedUpdate::ReplaceText {
+                        doc: stmt.doc.clone(),
+                        target: v,
+                        new_value: new_value.clone(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Evaluate location steps (with positional / comparison predicates) from a
+/// node — the small navigator used for update-target binding only; view
+/// evaluation uses the full engine.
+pub fn eval_steps(store: &Store, from: &FlexKey, steps: &[Step]) -> Result<Vec<FlexKey>, UpdateError> {
+    let mut frontier = vec![from.clone()];
+    for step in steps {
+        let mut next = Vec::new();
+        for k in &frontier {
+            match &step.test {
+                NodeTest::Name(n) => match step.axis {
+                    xquery_lang::Axis::Child => next.extend(store.children_named(k, n)),
+                    xquery_lang::Axis::Descendant => next.extend(store.descendants_named(k, n)),
+                },
+                NodeTest::Wildcard => {
+                    for (ck, node) in store.children(k) {
+                        if node.data.name().is_some() {
+                            next.push(ck);
+                        }
+                    }
+                }
+                NodeTest::Text => {
+                    for (ck, node) in store.children(k) {
+                        if matches!(node.data, xmlstore::NodeData::Text { .. }) {
+                            next.push(ck);
+                        }
+                    }
+                }
+                NodeTest::Attr(_) => {
+                    return Err(UpdateError("attribute steps not allowed in update targets".into()))
+                }
+            }
+        }
+        if let Some(pred) = &step.predicate {
+            match pred {
+                StepPredicate::Position(n) => {
+                    // XPath positions are per parent context; with a single
+                    // entry point this is the n-th match overall.
+                    next = next.into_iter().skip(n - 1).take(1).collect();
+                }
+                StepPredicate::Cmp { path, op, value } => {
+                    next.retain(|k| {
+                        let vals = path_values(store, k, path);
+                        vals.iter().any(|v| cmp_str(v, *op, value))
+                    });
+                }
+            }
+        }
+        frontier = next;
+    }
+    Ok(frontier)
+}
+
+fn eval_where(store: &Store, target: &FlexKey, var: &str, w: &BoolExpr) -> bool {
+    match w {
+        BoolExpr::And(a, b) => eval_where(store, target, var, a) && eval_where(store, target, var, b),
+        BoolExpr::Cmp { lhs, op, rhs } => {
+            let lv = operand_values(store, target, var, lhs);
+            let rv = operand_values(store, target, var, rhs);
+            lv.iter().any(|a| rv.iter().any(|b| cmp_str(a, *op, b)))
+        }
+    }
+}
+
+fn operand_values(store: &Store, target: &FlexKey, var: &str, e: &Expr) -> Vec<String> {
+    match e {
+        Expr::Literal(s) | Expr::Number(s) => vec![s.clone()],
+        Expr::Var(v) if v == var => vec![store.string_value(target)],
+        Expr::Path(p) => match &p.source {
+            PathSource::Var(v) if v == var => path_values(store, target, &p.steps),
+            _ => Vec::new(),
+        },
+        _ => Vec::new(),
+    }
+}
+
+fn path_values(store: &Store, from: &FlexKey, steps: &[Step]) -> Vec<String> {
+    let mut frontier = vec![from.clone()];
+    let mut values: Vec<String> = Vec::new();
+    for (i, step) in steps.iter().enumerate() {
+        let last = i + 1 == steps.len();
+        let mut next = Vec::new();
+        for k in &frontier {
+            match &step.test {
+                NodeTest::Attr(a) => {
+                    if let Some(v) = store.attr(k, a) {
+                        values.push(v);
+                    }
+                }
+                NodeTest::Text => values.push(store.string_value(k)),
+                NodeTest::Name(n) => {
+                    let hits = match step.axis {
+                        xquery_lang::Axis::Child => store.children_named(k, n),
+                        xquery_lang::Axis::Descendant => store.descendants_named(k, n),
+                    };
+                    if last {
+                        values.extend(hits.iter().map(|h| store.string_value(h)));
+                    } else {
+                        next.extend(hits);
+                    }
+                }
+                NodeTest::Wildcard => {
+                    for (ck, node) in store.children(k) {
+                        if node.data.name().is_some() {
+                            if last {
+                                values.push(store.string_value(&ck));
+                            } else {
+                                next.push(ck);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        frontier = next;
+    }
+    values
+}
+
+fn cmp_str(a: &str, op: CmpOp, b: &str) -> bool {
+    let ord = match (a.trim().parse::<f64>(), b.trim().parse::<f64>()) {
+        (Ok(x), Ok(y)) => x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal),
+        _ => a.cmp(b),
+    };
+    match op {
+        CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+        CmpOp::Ne => ord != std::cmp::Ordering::Equal,
+        CmpOp::Lt => ord == std::cmp::Ordering::Less,
+        CmpOp::Le => ord != std::cmp::Ordering::Greater,
+        CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+        CmpOp::Ge => ord != std::cmp::Ordering::Less,
+    }
+}
+
+/// Apply a resolved update to the store. Returns the affected fragment-root
+/// key (the inserted fragment's new root, the deleted target, or the
+/// modified node).
+pub fn apply_to_store(store: &mut Store, u: &ResolvedUpdate) -> Result<FlexKey, UpdateError> {
+    match u {
+        ResolvedUpdate::Insert { parent, pos, frag, .. } => store
+            .insert_fragment(parent, pos.clone(), frag)
+            .ok_or_else(|| UpdateError("insert position no longer exists".into())),
+        ResolvedUpdate::Delete { target, .. } => {
+            if store.delete_subtree(target) == 0 {
+                return Err(UpdateError(format!("delete target {target} no longer exists")));
+            }
+            Ok(target.clone())
+        }
+        ResolvedUpdate::ReplaceText { target, new_value, .. } => {
+            if !store.replace_text(target, new_value) {
+                return Err(UpdateError(format!("replace target {target} no longer exists")));
+            }
+            Ok(target.clone())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BIB: &str = r#"<bib>
+        <book year="1994"><title>TCP/IP Illustrated</title></book>
+        <book year="2000"><title>Data on the Web</title></book>
+    </bib>"#;
+
+    fn store() -> Store {
+        let mut s = Store::new();
+        s.load_doc("bib.xml", BIB).unwrap();
+        s
+    }
+
+    #[test]
+    fn resolve_positional_insert_figure_1_3a() {
+        let s = store();
+        let ups = resolve_update_script(
+            &s,
+            r#"for $b in document("bib.xml")/bib/book[2]
+               update $b insert <book year="1994"><title>Advanced</title></book> after $b"#,
+        )
+        .unwrap();
+        assert_eq!(ups.len(), 1);
+        let ResolvedUpdate::Insert { parent, pos, frag, .. } = &ups[0] else { panic!() };
+        let books = s.children_named(&s.doc_root("bib.xml").unwrap(), "book");
+        assert_eq!(*parent, s.doc_root("bib.xml").unwrap());
+        assert_eq!(*pos, InsertPos::After(books[1].clone()));
+        assert_eq!(frag.data.attr("year"), Some("1994"));
+    }
+
+    #[test]
+    fn resolve_predicate_delete_with_sufficiency_annotation() {
+        let s = store();
+        let ups = resolve_update_script(
+            &s,
+            r#"for $b in document("bib.xml")/bib/book
+               where $b/title = "Data on the Web"
+               update $b delete $b"#,
+        )
+        .unwrap();
+        assert_eq!(ups.len(), 1);
+        let ResolvedUpdate::Delete { target, frag, .. } = &ups[0] else { panic!() };
+        // The annotation carries the whole fragment, including the year
+        // attribute the view will need for regrouping (§5.2.2).
+        assert_eq!(frag.data.attr("year"), Some("2000"));
+        assert_eq!(frag.string_value(), "Data on the Web");
+        let books = s.children_named(&s.doc_root("bib.xml").unwrap(), "book");
+        assert_eq!(*target, books[1]);
+    }
+
+    #[test]
+    fn resolve_replace() {
+        let mut s = store();
+        let ups = resolve_update_script(
+            &s,
+            r#"for $b in document("bib.xml")/bib/book
+               where $b/@year = "1994"
+               update $b replace $b/title/text() with "TCP/IP Illustrated 2e""#,
+        )
+        .unwrap();
+        assert_eq!(ups.len(), 1);
+        assert_eq!(ups[0].kind(), UpdateKind::Modify);
+        apply_to_store(&mut s, &ups[0]).unwrap();
+        let books = s.children_named(&s.doc_root("bib.xml").unwrap(), "book");
+        let title = s.children_named(&books[0], "title")[0].clone();
+        assert_eq!(s.string_value(&title), "TCP/IP Illustrated 2e");
+    }
+
+    #[test]
+    fn apply_insert_and_delete_roundtrip() {
+        let mut s = store();
+        let ups = resolve_update_script(
+            &s,
+            r#"for $b in document("bib.xml")/bib/book[1]
+               update $b insert <book year="1990"><title>Old</title></book> before $b"#,
+        )
+        .unwrap();
+        let new_root = apply_to_store(&mut s, &ups[0]).unwrap();
+        let books = s.children_named(&s.doc_root("bib.xml").unwrap(), "book");
+        assert_eq!(books.len(), 3);
+        assert_eq!(books[0], new_root, "inserted before the first book");
+        let dels = resolve_update_script(
+            &s,
+            r#"for $b in document("bib.xml")/bib/book where $b/@year = "1990" update $b delete $b"#,
+        )
+        .unwrap();
+        apply_to_store(&mut s, &dels[0]).unwrap();
+        assert_eq!(s.children_named(&s.doc_root("bib.xml").unwrap(), "book").len(), 2);
+    }
+
+    #[test]
+    fn where_clause_filters_multiple_targets() {
+        let s = store();
+        let ups = resolve_update_script(
+            &s,
+            r#"for $b in document("bib.xml")/bib/book update $b delete $b"#,
+        )
+        .unwrap();
+        assert_eq!(ups.len(), 2, "no where ⇒ all books bound");
+        let filtered = resolve_update_script(
+            &s,
+            r#"for $b in document("bib.xml")/bib/book where $b/@year = "1492" update $b delete $b"#,
+        )
+        .unwrap();
+        assert!(filtered.is_empty());
+    }
+
+    #[test]
+    fn numeric_where_comparison() {
+        let s = store();
+        let ups = resolve_update_script(
+            &s,
+            r#"for $b in document("bib.xml")/bib/book where $b/@year > 1995 update $b delete $b"#,
+        )
+        .unwrap();
+        assert_eq!(ups.len(), 1);
+        let ResolvedUpdate::Delete { frag, .. } = &ups[0] else { panic!() };
+        assert_eq!(frag.data.attr("year"), Some("2000"));
+    }
+
+    #[test]
+    fn update_size_counts_payload_nodes() {
+        let s = store();
+        let ups = resolve_update_script(
+            &s,
+            r#"for $b in document("bib.xml")/bib/book[1]
+               update $b insert <x><y/><z>t</z></x> into $b"#,
+        )
+        .unwrap();
+        assert_eq!(ups[0].size(), 4, "x, y, z, text");
+    }
+}

@@ -1,0 +1,143 @@
+//! Scaled bib.xml / prices.xml generators (the Figure 1.1 schema).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write;
+
+/// Configuration for a bib/prices document pair.
+#[derive(Clone, Copy, Debug)]
+pub struct BibConfig {
+    /// Number of `book` elements.
+    pub books: usize,
+    /// Size of the year domain (books are spread uniformly over it). This is
+    /// the Figure 9.3 selectivity knob: with the Figure 1.2(a) view, a
+    /// per-year predicate selects `books / years` books.
+    pub years: usize,
+    /// Fraction of books that have a matching `entry` in prices.xml.
+    pub priced_ratio: f64,
+    /// Additional price entries with no matching book (exercising the join's
+    /// dangling side, like the paper's third entry).
+    pub extra_entries: usize,
+    pub seed: u64,
+}
+
+impl Default for BibConfig {
+    fn default() -> Self {
+        BibConfig { books: 100, years: 10, priced_ratio: 0.8, extra_entries: 10, seed: 42 }
+    }
+}
+
+impl BibConfig {
+    pub fn with_books(books: usize) -> BibConfig {
+        BibConfig { books, ..BibConfig::default() }
+    }
+
+    /// Title of book `i` (shared knowledge between both documents).
+    pub fn title(i: usize) -> String {
+        format!("Book Title {i:06}")
+    }
+
+    /// Year assigned to book `i`.
+    pub fn year(&self, i: usize) -> usize {
+        1900 + (i % self.years.max(1))
+    }
+
+    fn priced_books(&self) -> usize {
+        (self.books as f64 * self.priced_ratio).round() as usize
+    }
+}
+
+/// Generate the bib.xml document.
+pub fn bib_xml(cfg: &BibConfig) -> String {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut out = String::with_capacity(cfg.books * 160);
+    out.push_str("<bib>");
+    for i in 0..cfg.books {
+        let year = cfg.year(i);
+        let title = BibConfig::title(i);
+        let last = LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())];
+        let first = FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())];
+        write!(
+            out,
+            "<book year=\"{year}\"><title>{title}</title>\
+             <author><last>{last}</last><first>{first}</first></author></book>"
+        )
+        .unwrap();
+    }
+    out.push_str("</bib>");
+    out
+}
+
+/// Generate the prices.xml document. Entries appear in an order unrelated to
+/// the book order (reversed with a stride) so result order genuinely
+/// exercises the order machinery.
+pub fn prices_xml(cfg: &BibConfig) -> String {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9e3779b97f4a7c15);
+    let priced = cfg.priced_books();
+    let mut idx: Vec<usize> = (0..priced).collect();
+    idx.reverse();
+    let mut out = String::with_capacity((priced + cfg.extra_entries) * 96);
+    out.push_str("<prices>");
+    for i in idx {
+        let price = 10.0 + rng.gen_range(0..9000) as f64 / 100.0;
+        let title = BibConfig::title(i);
+        write!(out, "<entry><price>{price:.2}</price><b-title>{title}</b-title></entry>").unwrap();
+    }
+    for j in 0..cfg.extra_entries {
+        let price = 10.0 + rng.gen_range(0..9000) as f64 / 100.0;
+        write!(
+            out,
+            "<entry><price>{price:.2}</price><b-title>Unlisted Volume {j:04}</b-title></entry>"
+        )
+        .unwrap();
+    }
+    out.push_str("</prices>");
+    out
+}
+
+const LAST_NAMES: &[&str] = &[
+    "Stevens", "Abiteboul", "Buneman", "Suciu", "Widom", "Ullman", "Gray", "Codd", "Chen",
+    "Bernstein", "Stonebraker", "DeWitt",
+];
+
+const FIRST_NAMES: &[&str] = &[
+    "W.", "Serge", "Peter", "Dan", "Jennifer", "Jeffrey", "Jim", "Edgar", "Peter", "Phil",
+    "Michael", "David",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = BibConfig::default();
+        assert_eq!(bib_xml(&cfg), bib_xml(&cfg));
+        assert_eq!(prices_xml(&cfg), prices_xml(&cfg));
+    }
+
+    #[test]
+    fn documents_parse_and_scale() {
+        let cfg = BibConfig { books: 50, years: 5, priced_ratio: 0.5, extra_entries: 3, seed: 7 };
+        let bib = xmlstore::parse_document(&bib_xml(&cfg)).unwrap();
+        assert_eq!(bib.children.len(), 50);
+        let prices = xmlstore::parse_document(&prices_xml(&cfg)).unwrap();
+        assert_eq!(prices.children.len(), 25 + 3);
+    }
+
+    #[test]
+    fn titles_link_the_documents() {
+        let cfg = BibConfig { books: 10, years: 2, priced_ratio: 1.0, extra_entries: 0, seed: 1 };
+        let p = prices_xml(&cfg);
+        for i in 0..10 {
+            assert!(p.contains(&BibConfig::title(i)));
+        }
+    }
+
+    #[test]
+    fn year_domain_controls_selectivity() {
+        let cfg = BibConfig { books: 100, years: 4, ..Default::default() };
+        let per_year = (0..100).filter(|&i| cfg.year(i) == 1900).count();
+        assert_eq!(per_year, 25);
+    }
+}

@@ -1,0 +1,23 @@
+//! # datagen — deterministic synthetic data and workload generators
+//!
+//! Reproduces the paper's experimental inputs:
+//!
+//! * [`bib`] — scaled versions of the Figure 1.1 `bib.xml` / `prices.xml`
+//!   pair, parameterized by book count, year-domain size (the *selectivity*
+//!   knob of Figure 9.3) and the fraction of books with price entries.
+//! * [`xmark`] — an XMark-like `site.xml` (Figure 3.5's structure: people /
+//!   person / profile…, closed_auctions, open_auctions) parameterized by a
+//!   scale factor, replacing the XMark tool the paper used (§3.5).
+//! * [`workload`] — XQuery-update scripts: insert/delete/modify batches of
+//!   configurable size, the Figures 9.4/9.5 sweeps.
+//!
+//! Everything is seeded: the same configuration always generates the same
+//! bytes, so experiments are reproducible run to run.
+
+pub mod bib;
+pub mod workload;
+pub mod xmark;
+
+pub use bib::{bib_xml, prices_xml, BibConfig};
+pub use workload::{delete_books_script, delete_year_script, insert_books_script, modify_prices_script};
+pub use xmark::{site_xml, SiteConfig};

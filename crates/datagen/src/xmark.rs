@@ -1,0 +1,157 @@
+//! XMark-like `site.xml` generator (Figure 3.5's structure), replacing the
+//! XMark benchmark tool [SWK+02] used in §3.5.
+//!
+//! The element structure matches what the paper's queries touch:
+//!
+//! ```text
+//! site
+//! ├── people / person(@id, @income)
+//! │     ├── name, address(street, city, country)
+//! │     └── profile(interest(@category)*, education, gender, business, age)
+//! ├── closed_auctions / closed_auction(seller(@person), buyer(@person), date)
+//! └── open_auctions / open_auction(@id, initial, reserve)
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write;
+
+/// Scale configuration. `people = 1000` yields roughly 1 MB of XML text;
+/// the §3.5 experiments sweep 5–25 MB.
+#[derive(Clone, Copy, Debug)]
+pub struct SiteConfig {
+    pub people: usize,
+    pub closed_auctions: usize,
+    pub open_auctions: usize,
+    pub seed: u64,
+}
+
+impl Default for SiteConfig {
+    fn default() -> Self {
+        SiteConfig { people: 200, closed_auctions: 100, open_auctions: 100, seed: 2005 }
+    }
+}
+
+impl SiteConfig {
+    /// A configuration scaled to roughly `mb` megabytes of serialized XML.
+    pub fn for_megabytes(mb: usize) -> SiteConfig {
+        let people = mb * 1800;
+        SiteConfig {
+            people,
+            closed_auctions: people / 2,
+            open_auctions: people / 2,
+            seed: 2005,
+        }
+    }
+}
+
+/// Generate the site.xml document text.
+pub fn site_xml(cfg: &SiteConfig) -> String {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut out = String::with_capacity(cfg.people * 420);
+    out.push_str("<site><people>");
+    for i in 0..cfg.people {
+        let city = CITIES[rng.gen_range(0..CITIES.len())];
+        let country = COUNTRIES[rng.gen_range(0..COUNTRIES.len())];
+        let income = 20000 + rng.gen_range(0..80000);
+        let age = 18 + rng.gen_range(0..60);
+        write!(
+            out,
+            "<person id=\"person{i}\" income=\"{income}\">\
+             <name>Person Name {i:06}</name>\
+             <address><street>{} Elm St</street><city>{city}</city><country>{country}</country></address>\
+             <profile>",
+            rng.gen_range(1..999),
+        )
+        .unwrap();
+        for _ in 0..rng.gen_range(0..3usize) {
+            write!(out, "<interest category=\"cat{}\"/>", rng.gen_range(0..20)).unwrap();
+        }
+        write!(
+            out,
+            "<education>{}</education><gender>{}</gender>\
+             <business>{}</business><age>{age}</age></profile></person>",
+            EDUCATION[rng.gen_range(0..EDUCATION.len())],
+            if rng.gen_bool(0.5) { "male" } else { "female" },
+            if rng.gen_bool(0.3) { "Yes" } else { "No" },
+        )
+        .unwrap();
+    }
+    out.push_str("</people><closed_auctions>");
+    for i in 0..cfg.closed_auctions {
+        let seller = rng.gen_range(0..cfg.people.max(1));
+        let buyer = rng.gen_range(0..cfg.people.max(1));
+        let _ = i;
+        write!(
+            out,
+            "<closed_auction><seller person=\"person{seller}\"/>\
+             <buyer person=\"person{buyer}\"/>\
+             <date>{:02}/{:02}/200{}</date></closed_auction>",
+            rng.gen_range(1..13),
+            rng.gen_range(1..29),
+            rng.gen_range(0..6),
+        )
+        .unwrap();
+    }
+    out.push_str("</closed_auctions><open_auctions>");
+    for i in 0..cfg.open_auctions {
+        let initial = 1.0 + rng.gen_range(0..50000) as f64 / 100.0;
+        write!(
+            out,
+            "<open_auction id=\"open{i}\"><initial>{initial:.2}</initial>\
+             <reserve>{:.2}</reserve></open_auction>",
+            initial * 1.5,
+        )
+        .unwrap();
+    }
+    out.push_str("</open_auctions></site>");
+    out
+}
+
+const CITIES: &[&str] = &[
+    "Worcester", "Boston", "Cambridge", "Springfield", "Lowell", "Providence", "Hartford",
+    "Albany", "Portland", "Burlington",
+];
+
+const COUNTRIES: &[&str] = &["United States", "Canada", "Mexico", "Germany", "Egypt", "Japan"];
+
+const EDUCATION: &[&str] = &["High School", "College", "Graduate School", "Other"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_parseable() {
+        let cfg = SiteConfig { people: 20, closed_auctions: 10, open_auctions: 10, seed: 1 };
+        let a = site_xml(&cfg);
+        assert_eq!(a, site_xml(&cfg));
+        let f = xmlstore::parse_document(&a).unwrap();
+        assert_eq!(f.data.name(), Some("site"));
+        assert_eq!(f.children.len(), 3);
+        assert_eq!(f.children[0].children.len(), 20, "people");
+        assert_eq!(f.children[1].children.len(), 10, "closed");
+        assert_eq!(f.children[2].children.len(), 10, "open");
+    }
+
+    #[test]
+    fn structure_matches_figure_3_5() {
+        let cfg = SiteConfig { people: 3, closed_auctions: 2, open_auctions: 2, seed: 9 };
+        let f = xmlstore::parse_document(&site_xml(&cfg)).unwrap();
+        let person = &f.children[0].children[0];
+        assert!(person.data.attr("id").is_some());
+        assert!(person.data.attr("income").is_some());
+        let names: Vec<_> = person.children.iter().filter_map(|c| c.data.name()).collect();
+        assert_eq!(names, vec!["name", "address", "profile"]);
+        let auction = &f.children[1].children[0];
+        let names: Vec<_> = auction.children.iter().filter_map(|c| c.data.name()).collect();
+        assert_eq!(names, vec!["seller", "buyer", "date"]);
+    }
+
+    #[test]
+    fn megabyte_scaling_is_roughly_calibrated() {
+        let xml = site_xml(&SiteConfig::for_megabytes(1));
+        let mb = xml.len() as f64 / (1024.0 * 1024.0);
+        assert!((0.5..2.0).contains(&mb), "1MB config produced {mb:.2} MB");
+    }
+}

@@ -1,0 +1,38 @@
+//! # flexkey — lexicographic order keys for XML query processing
+//!
+//! This crate implements the *FlexKey* order-encoding of El-Sayed's
+//! "Incremental Maintenance of Materialized XQuery Views" (§3.3.1): node
+//! identifiers that double as document-order encodings.
+//!
+//! A [`FlexKey`] is a sequence of non-empty byte-string *segments* (the paper
+//! writes them `b.b.f`). Three properties make them suitable for both query
+//! execution and view maintenance:
+//!
+//! 1. **Path identification** — a key embeds the unique root-to-node path;
+//!    parent/ancestor relationships are prefix tests, no data access needed.
+//! 2. **Order embedding** — lexicographic comparison of keys yields document
+//!    order at any level.
+//! 3. **No relabeling on updates** — because segments are variable-length
+//!    strings, a new key strictly between any two existing keys always exists
+//!    ([`Seg::between`]), so skewed insert batches never force reordering
+//!    (§3.4.4).
+//!
+//! The crate also provides:
+//!
+//! * [`OrdKey`] — *composed keys* (`k1..k2`) and query-generated order values,
+//!   used as *overriding order* annotations (§3.3.2, the paper's `k[ko]`).
+//! * [`Key`] — a node identity plus optional overriding order; comparisons use
+//!   `order(k) = k.overriding_order.unwrap_or(k.identity)`.
+//! * [`SemId`] — *semantic identifiers* for constructed view nodes (Ch. 4):
+//!   reproducible ids that encode lineage (`b.b..e.fc`) and order, enabling
+//!   identifier-based fusion of incrementally computed XML fragments.
+
+pub mod key;
+pub mod ordkey;
+pub mod seg;
+pub mod semid;
+
+pub use key::{FlexKey, Key};
+pub use ordkey::{OrdAtom, OrdKey};
+pub use seg::Seg;
+pub use semid::{LngAtom, OrdPrefix, SemId};

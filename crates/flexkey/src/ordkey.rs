@@ -1,0 +1,221 @@
+//! Order keys: *composed keys* (`k1..k2`, §3.3.1) and query-generated order
+//! values (Order By, §3.3.2), used as overriding-order annotations.
+//!
+//! An [`OrdKey`] is a sequence of [`OrdAtom`]s compared left-to-right. Atoms
+//! are either FlexKeys (document/derivation order) or order-preserving byte
+//! encodings of query-computed values (strings, numbers — produced by the
+//! Order By operator, which "explicitly encodes [order] in a new column").
+
+use crate::key::FlexKey;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// One component of an order key.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum OrdAtom {
+    /// A FlexKey — compares in document order.
+    Key(FlexKey),
+    /// An order-preserving opaque byte string (query-computed order value).
+    Bytes(Vec<u8>),
+}
+
+impl OrdAtom {
+    /// Encode a string order value.
+    pub fn text(s: &str) -> OrdAtom {
+        OrdAtom::Bytes(s.as_bytes().to_vec())
+    }
+
+    /// Encode a numeric order value with an order-preserving bit trick:
+    /// flip the sign bit for non-negatives, complement for negatives, then
+    /// big-endian bytes compare like the original f64s.
+    pub fn num(v: f64) -> OrdAtom {
+        let bits = v.to_bits();
+        let ordered = if v.is_sign_negative() { !bits } else { bits ^ (1u64 << 63) };
+        OrdAtom::Bytes(ordered.to_be_bytes().to_vec())
+    }
+
+    /// Encode a descending variant of an order value by complementing bytes
+    /// (supports `order by ... descending`).
+    pub fn descending(self) -> OrdAtom {
+        match self {
+            OrdAtom::Bytes(b) => OrdAtom::Bytes(b.into_iter().map(|x| !x).collect()),
+            // For keys, serialize then complement.
+            OrdAtom::Key(k) => {
+                let s = k.to_string().into_bytes();
+                OrdAtom::Bytes(s.into_iter().map(|x| !x).collect())
+            }
+        }
+    }
+}
+
+impl PartialOrd for OrdAtom {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdAtom {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use OrdAtom::*;
+        match (self, other) {
+            (Key(a), Key(b)) => a.cmp(b),
+            (Bytes(a), Bytes(b)) => a.cmp(b),
+            // Heterogeneous positions should not arise in well-typed plans,
+            // but define a total order anyway: keys before bytes.
+            (Key(_), Bytes(_)) => Ordering::Less,
+            (Bytes(_), Key(_)) => Ordering::Greater,
+        }
+    }
+}
+
+impl fmt::Display for OrdAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrdAtom::Key(k) => write!(f, "{k}"),
+            OrdAtom::Bytes(b) => match std::str::from_utf8(b) {
+                Ok(s) if s.chars().all(|c| !c.is_control()) => write!(f, "'{s}'"),
+                _ => write!(f, "0x{}", b.iter().map(|x| format!("{x:02x}")).collect::<String>()),
+            },
+        }
+    }
+}
+
+impl fmt::Debug for OrdAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A composed order key: sequence of atoms, compared lexicographically.
+///
+/// The paper writes composition as `k = compose(k1, k2) = "b.b.b..b.b.d"`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct OrdKey {
+    atoms: Vec<OrdAtom>,
+}
+
+impl OrdKey {
+    pub fn new(atoms: Vec<OrdAtom>) -> OrdKey {
+        OrdKey { atoms }
+    }
+
+    pub fn from_atom(atom: OrdAtom) -> OrdKey {
+        OrdKey { atoms: vec![atom] }
+    }
+
+    pub fn empty() -> OrdKey {
+        OrdKey { atoms: Vec::new() }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    pub fn atoms(&self) -> &[OrdAtom] {
+        &self.atoms
+    }
+
+    pub fn into_atoms(self) -> Vec<OrdAtom> {
+        self.atoms
+    }
+
+    /// Concatenate two order keys (the paper's `compose`).
+    pub fn compose(mut self, other: OrdKey) -> OrdKey {
+        self.atoms.extend(other.atoms);
+        self
+    }
+
+    /// Append a single atom.
+    pub fn push(&mut self, atom: OrdAtom) {
+        self.atoms.push(atom);
+    }
+}
+
+impl fmt::Display for OrdKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for OrdKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl From<FlexKey> for OrdKey {
+    fn from(k: FlexKey) -> OrdKey {
+        OrdKey::from_atom(OrdAtom::Key(k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(s: &str) -> FlexKey {
+        FlexKey::parse(s).unwrap()
+    }
+
+    #[test]
+    fn composed_keys_compare_major_then_minor() {
+        // Figure 3.2 combine: T1 gets [b.b..e.f], T2 gets [b.f..e.b]; T1 < T2
+        // because b.b < b.f on the major component.
+        let t1 = OrdKey::new(vec![OrdAtom::Key(k("b.b")), OrdAtom::Key(k("e.f"))]);
+        let t2 = OrdKey::new(vec![OrdAtom::Key(k("b.f")), OrdAtom::Key(k("e.b"))]);
+        assert!(t1 < t2);
+        // Same major: minor decides.
+        let t3 = OrdKey::new(vec![OrdAtom::Key(k("b.b")), OrdAtom::Key(k("e.b"))]);
+        assert!(t3 < t1);
+    }
+
+    #[test]
+    fn numeric_order_values() {
+        let atoms = [-2.5f64, -1.0, 0.0, 0.5, 39.95, 65.95, 70.0]
+            .map(OrdAtom::num);
+        for w in atoms.windows(2) {
+            assert!(w[0] < w[1], "{:?} !< {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn text_order_values() {
+        assert!(OrdAtom::text("Data on the Web") < OrdAtom::text("TCP/IP Illustrated"));
+        assert!(OrdAtom::text("1994") < OrdAtom::text("2000"));
+    }
+
+    #[test]
+    fn descending_inverts() {
+        let a = OrdAtom::text("alpha");
+        let b = OrdAtom::text("beta");
+        assert!(a < b);
+        assert!(a.clone().descending() > b.clone().descending());
+        let x = OrdAtom::num(1.0);
+        let y = OrdAtom::num(2.0);
+        assert!(x.descending() > y.descending());
+    }
+
+    #[test]
+    fn compose_concatenates() {
+        let a = OrdKey::from(k("b.b"));
+        let b = OrdKey::from(k("e.f"));
+        let c = a.compose(b);
+        assert_eq!(c.atoms().len(), 2);
+        assert_eq!(c.to_string(), "b.b,e.f");
+    }
+
+    #[test]
+    fn prefix_dominates_longer_key() {
+        // (b) < (b, anything): prefix sorts first, matching document-order
+        // intuition for composed keys.
+        let short = OrdKey::from(k("b"));
+        let long = OrdKey::new(vec![OrdAtom::Key(k("b")), OrdAtom::Key(k("b"))]);
+        assert!(short < long);
+    }
+}

@@ -1,0 +1,309 @@
+//! Key segments and the string-midpoint algorithm.
+//!
+//! A segment is a non-empty string over the alphabet `a..=z`. Sibling nodes
+//! are ordered by lexicographic comparison of their segments. To guarantee a
+//! segment strictly between any two distinct segments always exists, we keep
+//! the invariant that **no segment ends with `a`** (the minimum letter): under
+//! that invariant `between(lo, hi)` can always extend a string to open a new
+//! gap, which is exactly the paper's "add one more character" argument
+//! (§3.4.4: inserting between `b.c` and `b.d` yields `b.ck`).
+
+use std::fmt;
+
+/// Smallest letter of the segment alphabet. Segments never *end* with it.
+pub const MIN: u8 = b'a';
+/// Largest letter of the segment alphabet.
+pub const MAX: u8 = b'z';
+
+/// A single FlexKey segment: a non-empty byte string over `a..=z`, not ending
+/// in `a`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Seg(Vec<u8>);
+
+impl Seg {
+    /// Create a segment from raw bytes, validating the alphabet invariants.
+    ///
+    /// Returns `None` if empty, containing out-of-alphabet bytes, or ending
+    /// with the minimum letter.
+    pub fn new(bytes: impl Into<Vec<u8>>) -> Option<Seg> {
+        let bytes = bytes.into();
+        if bytes.is_empty()
+            || bytes.iter().any(|&b| !(MIN..=MAX).contains(&b))
+            || *bytes.last().unwrap() == MIN
+        {
+            None
+        } else {
+            Some(Seg(bytes))
+        }
+    }
+
+    /// Parse from a string slice (same validation as [`Seg::new`]).
+    pub fn parse(s: &str) -> Option<Seg> {
+        Seg::new(s.as_bytes().to_vec())
+    }
+
+    /// The segment's bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// The `i`-th segment of the canonical sibling sequence:
+    /// `b, c, …, y, zb, zc, …, zy, zzb, …`.
+    ///
+    /// The sequence is strictly increasing, unbounded, and leaves room for
+    /// [`Seg::between`] insertions everywhere. The letter `z` acts as a
+    /// continuation prefix so the sequence never terminates, and `a` is never
+    /// produced (invariant).
+    pub fn nth(i: usize) -> Seg {
+        // 24 usable "digit" letters per position: b..=y.
+        const DIGITS: usize = (MAX - MIN - 1) as usize; // 24
+        let mut out = Vec::new();
+        let mut i = i;
+        while i >= DIGITS {
+            out.push(MAX);
+            i -= DIGITS;
+        }
+        out.push(MIN + 1 + i as u8);
+        Seg(out)
+    }
+
+    /// A segment strictly between `lo` and `hi` (either bound may be absent,
+    /// meaning -∞ / +∞). Requires `lo < hi` when both are present.
+    ///
+    /// This is the classic fractional-indexing midpoint on variable-length
+    /// strings; it never fails, which is what lets FlexKeys absorb arbitrarily
+    /// skewed insert batches without relabeling (§3.4.4).
+    pub fn between(lo: Option<&Seg>, hi: Option<&Seg>) -> Seg {
+        let lo_b: &[u8] = lo.map(|s| s.0.as_slice()).unwrap_or(&[]);
+        let hi_b = hi.map(|s| s.0.as_slice());
+        debug_assert!(hi_b.is_none_or(|h| lo_b < h), "between requires lo < hi");
+        Seg(mid(lo_b, hi_b))
+    }
+}
+
+/// Compute a string `m` with `lo < m < hi` (hi = `None` means unbounded
+/// above), where `lo` may be empty (unbounded below). Inputs and output obey
+/// the "no trailing `a`" invariant (an empty `lo` is fine).
+fn mid(lo: &[u8], hi: Option<&[u8]>) -> Vec<u8> {
+    match hi {
+        None => above(lo),
+        Some(hi) => between_bounded(lo, hi),
+    }
+}
+
+/// Smallest-effort string strictly greater than `lo` (no upper bound).
+fn above(lo: &[u8]) -> Vec<u8> {
+    if lo.is_empty() {
+        // middle of the space
+        return vec![(MIN + MAX) / 2];
+    }
+    let c = lo[0];
+    if c < MAX {
+        // pick a letter halfway between c and MAX, exclusive of c
+        let step = (MAX - c).div_ceil(2);
+        vec![c + step]
+    } else {
+        let mut out = vec![MAX];
+        out.extend(above(&lo[1..]));
+        out
+    }
+}
+
+/// String strictly between `lo` and `hi`, `lo < hi`, `lo` possibly empty.
+fn between_bounded(lo: &[u8], hi: &[u8]) -> Vec<u8> {
+    // Find the longest common prefix.
+    let mut p = 0;
+    while p < lo.len() && p < hi.len() && lo[p] == hi[p] {
+        p += 1;
+    }
+    let mut out = hi[..p].to_vec();
+    let a = lo.get(p).copied(); // None ⇒ lo is a proper prefix of hi
+    let b = hi[p]; // exists because lo < hi and lo[..p] == hi[..p]
+    match a {
+        None => {
+            // lo (== common prefix) < out + x < hi requires x-extension < hi[p..].
+            if b > MIN + 1 {
+                // room for a middle letter in (MIN, b)
+                out.push(MIN + (b - MIN) / 2);
+            } else {
+                // hi continues with 'a' or 'b': descend under letter (b-1 .. )
+                // out + 'a' + between(-inf, hi[p+1..]) when b == 'b' is wrong if
+                // the recursive part must stay below hi[p+1..]; handle both:
+                if b == MIN {
+                    // hi[p] == 'a': must also start with 'a' and stay below the rest
+                    out.push(MIN);
+                    out.extend(between_bounded(&[], &hi[p + 1..]));
+                } else {
+                    // b == 'b': strings starting with 'a' are all below hi
+                    out.push(MIN);
+                    out.extend(above(&[]));
+                }
+            }
+        }
+        Some(a) => {
+            if b - a > 1 {
+                // middle letter strictly between a and b
+                out.push(a + (b - a).div_ceil(2).max(1));
+                // ensure strictly less than b
+                if *out.last().unwrap() >= b {
+                    *out.last_mut().unwrap() = b - 1;
+                }
+                if *out.last().unwrap() == a {
+                    // no integer strictly between: fall through to extension
+                    out.pop();
+                    out.push(a);
+                    out.extend(above(&lo[p + 1..]));
+                }
+            } else {
+                // adjacent letters: extend lo's branch upward
+                out.push(a);
+                out.extend(above(&lo[p + 1..]));
+            }
+        }
+    }
+    debug_assert!(out.as_slice() > lo && out.as_slice() < hi);
+    debug_assert!(*out.last().unwrap() != MIN || !out.is_empty());
+    out
+}
+
+impl fmt::Debug for Seg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", String::from_utf8_lossy(&self.0))
+    }
+}
+
+impl fmt::Display for Seg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", String::from_utf8_lossy(&self.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn nth_is_strictly_increasing() {
+        let keys: Vec<Seg> = (0..200).map(Seg::nth).collect();
+        for w in keys.windows(2) {
+            assert!(w[0] < w[1], "{:?} !< {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn nth_first_values_match_alphabet() {
+        assert_eq!(Seg::nth(0).to_string(), "b");
+        assert_eq!(Seg::nth(1).to_string(), "c");
+        assert_eq!(Seg::nth(23).to_string(), "y");
+        assert_eq!(Seg::nth(24).to_string(), "zb");
+        assert_eq!(Seg::nth(48).to_string(), "zzb");
+    }
+
+    #[test]
+    fn nth_never_ends_in_min() {
+        for i in 0..500 {
+            assert_ne!(*Seg::nth(i).as_bytes().last().unwrap(), MIN);
+        }
+    }
+
+    #[test]
+    fn between_simple_gap() {
+        let b = Seg::parse("b").unwrap();
+        let f = Seg::parse("f").unwrap();
+        let m = Seg::between(Some(&b), Some(&f));
+        assert!(b < m && m < f, "{m:?}");
+    }
+
+    #[test]
+    fn between_adjacent_letters_extends() {
+        // Paper's example: between b.c and b.d at the segment level: c < ck < d.
+        let c = Seg::parse("c").unwrap();
+        let d = Seg::parse("d").unwrap();
+        let m = Seg::between(Some(&c), Some(&d));
+        assert!(c < m && m < d, "{m:?}");
+        assert!(m.as_bytes().starts_with(b"c"));
+    }
+
+    #[test]
+    fn between_unbounded_low() {
+        let b = Seg::parse("b").unwrap();
+        let m = Seg::between(None, Some(&b));
+        assert!(m < b, "{m:?}");
+    }
+
+    #[test]
+    fn between_unbounded_high() {
+        let z = Seg::parse("z").unwrap();
+        let m = Seg::between(Some(&z), None);
+        assert!(m > z, "{m:?}");
+    }
+
+    #[test]
+    fn between_skewed_insertions_never_fail() {
+        // Repeatedly insert just after `lo`, squeezing the same gap (§3.4.4).
+        let mut lo = Seg::parse("b").unwrap();
+        let hi = Seg::parse("c").unwrap();
+        for _ in 0..64 {
+            let m = Seg::between(Some(&lo), Some(&hi));
+            assert!(lo < m && m < hi);
+            lo = m;
+        }
+        // And the mirror case: always insert just before `hi`.
+        let lo2 = Seg::parse("b").unwrap();
+        let mut hi2 = Seg::parse("c").unwrap();
+        for _ in 0..64 {
+            let m = Seg::between(Some(&lo2), Some(&hi2));
+            assert!(lo2 < m && m < hi2);
+            hi2 = m;
+        }
+    }
+
+    #[test]
+    fn seg_validation() {
+        assert!(Seg::parse("").is_none());
+        assert!(Seg::parse("ba").is_none(), "must not end in 'a'");
+        assert!(Seg::parse("b1").is_none(), "alphabet is a..=z");
+        assert!(Seg::parse("B").is_none());
+        assert!(Seg::parse("ab").is_some(), "'a' allowed in the middle");
+    }
+
+    fn arb_seg() -> impl Strategy<Value = Seg> {
+        proptest::collection::vec(MIN..=MAX, 1..6).prop_map(|mut v| {
+            if *v.last().unwrap() == MIN {
+                *v.last_mut().unwrap() = MIN + 1;
+            }
+            Seg(v)
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_between_is_strictly_inside(a in arb_seg(), b in arb_seg()) {
+            prop_assume!(a != b);
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            let m = Seg::between(Some(&lo), Some(&hi));
+            prop_assert!(lo < m && m < hi, "lo={lo:?} m={m:?} hi={hi:?}");
+            prop_assert_ne!(*m.as_bytes().last().unwrap(), MIN);
+        }
+
+        #[test]
+        fn prop_between_open_ends(a in arb_seg()) {
+            let below = Seg::between(None, Some(&a));
+            prop_assert!(below < a);
+            let over = Seg::between(Some(&a), None);
+            prop_assert!(over > a);
+        }
+
+        #[test]
+        fn prop_repeated_squeeze(a in arb_seg(), b in arb_seg(), n in 1usize..24) {
+            prop_assume!(a != b);
+            let (mut lo, hi) = if a < b { (a, b) } else { (b, a) };
+            for _ in 0..n {
+                let m = Seg::between(Some(&lo), Some(&hi));
+                prop_assert!(lo < m && m < hi);
+                lo = m;
+            }
+        }
+    }
+}

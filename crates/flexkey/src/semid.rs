@@ -1,0 +1,274 @@
+//! Semantic identifiers for XML view nodes (Chapter 4).
+//!
+//! A [`SemId`] identifies a node in an XQuery view extent. Per Definition
+//! 4.3.1 it is a composition of an optional *order prefix* and a *body*:
+//!
+//! ```text
+//! SemID      ::= (OrdPrefix)? (BaseNodeID | ConstNodeID)
+//! OrdPrefix  ::= "~" | "(" FlexKey ")"
+//! BaseNodeID ::= FlexKey
+//! ConstNodeID::= LngCxt "c"
+//! LngCxt     ::= (FlexKey | "*" | StringLiteral) (".." LngCxt)*
+//! ```
+//!
+//! The two properties that make incremental fusion work (§4.1):
+//!
+//! 1. **Reproducibility** — if two computations (initial materialization and a
+//!    later delta propagation) derive "the same" result node, they derive the
+//!    same `SemId`, so the Apply phase can merge them by identifier alone.
+//! 2. **Compactness** — the id size depends on the *query* (how many lineage
+//!    atoms its Context Schema references), not on the source data size.
+
+use crate::key::{FlexKey, Key};
+use crate::ordkey::OrdKey;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// One lineage atom in a constructed node's identifier body.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LngAtom {
+    /// Derived from a specific source node (its FlexKey).
+    Key(FlexKey),
+    /// Derived from a source data value (e.g. a grouping value like `1994`).
+    Val(String),
+    /// The "All" lineage of a Combine result — not bound to any specific
+    /// source node (§4.2.1 case 3).
+    Star,
+    /// A null lineage cell produced by a Left Outer Join tuple that found no
+    /// join partner (Proposition 4.2.1 makes null match null in ECC
+    /// comparisons; the same holds for lineage atoms).
+    Null,
+}
+
+impl fmt::Display for LngAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LngAtom::Key(k) => write!(f, "{k}"),
+            LngAtom::Val(v) => write!(f, "{v}"),
+            LngAtom::Star => write!(f, "*"),
+            LngAtom::Null => write!(f, "⊥"),
+        }
+    }
+}
+
+impl fmt::Debug for LngAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// The order-prefix part of a semantic identifier.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub enum OrdPrefix {
+    /// Absent — order is derived from the id body itself (the common case for
+    /// base nodes in document order).
+    #[default]
+    FromBody,
+    /// `~` — no order is defined locally for this node (e.g. groups created by
+    /// a value-based Group By).
+    NoOrder,
+    /// An explicit overriding order key.
+    Over(OrdKey),
+}
+
+/// The body of a semantic identifier: base node or constructed node.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SemBody {
+    /// An unmodified source node exposed in the view; the body is its FlexKey.
+    Base(FlexKey),
+    /// A constructed node; the body is its lineage-context atom sequence
+    /// (rendered `atom1..atom2..c`).
+    Constructed(Vec<LngAtom>),
+}
+
+/// A semantic identifier (Definition 4.3.1).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct SemId {
+    pub ord: OrdPrefix,
+    pub body: SemBody,
+}
+
+impl SemId {
+    /// Id for an exposed base node.
+    pub fn base(key: FlexKey) -> SemId {
+        SemId { ord: OrdPrefix::FromBody, body: SemBody::Base(key) }
+    }
+
+    /// Id for a constructed node with the given lineage atoms.
+    pub fn constructed(lineage: Vec<LngAtom>) -> SemId {
+        SemId { ord: OrdPrefix::FromBody, body: SemBody::Constructed(lineage) }
+    }
+
+    /// Mark this node as having no locally defined order (`~` prefix).
+    pub fn with_no_order(mut self) -> SemId {
+        self.ord = OrdPrefix::NoOrder;
+        self
+    }
+
+    /// Attach an explicit overriding-order prefix.
+    pub fn with_ord(mut self, ord: OrdKey) -> SemId {
+        self.ord = OrdPrefix::Over(ord);
+        self
+    }
+
+    /// True if the body denotes a constructed node.
+    pub fn is_constructed(&self) -> bool {
+        matches!(self.body, SemBody::Constructed(_))
+    }
+
+    /// The order key this id sorts by among its siblings. Ids with `~`
+    /// (no order) sort by body after all ordered ids, making sibling order
+    /// deterministic even when semantically irrelevant — the paper permits
+    /// imposing order where it is undefined (Theorem 3.3.1 (II)).
+    pub fn sort_key(&self) -> (u8, OrdKey, &SemBody) {
+        match &self.ord {
+            OrdPrefix::Over(o) => (0, o.clone(), &self.body),
+            OrdPrefix::FromBody => match &self.body {
+                SemBody::Base(k) => (0, OrdKey::from(k.clone()), &self.body),
+                SemBody::Constructed(_) => (1, OrdKey::empty(), &self.body),
+            },
+            OrdPrefix::NoOrder => (1, OrdKey::empty(), &self.body),
+        }
+    }
+
+    /// Identity used for fusion matching: the body only. Two propagations of
+    /// the same logical node always produce equal bodies (reproducibility);
+    /// the order prefix is positional metadata.
+    pub fn identity(&self) -> &SemBody {
+        &self.body
+    }
+}
+
+impl PartialOrd for SemId {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SemId {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let (ta, oa, ba) = self.sort_key();
+        let (tb, ob, bb) = other.sort_key();
+        ta.cmp(&tb).then_with(|| oa.cmp(&ob)).then_with(|| ba.cmp(bb))
+    }
+}
+
+impl fmt::Display for SemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.ord {
+            OrdPrefix::FromBody => {}
+            OrdPrefix::NoOrder => write!(f, "~")?,
+            OrdPrefix::Over(o) => write!(f, "({o})")?,
+        }
+        match &self.body {
+            SemBody::Base(k) => write!(f, "{k}"),
+            SemBody::Constructed(atoms) => {
+                for (i, a) in atoms.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "..")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, "c")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for SemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl From<&Key> for SemId {
+    /// A processed base [`Key`] becomes a base semantic id, carrying over any
+    /// overriding order as the order prefix (§4.3.2 "Base Node Identifiers").
+    fn from(k: &Key) -> SemId {
+        SemId {
+            ord: match &k.ord {
+                Some(o) => OrdPrefix::Over(o.clone()),
+                None => OrdPrefix::FromBody,
+            },
+            body: SemBody::Base(k.id.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ordkey::OrdAtom;
+
+    fn k(s: &str) -> FlexKey {
+        FlexKey::parse(s).unwrap()
+    }
+
+    #[test]
+    fn display_matches_paper_grammar() {
+        // Fig 4.2: constructed entry node id "b.b..e.fc".
+        let entry = SemId::constructed(vec![LngAtom::Key(k("b.b")), LngAtom::Key(k("e.f"))]);
+        assert_eq!(entry.to_string(), "b.b..e.fc");
+        // Fig 4.2: books node "~1994c" (no order among groups).
+        let books = SemId::constructed(vec![LngAtom::Val("1994".into())]).with_no_order();
+        assert_eq!(books.to_string(), "~1994c");
+        // Combine "All" lineage: "*c" for the result root.
+        let root = SemId::constructed(vec![LngAtom::Star]);
+        assert_eq!(root.to_string(), "*c");
+        // §4.3.2 example: "(b.b)car..c.bc".
+        let mixed = SemId::constructed(vec![LngAtom::Val("car".into()), LngAtom::Key(k("c.b"))])
+            .with_ord(OrdKey::from(k("b.b")));
+        assert_eq!(mixed.to_string(), "(b.b)car..c.bc");
+        // Base node id is its FlexKey.
+        assert_eq!(SemId::base(k("b.f.b")).to_string(), "b.f.b");
+    }
+
+    #[test]
+    fn reproducibility_equal_lineage_equal_id() {
+        let a = SemId::constructed(vec![LngAtom::Val("1994".into())]);
+        let b = SemId::constructed(vec![LngAtom::Val("1994".into())]);
+        assert_eq!(a, b);
+        assert_eq!(a.identity(), b.identity());
+        let c = SemId::constructed(vec![LngAtom::Val("2000".into())]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn identity_ignores_order_prefix() {
+        let a = SemId::constructed(vec![LngAtom::Val("x".into())]);
+        let b = a.clone().with_ord(OrdKey::from(k("b.b")));
+        assert_eq!(a.identity(), b.identity());
+    }
+
+    #[test]
+    fn ordered_ids_sort_before_unordered() {
+        let ordered = SemId::constructed(vec![LngAtom::Val("z".into())])
+            .with_ord(OrdKey::from_atom(OrdAtom::text("1994")));
+        let unordered = SemId::constructed(vec![LngAtom::Val("a".into())]).with_no_order();
+        assert!(ordered < unordered);
+    }
+
+    #[test]
+    fn overriding_order_drives_sibling_sort() {
+        // yGroups ordered by year value (Order By $y).
+        let g1994 = SemId::constructed(vec![LngAtom::Val("1994".into())])
+            .with_ord(OrdKey::from_atom(OrdAtom::text("1994")));
+        let g2000 = SemId::constructed(vec![LngAtom::Val("2000".into())])
+            .with_ord(OrdKey::from_atom(OrdAtom::text("2000")));
+        assert!(g1994 < g2000);
+    }
+
+    #[test]
+    fn base_ids_sort_in_document_order() {
+        let a = SemId::base(k("b.b"));
+        let b = SemId::base(k("b.f"));
+        assert!(a < b);
+    }
+
+    #[test]
+    fn key_conversion_preserves_overriding_order() {
+        let key = Key::with_ord(k("b.f.b"), OrdKey::from(k("q.b")));
+        let id = SemId::from(&key);
+        assert_eq!(id.to_string(), "(q.b)b.f.b");
+    }
+}

@@ -1,0 +1,236 @@
+//! Context Schemas (Chapter 4, §4.2): schema-level lineage + order
+//! specifications for every XAT table column, from which semantic
+//! identifiers are generated during execution.
+//!
+//! A column's [`ContextSchema`] is `(Order)? + Lineage` (Definition 4.2.2):
+//!
+//! * [`OrdSpec`] — how the order of the column's nodes is derived:
+//!   `Empty` (`()`) means "from the lineage/identity itself", `Null` (absent)
+//!   means no order is defined, `Cols` lists order-determining columns.
+//! * [`LngSpec`] — how lineage is derived: `SelfRef` (`[]`) means the nodes
+//!   carry their own identity, `Star` (`[*]`) is the Combine "All" lineage,
+//!   `Cols` lists lineage columns, optionally annotated with XML Union
+//!   column-id keys (`$b{a}, $e{b}`).
+//!
+//! The computation rules per operator (Table 4.1) live in
+//! [`crate::plan::annotate`]; this module defines the types, the ECC
+//! (Evaluation Context Columns, Definition 4.2.3), and tuple matching
+//! (Definition 4.2.4).
+
+use flexkey::Seg;
+use std::fmt;
+
+/// Order part of a Context Schema.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub enum OrdSpec {
+    /// No order is defined for the column (`ord == null` in the paper).
+    #[default]
+    Null,
+    /// `()` — order is derivable from the lineage specification itself.
+    Empty,
+    /// `(col1, col2, …)` — order determined by these columns' cells.
+    Cols(Vec<String>),
+}
+
+impl OrdSpec {
+    pub fn is_null(&self) -> bool {
+        matches!(self, OrdSpec::Null)
+    }
+
+    pub fn is_empty_spec(&self) -> bool {
+        matches!(self, OrdSpec::Empty)
+    }
+
+    /// Column names referenced by the spec.
+    pub fn cols(&self) -> &[String] {
+        match self {
+            OrdSpec::Cols(c) => c,
+            _ => &[],
+        }
+    }
+
+    /// Concatenate two order specs (used by the join rules of Table 4.1
+    /// category IX, composing a column's own order with the other side's
+    /// Table Order Schema).
+    pub fn concat(a: &OrdSpec, b: &OrdSpec) -> OrdSpec {
+        match (a, b) {
+            (OrdSpec::Null, x) | (x, OrdSpec::Null) => x.clone(),
+            (OrdSpec::Empty, OrdSpec::Empty) => OrdSpec::Empty,
+            _ => {
+                let mut cols: Vec<String> = a.cols().to_vec();
+                for c in b.cols() {
+                    if !cols.contains(c) {
+                        cols.push(c.clone());
+                    }
+                }
+                if cols.is_empty() {
+                    OrdSpec::Empty
+                } else {
+                    OrdSpec::Cols(cols)
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for OrdSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrdSpec::Null => Ok(()),
+            OrdSpec::Empty => write!(f, "()"),
+            OrdSpec::Cols(c) => write!(f, "({})", c.join(",")),
+        }
+    }
+}
+
+/// One lineage column reference, optionally annotated with an XML Union
+/// column-id key (`$b{a}`): the key distinguishes and orders union branches
+/// (§4.2.2 category VII).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LngCol {
+    pub col: String,
+    pub branch: Option<Seg>,
+}
+
+impl LngCol {
+    pub fn plain(col: impl Into<String>) -> LngCol {
+        LngCol { col: col.into(), branch: None }
+    }
+
+    pub fn branched(col: impl Into<String>, branch: Seg) -> LngCol {
+        LngCol { col: col.into(), branch: Some(branch) }
+    }
+}
+
+impl fmt::Display for LngCol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.branch {
+            Some(b) => write!(f, "${}{{{b}}}", self.col),
+            None => write!(f, "${}", self.col),
+        }
+    }
+}
+
+/// Lineage part of a Context Schema.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub enum LngSpec {
+    /// `[]` — self lineage: nodes in the column carry their own identity
+    /// (source nodes by FlexKey, constructed nodes by their assigned id).
+    #[default]
+    SelfRef,
+    /// `[*]` — the Combine "All" lineage: the single collection is derived
+    /// from everything (§4.2.1 case 3).
+    Star,
+    /// `[col1, col2{b}, …]` — lineage derived from other columns' cells.
+    Cols(Vec<LngCol>),
+}
+
+impl LngSpec {
+    pub fn is_self(&self) -> bool {
+        matches!(self, LngSpec::SelfRef)
+    }
+
+    pub fn cols(&self) -> &[LngCol] {
+        match self {
+            LngSpec::Cols(c) => c,
+            _ => &[],
+        }
+    }
+}
+
+impl fmt::Display for LngSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LngSpec::SelfRef => write!(f, "[]"),
+            LngSpec::Star => write!(f, "[*]"),
+            LngSpec::Cols(cs) => {
+                write!(f, "[")?;
+                for (i, c) in cs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+/// The Context Schema of one column (Definition 4.2.2).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct ContextSchema {
+    pub ord: OrdSpec,
+    pub lng: LngSpec,
+}
+
+impl ContextSchema {
+    /// `()[]` — the Source-operator schema (Table 4.1 category I).
+    pub fn source() -> ContextSchema {
+        ContextSchema { ord: OrdSpec::Empty, lng: LngSpec::SelfRef }
+    }
+
+    pub fn new(ord: OrdSpec, lng: LngSpec) -> ContextSchema {
+        ContextSchema { ord, lng }
+    }
+
+    /// True if this column belongs to the ECC (Definition 4.2.3): its
+    /// lineage references only itself.
+    pub fn in_ecc(&self) -> bool {
+        self.lng.is_self()
+    }
+}
+
+impl fmt::Display for ContextSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.ord, self.lng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(ContextSchema::source().to_string(), "()[]");
+        let c = ContextSchema::new(
+            OrdSpec::Cols(vec!["b".into(), "e".into()]),
+            LngSpec::Cols(vec![LngCol::plain("b")]),
+        );
+        assert_eq!(c.to_string(), "(b,e)[$b]");
+        let u = ContextSchema::new(
+            OrdSpec::Empty,
+            LngSpec::Cols(vec![
+                LngCol::branched("b", Seg::parse("b").unwrap()),
+                LngCol::branched("e", Seg::parse("c").unwrap()),
+            ]),
+        );
+        assert_eq!(u.to_string(), "()[$b{b},$e{c}]");
+        let star = ContextSchema::new(OrdSpec::Null, LngSpec::Star);
+        assert_eq!(star.to_string(), "[*]");
+    }
+
+    #[test]
+    fn ecc_membership() {
+        assert!(ContextSchema::source().in_ecc());
+        assert!(!ContextSchema::new(OrdSpec::Null, LngSpec::Star).in_ecc());
+        assert!(!ContextSchema::new(
+            OrdSpec::Empty,
+            LngSpec::Cols(vec![LngCol::plain("y")])
+        )
+        .in_ecc());
+    }
+
+    #[test]
+    fn ord_concat() {
+        let a = OrdSpec::Cols(vec!["b".into()]);
+        let b = OrdSpec::Cols(vec!["e".into()]);
+        assert_eq!(OrdSpec::concat(&a, &b), OrdSpec::Cols(vec!["b".into(), "e".into()]));
+        assert_eq!(OrdSpec::concat(&OrdSpec::Empty, &OrdSpec::Empty), OrdSpec::Empty);
+        assert_eq!(OrdSpec::concat(&OrdSpec::Null, &a), a);
+        // Duplicate columns removed ("removing the redundant $b", §4.2.3).
+        let dup = OrdSpec::concat(&a, &OrdSpec::Cols(vec!["b".into(), "e".into()]));
+        assert_eq!(dup, OrdSpec::Cols(vec!["b".into(), "e".into()]));
+    }
+}

@@ -1,0 +1,482 @@
+//! Materialized view extents.
+//!
+//! A [`ViewExtent`] is the materialized XML result of a view: a tree of
+//! [`VNode`]s, each carrying a semantic identifier (Ch. 4), a derivation
+//! count (Ch. 6) and children kept **sorted by semantic-id order** — the
+//! final (partial) sort the order solution defers to result-generation time
+//! (§3.3.3).
+//!
+//! Building an extent from executor output *is* the identifier-based XML
+//! fusion of §4.4: per-tuple result fragments are deep-unioned by semantic
+//! id, counts summing. The same [`deep_union`] drives the Apply phase
+//! (Ch. 8): delta trees produced by incremental maintenance plans carry
+//! signed counts, nodes vanish when their count reaches zero, and a whole
+//! fragment disappears by disconnecting its root (§8.3.2) — descendants are
+//! never visited one by one.
+
+use crate::exec::{ExecError, Executor};
+use crate::value::{Item, ItemRef};
+use flexkey::semid::SemBody;
+use flexkey::{FlexKey, OrdPrefix, SemId};
+use std::time::Instant;
+use xmlstore::{Frag, NodeData, Store};
+
+/// One node of a materialized view extent.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VNode {
+    pub sem: SemId,
+    pub data: NodeData,
+    /// Derivation count (Ch. 6). Positive in materialized extents; delta
+    /// trees use negative counts for deletions.
+    pub count: i64,
+    /// Children in result order (sorted by semantic-id sort key).
+    pub children: Vec<VNode>,
+}
+
+impl VNode {
+    pub fn new(sem: SemId, data: NodeData) -> VNode {
+        VNode { sem, data, count: 1, children: Vec::new() }
+    }
+
+    /// Total node count of the subtree.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(VNode::size).sum::<usize>()
+    }
+
+    /// Serialize this subtree to XML text.
+    pub fn to_xml(&self) -> String {
+        let mut out = String::new();
+        self.write_xml(&mut out);
+        out
+    }
+
+    fn write_xml(&self, out: &mut String) {
+        match &self.data {
+            NodeData::Text { value } => out.push_str(&xmlstore::frag::escape_text(value)),
+            NodeData::Element { name, attrs } => {
+                out.push('<');
+                out.push_str(name);
+                for (k, v) in attrs {
+                    out.push(' ');
+                    out.push_str(k);
+                    out.push_str("=\"");
+                    out.push_str(&xmlstore::frag::escape_attr(v));
+                    out.push('"');
+                }
+                if self.children.is_empty() {
+                    out.push_str("/>");
+                } else {
+                    out.push('>');
+                    for c in &self.children {
+                        c.write_xml(out);
+                    }
+                    out.push_str("</");
+                    out.push_str(name);
+                    out.push('>');
+                }
+            }
+        }
+    }
+
+    /// Find a direct child by semantic-id identity (body).
+    pub fn child_by_identity(&self, body: &SemBody) -> Option<&VNode> {
+        self.children.iter().find(|c| c.sem.identity() == body)
+    }
+
+    /// Find a descendant element by tag name (testing helper).
+    pub fn find_element(&self, name: &str) -> Option<&VNode> {
+        if self.data.name() == Some(name) {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find_element(name))
+    }
+
+    /// Concatenated text of the subtree.
+    pub fn string_value(&self) -> String {
+        match &self.data {
+            NodeData::Text { value } => value.clone(),
+            NodeData::Element { .. } => self.children.iter().map(VNode::string_value).collect(),
+        }
+    }
+}
+
+/// A materialized view extent: the (usually single-rooted) result forest.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ViewExtent {
+    pub roots: Vec<VNode>,
+}
+
+impl ViewExtent {
+    /// Serialize the extent to XML text (roots in order).
+    pub fn to_xml(&self) -> String {
+        self.roots.iter().map(VNode::to_xml).collect()
+    }
+
+    /// Total number of nodes.
+    pub fn size(&self) -> usize {
+        self.roots.iter().map(VNode::size).sum()
+    }
+
+    /// The single root, if the extent has exactly one.
+    pub fn root(&self) -> Option<&VNode> {
+        if self.roots.len() == 1 {
+            self.roots.first()
+        } else {
+            None
+        }
+    }
+}
+
+impl Executor<'_> {
+    /// Materialize the items of the final table's column into a view extent.
+    ///
+    /// This performs the only sorting in the whole pipeline (§3.3.3): each
+    /// collection is sorted by semantic-id order as it is de-referenced —
+    /// typically a partial sort of small sibling lists — and base fragments
+    /// come back from the storage manager already in document order.
+    pub fn materialize(&mut self, items: &[Item]) -> Result<ViewExtent, ExecError> {
+        let mut roots: Vec<VNode> = Vec::new();
+        let mut nodes = Vec::with_capacity(items.len());
+        for it in items {
+            nodes.push(self.materialize_item(it, 1, false)?);
+        }
+        let t0 = Instant::now();
+        union_many(&mut roots, nodes, false);
+        self.stats.final_sort += t0.elapsed();
+        Ok(ViewExtent { roots })
+    }
+
+    /// Materialize a **delta update tree** (Ch. 7's propagation output):
+    /// like [`Executor::materialize`], but negative-count nodes (deletions)
+    /// are kept, and fusion sums signed counts. A node cancelling to count 0
+    /// survives as a carrier when it still has child deltas to deliver.
+    pub fn materialize_signed(&mut self, items: &[Item]) -> Result<ViewExtent, ExecError> {
+        let mut roots: Vec<VNode> = Vec::new();
+        let mut nodes = Vec::with_capacity(items.len());
+        for it in items {
+            nodes.push(self.materialize_item(it, 1, true)?);
+        }
+        union_many(&mut roots, nodes, true);
+        Ok(ViewExtent { roots })
+    }
+
+    /// Materialize one item. `inherited` is the parent node's effective
+    /// derivation count: a node's count is `inherited × item.count` unless
+    /// the item is *absolute* (Combine already multiplied in the tuple
+    /// count, which may have changed again after the node was constructed —
+    /// Table 6.1's product rule, applied at the right point).
+    fn materialize_item(&mut self, item: &Item, inherited: i64, signed: bool) -> Result<VNode, ExecError> {
+        let eff = if item.abs { item.count } else { inherited * item.count };
+        match &item.r {
+            ItemRef::Base(k) => {
+                // Deep-copy honoring the item's navigation mode: a pre-state
+                // derivation (`Exclude`) must not include nodes that only
+                // exist in the post-state update fragments, and vice versa
+                // the fragment-only copy stays within them.
+                let excluded = self.excluded_under(k, item.delta);
+                let mut n = base_vnode(self.store, k, eff, &excluded)
+                    .ok_or_else(|| ExecError(format!("dangling base key {k}")))?;
+                apply_item_ord(&mut n, item);
+                Ok(n)
+            }
+            ItemRef::Val(v) => {
+                let mut n = VNode {
+                    sem: SemId::constructed(vec![flexkey::LngAtom::Val(v.0.clone())]),
+                    data: NodeData::text(v.0.clone()),
+                    count: eff,
+                    children: Vec::new(),
+                };
+                apply_item_ord(&mut n, item);
+                Ok(n)
+            }
+            ItemRef::Cons(id) => {
+                let cons = self.cons_node(*id).clone();
+                let mut node = VNode {
+                    sem: cons.sem.clone(),
+                    data: NodeData::Element { name: cons.name.clone(), attrs: cons.attrs.clone() },
+                    count: eff,
+                    children: Vec::new(),
+                };
+                let mut kids = Vec::with_capacity(cons.children.len());
+                for child in &cons.children {
+                    kids.push(self.materialize_item(child, eff, signed)?);
+                }
+                let t0 = Instant::now();
+                union_many(&mut node.children, kids, signed);
+                self.stats.final_sort += t0.elapsed();
+                apply_item_ord(&mut node, item);
+                Ok(node)
+            }
+        }
+    }
+}
+
+/// Position a materialized node by the item's effective overriding order.
+fn apply_item_ord(n: &mut VNode, item: &Item) {
+    if let Some(ord) = &item.ord {
+        n.sem.ord = OrdPrefix::Over(ord.clone());
+    }
+}
+
+/// Deep-copy a base subtree from the store in document order (no sorting —
+/// the storage manager returns children ordered, §3.3), skipping the
+/// `excluded` subtrees (pre-state copies during delta materialization).
+fn base_vnode(store: &Store, key: &FlexKey, count: i64, excluded: &[FlexKey]) -> Option<VNode> {
+    let node = store.node(key)?;
+    let mut out = VNode {
+        sem: SemId::base(key.clone()),
+        data: node.data.clone(),
+        count: count * node.count,
+        children: Vec::new(),
+    };
+    for (ck, _) in store.children(key) {
+        if excluded.iter().any(|f| f.is_self_or_ancestor_of(&ck)) {
+            continue;
+        }
+        out.children.push(base_vnode(store, &ck, count, excluded)?);
+    }
+    Some(out)
+}
+
+/// Convert a keyless fragment into extent nodes (used by delta application
+/// tests and the quickstart oracle).
+pub fn vnode_from_frag(frag: &Frag, key: &FlexKey) -> VNode {
+    let mut out = VNode {
+        sem: SemId::base(key.clone()),
+        data: frag.data.clone(),
+        count: frag.count,
+        children: Vec::new(),
+    };
+    for (i, c) in frag.children.iter().enumerate() {
+        out.children.push(vnode_from_frag(c, &key.nth_child(i)));
+    }
+    out
+}
+
+/// Insert `incoming` into a sorted sibling list, **fusing by semantic-id
+/// identity** (§4.4): if a sibling with the same id body exists, counts sum
+/// and children deep-union recursively; otherwise the node is inserted at
+/// its order position (binary search on the semantic-id sort key).
+///
+/// This is the count-aware Deep Union (§6.6): after unioning, any node whose
+/// count dropped to ≤ 0 is removed *as a whole fragment* — its root is
+/// disconnected without visiting descendants (§8.3.2).
+pub fn deep_union_siblings(siblings: &mut Vec<VNode>, incoming: VNode) {
+    if let Some(pos) = siblings.iter().position(|s| s.sem.identity() == incoming.sem.identity()) {
+        let mut existing = siblings.remove(pos);
+        existing.count += incoming.count;
+        if existing.count <= 0 {
+            // Root disconnect: the entire fragment goes at once (§8.3.2).
+            return;
+        }
+        if incoming.count >= 0 {
+            // Refresh data and order position from the incoming derivation.
+            // Zero-count carriers refresh too: a modify nets ±0 on the node
+            // while carrying its post-state content (attributes, order).
+            existing.sem = incoming.sem;
+            existing.data = incoming.data;
+        }
+        for c in incoming.children {
+            deep_union_siblings(&mut existing.children, c);
+        }
+        let at = insertion_point(siblings, &existing.sem);
+        siblings.insert(at, existing);
+    } else if incoming.count > 0 {
+        let at = insertion_point(siblings, &incoming.sem);
+        siblings.insert(at, incoming);
+    }
+    // A pure deletion (count ≤ 0) of a node that does not exist is a no-op:
+    // the update was already reflected or is irrelevant.
+}
+
+/// Union used *inside delta trees*: counts sum with their signs, negative
+/// and zero-count nodes are preserved (a zero-count node is a carrier whose
+/// children still deliver deltas), and nothing is removed — removal is the
+/// Apply phase's job via [`deep_union_siblings`].
+pub fn signed_union_siblings(siblings: &mut Vec<VNode>, incoming: VNode) {
+    if let Some(pos) = siblings.iter().position(|s| s.sem.identity() == incoming.sem.identity()) {
+        let mut existing = siblings.remove(pos);
+        existing.count += incoming.count;
+        if incoming.count >= 0 {
+            existing.sem = incoming.sem;
+            existing.data = incoming.data;
+        }
+        for c in incoming.children {
+            signed_union_siblings(&mut existing.children, c);
+        }
+        let at = insertion_point(siblings, &existing.sem);
+        siblings.insert(at, existing);
+    } else {
+        let at = insertion_point(siblings, &incoming.sem);
+        siblings.insert(at, incoming);
+    }
+}
+
+fn insertion_point(siblings: &[VNode], sem: &SemId) -> usize {
+    siblings.partition_point(|s| s.sem < *sem)
+}
+
+/// Batched deep union: fuse a whole list of incoming nodes into a sibling
+/// list. Equivalent to repeated [`deep_union_siblings`] /
+/// [`signed_union_siblings`] calls when the incoming nodes have distinct
+/// identities (which delta trees and materialization streams guarantee),
+/// but uses a hash index over identities so large sibling lists fuse in
+/// near-linear time instead of O(m·n).
+pub fn union_many(siblings: &mut Vec<VNode>, incoming: Vec<VNode>, signed: bool) {
+    if incoming.is_empty() {
+        return;
+    }
+    if siblings.len() + incoming.len() < 48 {
+        for n in incoming {
+            if signed {
+                signed_union_siblings(siblings, n);
+            } else {
+                deep_union_siblings(siblings, n);
+            }
+        }
+        return;
+    }
+    let mut store: Vec<VNode> = std::mem::take(siblings);
+    let mut index: std::collections::HashMap<SemBody, usize> = store
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.sem.identity().clone(), i))
+        .collect();
+    for inc in incoming {
+        match index.get(inc.sem.identity()) {
+            Some(&i) => {
+                let ex = &mut store[i];
+                ex.count += inc.count;
+                if inc.count >= 0 {
+                    ex.sem = inc.sem;
+                    ex.data = inc.data;
+                }
+                union_many(&mut ex.children, inc.children, signed);
+            }
+            None => {
+                if signed || inc.count > 0 {
+                    index.insert(inc.sem.identity().clone(), store.len());
+                    store.push(inc);
+                }
+            }
+        }
+    }
+    if signed {
+        store.retain(|n| n.count != 0 || !n.children.is_empty());
+    } else {
+        store.retain(|n| n.count > 0);
+    }
+    store.sort_by(|a, b| a.sem.cmp(&b.sem));
+    *siblings = store;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexkey::{LngAtom, OrdAtom, OrdKey};
+
+    fn elem(name: &str, sem: SemId) -> VNode {
+        VNode::new(sem, NodeData::element(name))
+    }
+
+    fn cons_id(v: &str) -> SemId {
+        SemId::constructed(vec![LngAtom::Val(v.into())])
+    }
+
+    fn with_ord(sem: SemId, v: &str) -> SemId {
+        sem.with_ord(OrdKey::from_atom(OrdAtom::text(v)))
+    }
+
+    #[test]
+    fn deep_union_inserts_in_order() {
+        let mut sibs = Vec::new();
+        deep_union_siblings(&mut sibs, elem("g", with_ord(cons_id("2000"), "2000")));
+        deep_union_siblings(&mut sibs, elem("g", with_ord(cons_id("1994"), "1994")));
+        deep_union_siblings(&mut sibs, elem("g", with_ord(cons_id("1997"), "1997")));
+        let ids: Vec<String> = sibs.iter().map(|s| s.sem.to_string()).collect();
+        assert_eq!(ids.len(), 3);
+        assert!(ids[0].contains("1994") && ids[1].contains("1997") && ids[2].contains("2000"));
+    }
+
+    #[test]
+    fn deep_union_fuses_same_identity_and_sums_counts() {
+        let mut sibs = Vec::new();
+        let mut a = elem("g", cons_id("1994"));
+        a.children.push(elem("x", cons_id("x1")));
+        deep_union_siblings(&mut sibs, a);
+        let mut b = elem("g", cons_id("1994"));
+        b.children.push(elem("x", cons_id("x2")));
+        deep_union_siblings(&mut sibs, b);
+        assert_eq!(sibs.len(), 1, "same identity fused");
+        assert_eq!(sibs[0].count, 2, "counts summed");
+        assert_eq!(sibs[0].children.len(), 2, "children unioned");
+    }
+
+    #[test]
+    fn deep_union_negative_count_deletes_whole_fragment() {
+        let mut sibs = Vec::new();
+        let mut tree = elem("g", cons_id("2000"));
+        tree.children.push(elem("big", cons_id("sub")));
+        tree.children[0].children.push(elem("deep", cons_id("deep")));
+        deep_union_siblings(&mut sibs, tree);
+        assert_eq!(sibs.len(), 1);
+        // A delete delta only carries the root with count −1: the entire
+        // fragment disconnects without touching descendants (§8.3.2).
+        let mut del = elem("g", cons_id("2000"));
+        del.count = -1;
+        deep_union_siblings(&mut sibs, del);
+        assert!(sibs.is_empty());
+    }
+
+    #[test]
+    fn deep_union_decrement_keeps_multiderived_node() {
+        // A yGroup derived from two books survives deleting one (§1.2).
+        let mut sibs = Vec::new();
+        let mut g = elem("g", cons_id("1994"));
+        g.count = 2;
+        deep_union_siblings(&mut sibs, g);
+        let mut del = elem("g", cons_id("1994"));
+        del.count = -1;
+        deep_union_siblings(&mut sibs, del);
+        assert_eq!(sibs.len(), 1);
+        assert_eq!(sibs[0].count, 1);
+    }
+
+    #[test]
+    fn delete_of_absent_node_is_noop() {
+        let mut sibs = vec![elem("g", cons_id("1994"))];
+        let mut del = elem("g", cons_id("2000"));
+        del.count = -1;
+        deep_union_siblings(&mut sibs, del);
+        assert_eq!(sibs.len(), 1);
+    }
+
+    #[test]
+    fn serialization() {
+        let mut root = elem("result", cons_id("r"));
+        let mut g = elem("yGroup", cons_id("1994"));
+        if let NodeData::Element { attrs, .. } = &mut g.data {
+            attrs.push(("Y".into(), "1994".into()));
+        }
+        g.children.push(VNode::new(cons_id("t"), NodeData::text("hi & <bye>")));
+        root.children.push(g);
+        assert_eq!(
+            root.to_xml(),
+            r#"<result><yGroup Y="1994">hi &amp; &lt;bye&gt;</yGroup></result>"#
+        );
+        let ext = ViewExtent { roots: vec![root] };
+        assert_eq!(ext.size(), 3);
+        assert!(ext.root().is_some());
+    }
+
+    #[test]
+    fn vnode_from_frag_preserves_structure() {
+        let f = Frag::elem("book")
+            .attr("year", "1994")
+            .child(Frag::elem("title").text_child("X"));
+        let v = vnode_from_frag(&f, &FlexKey::parse("q").unwrap());
+        assert_eq!(v.size(), 3);
+        assert_eq!(v.string_value(), "X");
+        assert_eq!(v.find_element("title").unwrap().string_value(), "X");
+    }
+}

@@ -1,0 +1,208 @@
+//! The XAT table (§2.2.1): an order-sensitive table whose cells store XML
+//! node references or sequences.
+//!
+//! Internally tuples live in **non-ordered bag semantics** (§3.4.3): the
+//! physical row order is insignificant. Order information is carried by
+//! (a) the table's *Order Schema* — the subset of columns whose FlexKeys
+//! encode the tuples' relative order (Definition 3.3.1) — and (b) the
+//! overriding-order annotations on items.
+
+use crate::context::ContextSchema;
+use crate::value::Cell;
+use flexkey::OrdKey;
+use std::fmt;
+
+/// Column metadata: the name (a `$var` binding or generated `$colN`) and the
+/// column's Context Schema.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ColInfo {
+    pub name: String,
+    pub cxt: ContextSchema,
+}
+
+impl ColInfo {
+    pub fn new(name: impl Into<String>) -> ColInfo {
+        ColInfo { name: name.into(), cxt: ContextSchema::default() }
+    }
+}
+
+/// One tuple: cells plus a derivation count (Ch. 6 counting: a tuple's count
+/// is the product of the counts of the source tuples it derives from; delta
+/// tuples from delete updates carry negative counts).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Row {
+    pub cells: Vec<Cell>,
+    pub count: i64,
+}
+
+impl Row {
+    pub fn new(cells: Vec<Cell>) -> Row {
+        Row { cells, count: 1 }
+    }
+
+    pub fn with_count(cells: Vec<Cell>, count: i64) -> Row {
+        Row { cells, count }
+    }
+}
+
+/// An XAT table.
+#[derive(Clone, Debug, Default)]
+pub struct XatTable {
+    pub cols: Vec<ColInfo>,
+    /// Indices (into `cols`) of the Order Schema columns (Table 3.1).
+    pub order_schema: Vec<usize>,
+    pub rows: Vec<Row>,
+}
+
+impl XatTable {
+    pub fn new(cols: Vec<ColInfo>) -> XatTable {
+        XatTable { cols, order_schema: Vec::new(), rows: Vec::new() }
+    }
+
+    /// Index of a column by name.
+    pub fn col_idx(&self, name: &str) -> Option<usize> {
+        self.cols.iter().position(|c| c.name == name)
+    }
+
+    /// Cell of `row` in the column named `name`.
+    pub fn cell<'a>(&self, row: &'a Row, name: &str) -> Option<&'a Cell> {
+        self.col_idx(name).and_then(|i| row.cells.get(i))
+    }
+
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The tuple order key of a row, derived from the Order Schema columns
+    /// (Definition 3.3.2: lexicographic comparison over the order columns).
+    /// Used only where tuple order must be *extracted* (Combine, final
+    /// result) — never to keep rows physically sorted.
+    pub fn row_order(&self, row: &Row) -> OrdKey {
+        let mut ord = OrdKey::empty();
+        for &i in &self.order_schema {
+            if let Some(item) = row.cells.get(i).and_then(|c| c.as_one()) {
+                ord = ord.compose(item.order());
+            }
+        }
+        ord
+    }
+
+    /// Names of the Order Schema columns.
+    pub fn order_cols(&self) -> Vec<&str> {
+        self.order_schema.iter().map(|&i| self.cols[i].name.as_str()).collect()
+    }
+
+    /// Indices of the ECC columns (Definition 4.2.3).
+    pub fn ecc(&self) -> Vec<usize> {
+        self.cols
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.cxt.in_ecc())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Tuple match by ECC (Definition 4.2.4): equal identities/values on all
+    /// ECC columns (nulls match nulls, Proposition 4.2.1).
+    pub fn rows_match(&self, a: &Row, b: &Row) -> bool {
+        let ecc = self.ecc();
+        if ecc.is_empty() {
+            return true;
+        }
+        ecc.iter().all(|&i| a.cells[i].ecc_eq(&b.cells[i]))
+    }
+}
+
+impl fmt::Display for XatTable {
+    /// Debug rendering in the style of the paper's figures.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<String> = self
+            .cols
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let marker = if self.order_schema.contains(&i) { "*" } else { "" };
+                format!("${}{}{}", c.name, marker, c.cxt)
+            })
+            .collect();
+        writeln!(f, "| {} |", names.join(" | "))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .cells
+                .iter()
+                .map(|c| match c {
+                    Cell::Null => "⊥".to_string(),
+                    Cell::One(i) => format!("{:?}", i.r),
+                    Cell::Seq(v) => format!("{{{}}}", v.len()),
+                })
+                .collect();
+            writeln!(f, "| {} | x{}", cells.join(" | "), row.count)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{LngCol, LngSpec, OrdSpec};
+    use crate::value::Item;
+    use flexkey::FlexKey;
+
+    fn k(s: &str) -> FlexKey {
+        FlexKey::parse(s).unwrap()
+    }
+
+    fn table() -> XatTable {
+        let mut t = XatTable::new(vec![
+            ColInfo { name: "b".into(), cxt: ContextSchema::source() },
+            ColInfo {
+                name: "y".into(),
+                cxt: ContextSchema::new(OrdSpec::Cols(vec!["b".into()]), LngSpec::Cols(vec![LngCol::plain("b")])),
+            },
+        ]);
+        t.order_schema = vec![0];
+        t.rows.push(Row::new(vec![
+            Cell::one(Item::base(k("b.b"))),
+            Cell::one(Item::val("1994")),
+        ]));
+        t.rows.push(Row::new(vec![
+            Cell::one(Item::base(k("b.f"))),
+            Cell::one(Item::val("2000")),
+        ]));
+        t
+    }
+
+    #[test]
+    fn col_lookup_and_cells() {
+        let t = table();
+        assert_eq!(t.col_idx("y"), Some(1));
+        assert_eq!(t.col_idx("zz"), None);
+        let c = t.cell(&t.rows[0], "y").unwrap();
+        assert_eq!(c.as_one().unwrap().as_val().unwrap().as_str(), "1994");
+    }
+
+    #[test]
+    fn row_order_follows_order_schema() {
+        let t = table();
+        let o0 = t.row_order(&t.rows[0]);
+        let o1 = t.row_order(&t.rows[1]);
+        assert!(o0 < o1);
+    }
+
+    #[test]
+    fn ecc_is_self_lineage_columns() {
+        let t = table();
+        assert_eq!(t.ecc(), vec![0]);
+    }
+
+    #[test]
+    fn rows_match_by_ecc_only() {
+        let t = table();
+        let a = Row::new(vec![Cell::one(Item::base(k("b.b"))), Cell::one(Item::val("x"))]);
+        let b = Row::new(vec![Cell::one(Item::base(k("b.b"))), Cell::one(Item::val("zzz"))]);
+        assert!(t.rows_match(&a, &b), "non-ECC columns are ignored");
+        let c = Row::new(vec![Cell::one(Item::base(k("b.f"))), Cell::one(Item::val("x"))]);
+        assert!(!t.rows_match(&a, &c));
+    }
+}

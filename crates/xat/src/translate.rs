@@ -1,0 +1,804 @@
+//! XQuery → XAT translation (§2.3), decorrelated.
+//!
+//! The translator produces the canonical plan shapes of the paper:
+//!
+//! * XPath expressions become Navigate operators; comparison predicates are
+//!   already `where` conjuncts after normalization (§2.3.2 / Rule 3).
+//! * A flat FLWOR block becomes a *binding plan* — Sources + Navigate
+//!   Unnests joined on `where` equality conjuncts (the nesting of `for`
+//!   variables fixes the join order and hence the major/minor order
+//!   semantics, §3.2) — followed by Selects for the remaining local
+//!   predicates and a per-tuple translation of the `return` clause.
+//! * A **correlated** FLWOR nested in a `return` clause is decorrelated
+//!   directly into the Fig 2.2 shape: the inner block is planned
+//!   independently, the correlation predicate becomes a **Left Outer Join**
+//!   between the outer binding table and the inner plan, and a value-based
+//!   **GroupBy** over the outer tuple's columns nests the inner results.
+//!   This is the result of rewriting away the Map operator of Fig 2.3
+//!   (§2.4's decorrelation).
+//! * `order by` injects an OrderBy just before the outermost Tagger of the
+//!   return clause (Fig 2.2 places τ between operators #16 and #18).
+//!
+//! Paths that *unnest elements* and then *dereference values*
+//! (`bib/book/@year`) are split into separate Navigate Unnests so each
+//! operator obeys exactly one Order-Schema rule of Table 3.1.
+
+use crate::plan::{annotate, GroupFunc, OpKind, Operand, PatSlot, Pattern, Plan, Pred};
+use crate::value::Atomic;
+use std::fmt;
+use xquery_lang::{
+    normalize, parse_query, AttrValue, BoolExpr, CmpOp, ElemCons, Expr, Flwor, NodeTest,
+    OrderSpec, PathSource, Step,
+};
+
+/// Translation failure: the expression falls outside the supported subset
+/// (§2.1 lists the paper's own exclusions; see README "Supported XQuery").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TranslateError(pub String);
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "translation error: {}", self.0)
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+type TResult<T> = Result<T, TranslateError>;
+
+/// Parse, normalize, translate and annotate a view query. Returns the
+/// annotated plan and the output column holding the result items (the plan
+/// evaluates to a single tuple).
+pub fn translate_query(query: &str) -> Result<(Plan, String), TranslateError> {
+    let ast = parse_query(query).map_err(|e| TranslateError(e.to_string()))?;
+    let ast = normalize(ast);
+    let mut tr = Translator::default();
+    let (mut plan, col) = tr.translate_top(&ast)?;
+    annotate(&mut plan).map_err(TranslateError)?;
+    Ok((plan, col))
+}
+
+#[derive(Default)]
+struct Translator {
+    next_col: usize,
+    next_src: usize,
+}
+
+impl Translator {
+    fn fresh(&mut self, prefix: &str) -> String {
+        self.next_col += 1;
+        format!("{}{}", prefix, self.next_col)
+    }
+
+    fn fresh_src(&mut self) -> String {
+        self.next_src += 1;
+        format!("S{}", self.next_src)
+    }
+
+    /// Translate a top-level expression to a single-tuple plan whose
+    /// returned column holds the (combined) result items.
+    fn translate_top(&mut self, e: &Expr) -> TResult<(Plan, String)> {
+        match e {
+            Expr::Elem(c) => {
+                let unit = Plan::leaf(OpKind::Unit);
+                self.translate_cons(c, unit, &[], &[])
+            }
+            Expr::Flwor(f) => {
+                let (plan, ret_col, corr) = self.translate_flwor(f, &[])?;
+                if !corr.is_empty() {
+                    return Err(TranslateError("top-level FLWOR cannot be correlated".into()));
+                }
+                let combined = Plan::unary(OpKind::Combine { col: ret_col.clone() }, plan);
+                Ok((combined, ret_col))
+            }
+            Expr::Path(_) | Expr::DistinctValues(_) => {
+                let var = self.fresh("col");
+                let (plan, col) = self.plan_binding_source(e, &var)?;
+                let combined = Plan::unary(OpKind::Combine { col: col.clone() }, plan);
+                Ok((combined, col))
+            }
+            Expr::Agg { func, arg } => {
+                let (plan, col) = self.translate_top(arg)?;
+                let out = self.fresh("col");
+                let p = Plan::unary(OpKind::AggCol { col, func: *func, out: out.clone() }, plan);
+                Ok((p, out))
+            }
+            other => Err(TranslateError(format!("unsupported top-level expression: {other:?}"))),
+        }
+    }
+
+    /// Build the standalone plan binding one `for` variable from a
+    /// doc-rooted path or `distinct-values`.
+    fn plan_binding_source(&mut self, e: &Expr, var: &str) -> TResult<(Plan, String)> {
+        match e {
+            Expr::Path(p) => match &p.source {
+                PathSource::Doc(doc) => {
+                    let src_col = self.fresh_src();
+                    let src = Plan::leaf(OpKind::Source { doc: doc.clone(), out: src_col.clone() });
+                    let plan = self.nav_chain(src, &src_col, &p.steps, var)?;
+                    Ok((plan, var.to_string()))
+                }
+                PathSource::Var(_) => Err(TranslateError(
+                    "variable-rooted binding handled by the caller".into(),
+                )),
+            },
+            Expr::DistinctValues(inner) => {
+                let (plan, col) = self.plan_binding_source(inner, var)?;
+                Ok((Plan::unary(OpKind::Distinct { col: col.clone() }, plan), col))
+            }
+            other => Err(TranslateError(format!("unsupported for-binding source: {other:?}"))),
+        }
+    }
+
+    /// Chain Navigate Unnests for a path, splitting element runs from value
+    /// runs (see module docs).
+    fn nav_chain(&mut self, mut plan: Plan, entry: &str, steps: &[Step], out: &str) -> TResult<Plan> {
+        if steps.is_empty() {
+            return Err(TranslateError("empty navigation path".into()));
+        }
+        if steps.iter().any(|s| s.predicate.is_some()) {
+            return Err(TranslateError(
+                "navigation predicates must be normalized away before translation".into(),
+            ));
+        }
+        let is_val = |s: &Step| matches!(s.test, NodeTest::Attr(_) | NodeTest::Text);
+        let mut runs: Vec<&[Step]> = Vec::new();
+        let mut start = 0;
+        for i in 1..steps.len() {
+            if is_val(&steps[i]) != is_val(&steps[i - 1]) {
+                runs.push(&steps[start..i]);
+                start = i;
+            }
+        }
+        runs.push(&steps[start..]);
+        let n = runs.len();
+        let mut col = entry.to_string();
+        for (i, run) in runs.into_iter().enumerate() {
+            let next = if i + 1 == n { out.to_string() } else { self.fresh("col") };
+            plan = Plan::unary(
+                OpKind::NavUnnest { col: col.clone(), steps: run.to_vec(), out: next.clone() },
+                plan,
+            );
+            col = next;
+        }
+        Ok(plan)
+    }
+
+    /// Translate a FLWOR block. `outer_cols` are the enclosing binding
+    /// plan's columns this block may correlate with. Returns (plan,
+    /// per-tuple return column, correlation conjuncts for the caller's LOJ).
+    fn translate_flwor(
+        &mut self,
+        f: &Flwor,
+        outer_cols: &[String],
+    ) -> TResult<(Plan, String, Vec<(Operand, CmpOp, Operand)>)> {
+        if !f.lets.is_empty() {
+            return Err(TranslateError("let clauses must be normalized away".into()));
+        }
+        let all_bound: Vec<String> = f.fors.iter().map(|b| b.var.clone()).collect();
+        // Classify where-conjuncts: correlated ones reference enclosing vars.
+        let mut local: Vec<&BoolExpr> = Vec::new();
+        let mut corr_raw: Vec<&BoolExpr> = Vec::new();
+        if let Some(w) = &f.where_ {
+            for c in w.conjuncts() {
+                let BoolExpr::Cmp { lhs, rhs, .. } = c else { unreachable!() };
+                let mut vars = lhs.free_vars();
+                vars.extend(rhs.free_vars());
+                if vars.iter().any(|v| !all_bound.contains(v) && outer_cols.contains(v)) {
+                    corr_raw.push(c);
+                } else {
+                    local.push(c);
+                }
+            }
+        }
+        // Binding plan.
+        let mut bound: Vec<String> = Vec::new();
+        let mut plan: Option<Plan> = None;
+        let mut pending = local;
+        for b in &f.fors {
+            if let Some((v, steps)) = b.source.as_var_path() {
+                if bound.contains(&v.to_string()) {
+                    // Dependent navigation extends the current plan directly.
+                    let base = plan.take().ok_or_else(|| {
+                        TranslateError(format!("binding ${} before its base ${v}", b.var))
+                    })?;
+                    plan = Some(self.nav_chain(base, v, steps, &b.var)?);
+                    bound.push(b.var.clone());
+                    continue;
+                }
+                if outer_cols.contains(&v.to_string()) {
+                    return Err(TranslateError(
+                        "correlated for-binding sources unsupported; correlate via where".into(),
+                    ));
+                }
+            }
+            let (sub, _col) = self.plan_binding_source(&b.source, &b.var)?;
+            plan = Some(match plan.take() {
+                None => sub,
+                Some(left) => {
+                    let left_cols = bound.clone();
+                    let right_cols = vec![b.var.clone()];
+                    let mut join_pred = Pred::default();
+                    let mut rest = Vec::new();
+                    for c in pending.drain(..) {
+                        match self.spanning_conjunct(c, &left_cols, &right_cols)? {
+                            Some(cj) => join_pred.conjuncts.push(cj),
+                            None => rest.push(c),
+                        }
+                    }
+                    pending = rest;
+                    if join_pred.conjuncts.is_empty() {
+                        Plan::binary(OpKind::Cartesian, left, sub)
+                    } else {
+                        Plan::binary(OpKind::Join { pred: join_pred }, left, sub)
+                    }
+                }
+            });
+            bound.push(b.var.clone());
+        }
+        let mut plan = plan.ok_or_else(|| TranslateError("FLWOR without for bindings".into()))?;
+        if !pending.is_empty() {
+            let mut pred = Pred::default();
+            for c in pending {
+                let BoolExpr::Cmp { lhs, op, rhs } = c else { unreachable!() };
+                pred.conjuncts.push((
+                    self.expr_operand(lhs, &bound)?,
+                    *op,
+                    self.expr_operand(rhs, &bound)?,
+                ));
+            }
+            plan = Plan::unary(OpKind::Select { pred }, plan);
+        }
+        // Correlation conjuncts: compiled with the outer operand first.
+        let mut corr = Vec::new();
+        for c in corr_raw {
+            let BoolExpr::Cmp { lhs, op, rhs } = c else { unreachable!() };
+            let lhs_is_outer = lhs.free_vars().iter().any(|v| outer_cols.contains(v));
+            let (o, i, op) = if lhs_is_outer { (lhs, rhs, *op) } else { (rhs, lhs, flip(*op)) };
+            corr.push((self.expr_operand(o, outer_cols)?, op, self.expr_operand(i, &bound)?));
+        }
+        // Per-tuple return translation (with order-by injection).
+        let ret = f.ret.as_ref().ok_or_else(|| TranslateError("FLWOR without return".into()))?;
+        let (plan, ret_col) = self.translate_ret(ret, plan, &bound, &f.order_by)?;
+        Ok((plan, ret_col, corr))
+    }
+
+    /// Translate a return expression per tuple of `plan`, yielding the
+    /// content column. `order_by` is injected just before the outermost
+    /// Tagger (Fig 2.2's τ placement), or before returning otherwise.
+    fn translate_ret(
+        &mut self,
+        ret: &Expr,
+        plan: Plan,
+        avail: &[String],
+        order_by: &[OrderSpec],
+    ) -> TResult<(Plan, String)> {
+        match ret {
+            Expr::Elem(c) => self.translate_cons(c, plan, avail, order_by),
+            other => {
+                let (plan, slot) = self.translate_child(other, plan, avail)?;
+                let col = match slot {
+                    PatSlot::Col(c) => c,
+                    PatSlot::Text(_) => {
+                        return Err(TranslateError("bare literal return unsupported".into()))
+                    }
+                };
+                let plan = self.inject_order_by(plan, avail, order_by)?;
+                Ok((plan, col))
+            }
+        }
+    }
+
+    /// Translate a direct element constructor over `plan`'s tuples into a
+    /// Tagger, decorrelating nested FLWOR children via LOJ + GroupBy.
+    fn translate_cons(
+        &mut self,
+        cons: &ElemCons,
+        plan: Plan,
+        avail: &[String],
+        order_by: &[OrderSpec],
+    ) -> TResult<(Plan, String)> {
+        let mut plan = plan;
+        let mut content: Vec<PatSlot> = Vec::new();
+        for child in &cons.children {
+            let (p2, slot) = self.translate_child(child, plan, avail)?;
+            plan = p2;
+            content.push(slot);
+        }
+        let mut attrs: Vec<(String, PatSlot)> = Vec::new();
+        for (k, v) in &cons.attrs {
+            let slot = match v {
+                AttrValue::Literal(s) => PatSlot::Text(s.clone()),
+                AttrValue::Expr(e) => {
+                    let (p2, slot) = self.translate_child(e, plan, avail)?;
+                    plan = p2;
+                    slot
+                }
+            };
+            attrs.push((k.clone(), slot));
+        }
+        plan = self.inject_order_by(plan, avail, order_by)?;
+        let out = self.fresh("col");
+        let plan = Plan::unary(
+            OpKind::Tagger {
+                pattern: Pattern { name: cons.name.clone(), attrs, content },
+                out: out.clone(),
+            },
+            plan,
+        );
+        Ok((plan, out))
+    }
+
+    /// Translate one constructor child (or attribute expression) to a
+    /// pattern slot over the current plan.
+    fn translate_child(&mut self, child: &Expr, plan: Plan, avail: &[String]) -> TResult<(Plan, PatSlot)> {
+        match child {
+            Expr::Literal(s) | Expr::Number(s) => Ok((plan, PatSlot::Text(s.clone()))),
+            Expr::Var(v) => {
+                if avail.contains(v) {
+                    Ok((plan, PatSlot::Col(v.clone())))
+                } else {
+                    Err(TranslateError(format!("unbound variable ${v} in constructor")))
+                }
+            }
+            Expr::Path(p) => {
+                let PathSource::Var(v) = &p.source else {
+                    return Err(TranslateError("doc-rooted constructor paths unsupported".into()));
+                };
+                if !avail.contains(v) {
+                    return Err(TranslateError(format!("unbound variable ${v} in constructor")));
+                }
+                let out = self.fresh("col");
+                let plan = Plan::unary(
+                    OpKind::NavCollection { col: v.clone(), steps: p.steps.clone(), out: out.clone() },
+                    plan,
+                );
+                Ok((plan, PatSlot::Col(out)))
+            }
+            Expr::Elem(inner) => {
+                let (plan, col) = self.translate_cons(inner, plan, avail, &[])?;
+                Ok((plan, PatSlot::Col(col)))
+            }
+            Expr::Agg { func, arg } => match &**arg {
+                Expr::Flwor(f) => {
+                    let (plan, col) = self.correlate(f, plan, avail, Some(*func))?;
+                    Ok((plan, PatSlot::Col(col)))
+                }
+                // Aggregate over a doc-rooted path: an independent
+                // single-tuple sub-query, merged in (Fig 2.3 pattern).
+                Expr::Path(p) if matches!(p.source, PathSource::Doc(_)) => {
+                    let (sub, col) =
+                        self.translate_top(&Expr::Agg { func: *func, arg: arg.clone() })?;
+                    let plan = Plan::binary(OpKind::Merge, plan, sub);
+                    Ok((plan, PatSlot::Col(col)))
+                }
+                path_like => {
+                    let (v, steps) = path_like
+                        .as_var_path()
+                        .ok_or_else(|| TranslateError("unsupported aggregate argument".into()))?;
+                    let nav = self.fresh("col");
+                    let plan = Plan::unary(
+                        OpKind::NavCollection {
+                            col: v.to_string(),
+                            steps: steps.to_vec(),
+                            out: nav.clone(),
+                        },
+                        plan,
+                    );
+                    let out = self.fresh("col");
+                    let plan =
+                        Plan::unary(OpKind::AggCol { col: nav, func: *func, out: out.clone() }, plan);
+                    Ok((plan, PatSlot::Col(out)))
+                }
+            },
+            Expr::Flwor(f) => {
+                let free = Expr::Flwor(f.clone()).free_vars();
+                if free.iter().any(|v| avail.contains(v)) {
+                    let (plan, col) = self.correlate(f, plan, avail, None)?;
+                    Ok((plan, PatSlot::Col(col)))
+                } else {
+                    // Independent sub-query: plan standalone (one tuple),
+                    // then Merge — the Fig 2.3 pattern for unrelated blocks.
+                    let (sub, col) = self.translate_top(&Expr::Flwor(f.clone()))?;
+                    let plan = Plan::binary(OpKind::Merge, plan, sub);
+                    Ok((plan, PatSlot::Col(col)))
+                }
+            }
+            Expr::Seq(items) => {
+                // Nested sequence: chain XML Unions in slot order.
+                let mut plan = plan;
+                let mut cols = Vec::new();
+                for item in items {
+                    let (p2, slot) = self.translate_child(item, plan, avail)?;
+                    plan = p2;
+                    match slot {
+                        PatSlot::Col(c) => cols.push(c),
+                        PatSlot::Text(_) => {
+                            return Err(TranslateError("literal inside sequence unsupported".into()))
+                        }
+                    }
+                }
+                let mut acc = cols
+                    .first()
+                    .cloned()
+                    .ok_or_else(|| TranslateError("empty sequence in constructor".into()))?;
+                for c in &cols[1..] {
+                    let out = self.fresh("col");
+                    plan = Plan::unary(
+                        OpKind::XmlUnion { a: acc.clone(), b: c.clone(), out: out.clone() },
+                        plan,
+                    );
+                    acc = out;
+                }
+                Ok((plan, PatSlot::Col(acc)))
+            }
+            Expr::DistinctValues(_) => Err(TranslateError(
+                "distinct-values is only supported as a for-binding source".into(),
+            )),
+        }
+    }
+
+    /// Decorrelate a nested FLWOR: LOJ(outer, inner) on the correlation
+    /// conjuncts, then value-based GroupBy over *all* outer columns with a
+    /// Combine (or aggregate) of the inner return column — the rewritten Map
+    /// operator of §2.4, yielding Fig 2.2's shape.
+    fn correlate(
+        &mut self,
+        f: &Flwor,
+        outer: Plan,
+        avail: &[String],
+        agg: Option<xquery_lang::AggFunc>,
+    ) -> TResult<(Plan, String)> {
+        let outer_cols = annotated_cols(&outer)?;
+        let (inner, inner_ret, corr) = self.translate_flwor(f, &outer_cols)?;
+        if corr.is_empty() {
+            return Err(TranslateError(
+                "nested FLWOR references outer variables but has no correlation predicate".into(),
+            ));
+        }
+        let _ = avail;
+        let pred = Pred { conjuncts: corr };
+        let loj = Plan::binary(OpKind::LeftOuterJoin { pred }, outer, inner);
+        let out_col = match agg {
+            None => inner_ret.clone(),
+            Some(_) => self.fresh("col"),
+        };
+        let func = match agg {
+            None => GroupFunc::Combine { col: inner_ret },
+            Some(func) => GroupFunc::Agg { func, col: inner_ret, out: out_col.clone() },
+        };
+        let grouped = Plan::unary(OpKind::GroupBy { cols: outer_cols, func }, loj);
+        Ok((grouped, out_col))
+    }
+
+    fn inject_order_by(
+        &mut self,
+        plan: Plan,
+        avail: &[String],
+        order_by: &[OrderSpec],
+    ) -> TResult<Plan> {
+        if order_by.is_empty() {
+            return Ok(plan);
+        }
+        let mut plan = plan;
+        let mut keys = Vec::new();
+        for spec in order_by {
+            let col = match &spec.expr {
+                Expr::Var(v) if avail.contains(v) => v.clone(),
+                e => {
+                    let (v, steps) = e.as_var_path().ok_or_else(|| {
+                        TranslateError("order by key must be a variable or variable path".into())
+                    })?;
+                    let out = self.fresh("col");
+                    plan = Plan::unary(
+                        OpKind::NavCollection {
+                            col: v.to_string(),
+                            steps: steps.to_vec(),
+                            out: out.clone(),
+                        },
+                        plan,
+                    );
+                    out
+                }
+            };
+            keys.push((col, spec.descending));
+        }
+        let out = self.fresh("ord");
+        Ok(Plan::unary(OpKind::OrderBy { keys, out }, plan))
+    }
+
+    fn expr_operand(&mut self, e: &Expr, avail: &[String]) -> TResult<Operand> {
+        match e {
+            Expr::Literal(s) | Expr::Number(s) => Ok(Operand::Const(Atomic::new(s.clone()))),
+            Expr::Var(v) => {
+                if avail.contains(v) {
+                    Ok(Operand::Col(v.clone()))
+                } else {
+                    Err(TranslateError(format!("unbound variable ${v} in predicate")))
+                }
+            }
+            Expr::Path(p) => match &p.source {
+                PathSource::Var(v) if avail.contains(v) => {
+                    Ok(Operand::Path { col: v.clone(), steps: p.steps.clone() })
+                }
+                _ => Err(TranslateError("predicate paths must start at a bound variable".into())),
+            },
+            other => Err(TranslateError(format!("unsupported predicate operand: {other:?}"))),
+        }
+    }
+
+    /// Compile `c` as a join conjunct when one side reads only `left_cols`
+    /// and the other only `right_cols`.
+    fn spanning_conjunct(
+        &mut self,
+        c: &BoolExpr,
+        left_cols: &[String],
+        right_cols: &[String],
+    ) -> TResult<Option<(Operand, CmpOp, Operand)>> {
+        let BoolExpr::Cmp { lhs, op, rhs } = c else { unreachable!() };
+        let lv = lhs.free_vars();
+        let rv = rhs.free_vars();
+        let within = |vars: &[String], cols: &[String]| {
+            !vars.is_empty() && vars.iter().all(|v| cols.contains(v))
+        };
+        let spans = (within(&lv, left_cols) && within(&rv, right_cols))
+            || (within(&lv, right_cols) && within(&rv, left_cols));
+        if !spans {
+            return Ok(None);
+        }
+        let all: Vec<String> = left_cols.iter().chain(right_cols).cloned().collect();
+        Ok(Some((self.expr_operand(lhs, &all)?, *op, self.expr_operand(rhs, &all)?)))
+    }
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        eq => eq,
+    }
+}
+
+/// Column names of a partially built plan, via a throwaway annotation pass.
+fn annotated_cols(plan: &Plan) -> TResult<Vec<String>> {
+    let mut probe = plan.clone();
+    annotate(&mut probe).map_err(TranslateError)?;
+    Ok(probe.schema.cols.iter().map(|c| c.name.clone()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Executor;
+    use xmlstore::Store;
+
+    const BIB: &str = r#"<bib>
+        <book year="1994"><title>TCP/IP Illustrated</title>
+            <author><last>Stevens</last><first>W.</first></author></book>
+        <book year="2000"><title>Data on the Web</title>
+            <author><last>Abiteboul</last><first>Serge</first></author></book>
+    </bib>"#;
+
+    const PRICES: &str = r#"<prices>
+        <entry><price>39.95</price><b-title>Data on the Web</b-title></entry>
+        <entry><price>65.95</price><b-title>TCP/IP Illustrated</b-title></entry>
+        <entry><price>69.99</price><b-title>Advanced Programming in the Unix environment</b-title></entry>
+    </prices>"#;
+
+    fn store() -> Store {
+        let mut s = Store::new();
+        s.load_doc("bib.xml", BIB).unwrap();
+        s.load_doc("prices.xml", PRICES).unwrap();
+        s
+    }
+
+    fn run(s: &Store, q: &str) -> String {
+        let (plan, col) = translate_query(q).unwrap();
+        let mut ex = Executor::new(s);
+        let t = ex.eval(&plan).unwrap();
+        assert_eq!(t.n_rows(), 1, "top plan must yield one tuple");
+        let items = t.rows[0].cells[t.col_idx(&col).unwrap()].items().to_vec();
+        ex.materialize(&items).unwrap().to_xml()
+    }
+
+    #[test]
+    fn simple_retag() {
+        let s = store();
+        let xml = run(
+            &s,
+            r#"<result>{ for $b in doc("bib.xml")/bib/book return $b/title }</result>"#,
+        );
+        assert_eq!(
+            xml,
+            "<result><title>TCP/IP Illustrated</title><title>Data on the Web</title></result>"
+        );
+    }
+
+    #[test]
+    fn where_predicate_filters() {
+        let s = store();
+        let xml = run(
+            &s,
+            r#"<r>{ for $b in doc("bib.xml")/bib/book where $b/@year = "1994" return $b/title }</r>"#,
+        );
+        assert_eq!(xml, "<r><title>TCP/IP Illustrated</title></r>");
+    }
+
+    #[test]
+    fn path_predicate_via_normalization() {
+        let s = store();
+        let xml = run(
+            &s,
+            r#"<r>{ for $b in doc("bib.xml")/bib/book[title = "Data on the Web"] return $b/@year }</r>"#,
+        );
+        assert_eq!(xml, "<r>2000</r>");
+    }
+
+    #[test]
+    fn join_two_documents() {
+        let s = store();
+        let xml = run(
+            &s,
+            r#"<r>{ for $b in doc("bib.xml")/bib/book, $e in doc("prices.xml")/prices/entry
+                   where $b/title = $e/b-title
+                   return <pair>{$b/title}{$e/price}</pair> }</r>"#,
+        );
+        assert_eq!(
+            xml,
+            concat!(
+                "<r>",
+                "<pair><title>TCP/IP Illustrated</title><price>65.95</price></pair>",
+                "<pair><title>Data on the Web</title><price>39.95</price></pair>",
+                "</r>"
+            ),
+        );
+    }
+
+    #[test]
+    fn order_by_reorders_result() {
+        let s = store();
+        let xml = run(
+            &s,
+            r#"<r>{ for $b in doc("bib.xml")/bib/book order by $b/title return $b/title }</r>"#,
+        );
+        assert_eq!(
+            xml,
+            "<r><title>Data on the Web</title><title>TCP/IP Illustrated</title></r>"
+        );
+    }
+
+    #[test]
+    fn order_by_descending() {
+        let s = store();
+        let xml = run(
+            &s,
+            r#"<r>{ for $e in doc("prices.xml")/prices/entry order by $e/price descending return $e/price }</r>"#,
+        );
+        assert_eq!(xml, "<r><price>69.99</price><price>65.95</price><price>39.95</price></r>");
+    }
+
+    #[test]
+    fn distinct_values_binding() {
+        let s = store();
+        let xml = run(
+            &s,
+            r#"<r>{ for $y in distinct-values(doc("bib.xml")/bib/book/@year) order by $y return <year v="{$y}"/> }</r>"#,
+        );
+        assert_eq!(xml, r#"<r><year v="1994"/><year v="2000"/></r>"#);
+    }
+
+    #[test]
+    fn dependent_for_binding() {
+        let s = store();
+        let xml = run(
+            &s,
+            r#"<r>{ for $b in doc("bib.xml")/bib/book, $a in $b/author return $a/last }</r>"#,
+        );
+        assert_eq!(xml, "<r><last>Stevens</last><last>Abiteboul</last></r>");
+    }
+
+    #[test]
+    fn running_example_full_view() {
+        // The Figure 1.2(a) view, end to end through parser + translator.
+        let s = store();
+        let xml = run(
+            &s,
+            r#"<result>{
+              for $y in distinct-values(doc("bib.xml")/bib/book/@year)
+              order by $y
+              return
+                <yGroup Y="{$y}">
+                  <books>{
+                    for $b in doc("bib.xml")/bib/book,
+                        $e in doc("prices.xml")/prices/entry
+                    where $y = $b/@year and $b/title = $e/b-title
+                    return <entry>{$b/title}{$e/price}</entry>
+                  }</books>
+                </yGroup>
+            }</result>"#,
+        );
+        assert_eq!(
+            xml,
+            concat!(
+                r#"<result>"#,
+                r#"<yGroup Y="1994"><books><entry><title>TCP/IP Illustrated</title><price>65.95</price></entry></books></yGroup>"#,
+                r#"<yGroup Y="2000"><books><entry><title>Data on the Web</title><price>39.95</price></entry></books></yGroup>"#,
+                r#"</result>"#
+            ),
+        );
+    }
+
+    #[test]
+    fn correlated_group_with_no_matches_yields_empty_container() {
+        // A year group whose books match no price entries still appears,
+        // with an empty container (LOJ semantics).
+        let mut s = Store::new();
+        s.load_doc(
+            "bib.xml",
+            r#"<bib><book year="1999"><title>Unpriced</title></book></bib>"#,
+        )
+        .unwrap();
+        s.load_doc("prices.xml", PRICES).unwrap();
+        let xml = run(
+            &s,
+            r#"<result>{
+              for $y in distinct-values(doc("bib.xml")/bib/book/@year)
+              return <g Y="{$y}"><items>{
+                  for $b in doc("bib.xml")/bib/book, $e in doc("prices.xml")/prices/entry
+                  where $y = $b/@year and $b/title = $e/b-title
+                  return $e/price
+              }</items></g>
+            }</result>"#,
+        );
+        assert_eq!(xml, r#"<result><g Y="1999"><items/></g></result>"#);
+    }
+
+    #[test]
+    fn independent_subqueries_merge() {
+        // Two unrelated FLWORs under one constructor (the Fig 2.3 / Query 4
+        // shape).
+        let s = store();
+        let xml = run(
+            &s,
+            r#"<r><titles>{ for $b in doc("bib.xml")/bib/book return $b/title }</titles>
+                  <prices>{ for $e in doc("prices.xml")/prices/entry return $e/price }</prices></r>"#,
+        );
+        assert!(xml.starts_with("<r><titles><title>TCP/IP Illustrated</title>"));
+        assert!(xml.contains("<prices><price>39.95</price><price>65.95</price><price>69.99</price></prices>"));
+    }
+
+    #[test]
+    fn aggregate_count_in_constructor() {
+        let s = store();
+        let xml = run(
+            &s,
+            r#"<r>{ for $b in doc("bib.xml")/bib/book return <t n="{count($b/author)}">{$b/title}</t> }</r>"#,
+        );
+        assert!(xml.contains(r#"<t n="1"><title>TCP/IP Illustrated</title></t>"#), "{xml}");
+    }
+
+    #[test]
+    fn descendant_axis() {
+        let s = store();
+        let xml = run(&s, r#"<r>{ for $l in doc("bib.xml")//last return $l }</r>"#);
+        assert_eq!(xml, "<r><last>Stevens</last><last>Abiteboul</last></r>");
+    }
+
+    #[test]
+    fn literal_text_in_constructor() {
+        let s = store();
+        let xml = run(
+            &s,
+            r#"<r>{ for $b in doc("bib.xml")/bib/book where $b/@year = "1994" return <x>found</x> }</r>"#,
+        );
+        assert_eq!(xml, "<r><x>found</x></r>");
+    }
+
+    #[test]
+    fn unsupported_constructs_error_cleanly() {
+        assert!(translate_query("for $x in doc(\"a\")/r return $y").is_err());
+        assert!(translate_query("<r>{ $unbound }</r>").is_err());
+    }
+}

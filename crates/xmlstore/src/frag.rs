@@ -1,0 +1,230 @@
+//! Keyless XML fragments: the exchange format for parsing, update payloads
+//! (the paper's *update trees* carry "an entire XML fragment", §1.2), and
+//! serialization.
+
+use std::fmt;
+
+/// The data of one XML node. Attributes live inline on their element — they
+/// have no sibling order of their own in the XQuery data model subset used by
+/// the paper, and keeping them inline keeps FlexKeys for element/text
+/// children only.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NodeData {
+    /// An element with a tag name and its attributes (in source order).
+    Element {
+        name: String,
+        attrs: Vec<(String, String)>,
+    },
+    /// A text node. Atomic values are treated as text nodes (§2.2.1).
+    Text { value: String },
+}
+
+impl NodeData {
+    pub fn element(name: impl Into<String>) -> NodeData {
+        NodeData::Element { name: name.into(), attrs: Vec::new() }
+    }
+
+    pub fn text(value: impl Into<String>) -> NodeData {
+        NodeData::Text { value: value.into() }
+    }
+
+    /// Element tag name, if this is an element.
+    pub fn name(&self) -> Option<&str> {
+        match self {
+            NodeData::Element { name, .. } => Some(name),
+            NodeData::Text { .. } => None,
+        }
+    }
+
+    /// Attribute lookup (elements only).
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        match self {
+            NodeData::Element { attrs, .. } => {
+                attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+            }
+            NodeData::Text { .. } => None,
+        }
+    }
+}
+
+/// A keyless XML tree with count annotations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frag {
+    pub data: NodeData,
+    /// Derivation count (Ch. 6). Source fragments carry 1; delta trees carry
+    /// query-computed counts.
+    pub count: i64,
+    pub children: Vec<Frag>,
+}
+
+impl Frag {
+    pub fn new(data: NodeData) -> Frag {
+        Frag { data, count: 1, children: Vec::new() }
+    }
+
+    /// Build an element fragment.
+    pub fn elem(name: impl Into<String>) -> Frag {
+        Frag::new(NodeData::element(name))
+    }
+
+    /// Build a text fragment.
+    pub fn text(value: impl Into<String>) -> Frag {
+        Frag::new(NodeData::text(value))
+    }
+
+    /// Builder: add an attribute (no-op on text nodes).
+    pub fn attr(mut self, key: impl Into<String>, value: impl Into<String>) -> Frag {
+        if let NodeData::Element { attrs, .. } = &mut self.data {
+            attrs.push((key.into(), value.into()));
+        }
+        self
+    }
+
+    /// Builder: add a child.
+    pub fn child(mut self, c: Frag) -> Frag {
+        self.children.push(c);
+        self
+    }
+
+    /// Builder: add a text child.
+    pub fn text_child(self, value: impl Into<String>) -> Frag {
+        self.child(Frag::text(value))
+    }
+
+    /// Total number of nodes in this fragment.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(Frag::size).sum::<usize>()
+    }
+
+    /// Concatenated text content of this subtree (the *string value* used by
+    /// comparisons like `$b/title = $e/b-title`).
+    pub fn string_value(&self) -> String {
+        let mut out = String::new();
+        self.collect_text(&mut out);
+        out
+    }
+
+    fn collect_text(&self, out: &mut String) {
+        match &self.data {
+            NodeData::Text { value } => out.push_str(value),
+            NodeData::Element { .. } => {
+                for c in &self.children {
+                    c.collect_text(out);
+                }
+            }
+        }
+    }
+
+    /// Serialize to compact XML text.
+    pub fn to_xml(&self) -> String {
+        let mut out = String::new();
+        self.write_xml(&mut out);
+        out
+    }
+
+    fn write_xml(&self, out: &mut String) {
+        match &self.data {
+            NodeData::Text { value } => out.push_str(&escape_text(value)),
+            NodeData::Element { name, attrs } => {
+                out.push('<');
+                out.push_str(name);
+                for (k, v) in attrs {
+                    out.push(' ');
+                    out.push_str(k);
+                    out.push_str("=\"");
+                    out.push_str(&escape_attr(v));
+                    out.push('"');
+                }
+                if self.children.is_empty() {
+                    out.push_str("/>");
+                } else {
+                    out.push('>');
+                    for c in &self.children {
+                        c.write_xml(out);
+                    }
+                    out.push_str("</");
+                    out.push_str(name);
+                    out.push('>');
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Frag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_xml())
+    }
+}
+
+/// Escape character data.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape an attribute value (double-quoted context).
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_serialize() {
+        let f = Frag::elem("book")
+            .attr("year", "1994")
+            .child(Frag::elem("title").text_child("TCP/IP Illustrated"));
+        assert_eq!(
+            f.to_xml(),
+            r#"<book year="1994"><title>TCP/IP Illustrated</title></book>"#
+        );
+        assert_eq!(f.size(), 3);
+    }
+
+    #[test]
+    fn string_value_concatenates_descendant_text() {
+        let f = Frag::elem("author")
+            .child(Frag::elem("last").text_child("Stevens"))
+            .child(Frag::elem("first").text_child("W."));
+        assert_eq!(f.string_value(), "StevensW.");
+    }
+
+    #[test]
+    fn escaping() {
+        let f = Frag::elem("t").attr("a", "x\"<y").text_child("a<b&c>d");
+        assert_eq!(f.to_xml(), r#"<t a="x&quot;&lt;y">a&lt;b&amp;c&gt;d</t>"#);
+    }
+
+    #[test]
+    fn empty_element_self_closes() {
+        assert_eq!(Frag::elem("empty").to_xml(), "<empty/>");
+    }
+
+    #[test]
+    fn attr_lookup() {
+        let f = Frag::elem("book").attr("year", "1994");
+        assert_eq!(f.data.attr("year"), Some("1994"));
+        assert_eq!(f.data.attr("missing"), None);
+        assert_eq!(f.data.name(), Some("book"));
+    }
+}

@@ -1,0 +1,29 @@
+//! # xmlstore — XML node model, parser, serializer and storage manager
+//!
+//! This crate is the substrate the paper's Rainbow engine obtained from the
+//! *MASS* storage manager [DR03] (§3.3): scalable storage and indexing of XML
+//! nodes keyed by FlexKeys, with the guarantee that descendants of any node
+//! are retrieved **in document order** and that updates never force key
+//! reassignment.
+//!
+//! Our substitution (documented in DESIGN.md): an in-memory [`Store`] of
+//! documents, each a `BTreeMap<FlexKey, Node>`. Because FlexKey comparison
+//! *is* document order, an ordered map gives us MASS's two load-bearing
+//! properties for free:
+//!
+//! * `children` / `descendants` are range scans — no sorting ever;
+//! * `insert_fragment` allocates fresh keys strictly between existing
+//!   siblings ([`flexkey::FlexKey::sibling_between`]) — no relabeling ever.
+//!
+//! Every node carries a **count annotation** (Ch. 6): the number of
+//! derivations of the node. Source nodes are annotated with count 1 (§6.2);
+//! view extents and delta trees reuse the same [`Frag`] type with
+//! query-computed counts.
+
+pub mod frag;
+pub mod parse;
+pub mod store;
+
+pub use frag::{Frag, NodeData};
+pub use parse::{parse_document, ParseError};
+pub use store::{Doc, InsertPos, Node, Store};

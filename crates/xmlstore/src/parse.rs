@@ -1,0 +1,308 @@
+//! A small, strict XML parser for the well-formed subset used by the paper's
+//! documents: elements, attributes, character data with the five predefined
+//! entities, comments, and an optional XML declaration. No DTDs, namespaces,
+//! or processing instructions (the paper's data model does not use them).
+
+use crate::frag::{Frag, NodeData};
+use std::fmt;
+
+/// A parse failure, with a byte offset into the input for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a complete XML document into a fragment tree.
+///
+/// Whitespace-only text between elements is dropped (the paper's documents
+/// are data-oriented; indentation is not content). Mixed content with
+/// non-whitespace text is preserved verbatim.
+pub fn parse_document(input: &str) -> Result<Frag, ParseError> {
+    let mut p = Parser { b: input.as_bytes(), pos: 0 };
+    p.skip_prolog();
+    let root = p.parse_element()?;
+    p.skip_misc();
+    if p.pos != p.b.len() {
+        return Err(p.err("trailing content after document element"));
+    }
+    Ok(root)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError { offset: self.pos, message: msg.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.b[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_prolog(&mut self) {
+        self.skip_ws();
+        if self.starts_with("<?xml") {
+            if let Some(end) = find(self.b, self.pos, "?>") {
+                self.pos = end + 2;
+            }
+        }
+        self.skip_misc();
+    }
+
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                match find(self.b, self.pos + 4, "-->") {
+                    Some(end) => self.pos = end + 3,
+                    None => {
+                        self.pos = self.b.len();
+                        return;
+                    }
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            let ok = c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':');
+            if !ok {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.b[start..self.pos]).into_owned())
+    }
+
+    fn parse_element(&mut self) -> Result<Frag, ParseError> {
+        if self.peek() != Some(b'<') {
+            return Err(self.err("expected '<'"));
+        }
+        self.pos += 1;
+        let name = self.parse_name()?;
+        let mut attrs = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() != Some(b'>') {
+                        return Err(self.err("expected '>' after '/'"));
+                    }
+                    self.pos += 1;
+                    return Ok(Frag { data: NodeData::Element { name, attrs }, count: 1, children: Vec::new() });
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let k = self.parse_name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return Err(self.err("expected '=' in attribute"));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let quote = self.peek().filter(|&q| q == b'"' || q == b'\'');
+                    let quote = quote.ok_or_else(|| self.err("expected quoted attribute value"))?;
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.peek().is_some_and(|c| c != quote) {
+                        self.pos += 1;
+                    }
+                    if self.peek().is_none() {
+                        return Err(self.err("unterminated attribute value"));
+                    }
+                    let raw = String::from_utf8_lossy(&self.b[start..self.pos]).into_owned();
+                    self.pos += 1;
+                    attrs.push((k, unescape(&raw)));
+                }
+                None => return Err(self.err("unexpected end of input in tag")),
+            }
+        }
+        // Content.
+        let mut children = Vec::new();
+        loop {
+            if self.starts_with("<!--") {
+                match find(self.b, self.pos + 4, "-->") {
+                    Some(end) => self.pos = end + 3,
+                    None => return Err(self.err("unterminated comment")),
+                }
+            } else if self.starts_with("</") {
+                self.pos += 2;
+                let close = self.parse_name()?;
+                if close != name {
+                    return Err(self.err(format!("mismatched close tag: <{name}> vs </{close}>")));
+                }
+                self.skip_ws();
+                if self.peek() != Some(b'>') {
+                    return Err(self.err("expected '>' in close tag"));
+                }
+                self.pos += 1;
+                return Ok(Frag { data: NodeData::Element { name, attrs }, count: 1, children });
+            } else if self.peek() == Some(b'<') {
+                children.push(self.parse_element()?);
+            } else if self.peek().is_none() {
+                return Err(self.err(format!("unexpected end of input inside <{name}>")));
+            } else {
+                let start = self.pos;
+                while self.peek().is_some_and(|c| c != b'<') {
+                    self.pos += 1;
+                }
+                let raw = String::from_utf8_lossy(&self.b[start..self.pos]);
+                let text = unescape(raw.trim_matches(|c: char| c == '\n' || c == '\r'));
+                if !text.trim().is_empty() {
+                    // Preserve interior text, trimming pure-layout whitespace.
+                    children.push(Frag::text(text.trim().to_string()));
+                }
+            }
+        }
+    }
+}
+
+fn find(b: &[u8], from: usize, needle: &str) -> Option<usize> {
+    let n = needle.as_bytes();
+    (from..=b.len().saturating_sub(n.len())).find(|&i| &b[i..i + n.len()] == n)
+}
+
+/// Resolve the five predefined entities plus decimal/hex character refs.
+fn unescape(s: &str) -> String {
+    if !s.contains('&') {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(i) = rest.find('&') {
+        out.push_str(&rest[..i]);
+        rest = &rest[i..];
+        if let Some(semi) = rest.find(';') {
+            let ent = &rest[1..semi];
+            let resolved = match ent {
+                "lt" => Some('<'),
+                "gt" => Some('>'),
+                "amp" => Some('&'),
+                "quot" => Some('"'),
+                "apos" => Some('\''),
+                _ if ent.starts_with("#x") || ent.starts_with("#X") => {
+                    u32::from_str_radix(&ent[2..], 16).ok().and_then(char::from_u32)
+                }
+                _ if ent.starts_with('#') => ent[1..].parse::<u32>().ok().and_then(char::from_u32),
+                _ => None,
+            };
+            match resolved {
+                Some(c) => {
+                    out.push(c);
+                    rest = &rest[semi + 1..];
+                }
+                None => {
+                    out.push('&');
+                    rest = &rest[1..];
+                }
+            }
+        } else {
+            out.push('&');
+            rest = &rest[1..];
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_bib_document() {
+        // The paper's Figure 1.1 bib.xml.
+        let xml = r#"<bib>
+            <book year="1994">
+                <title>TCP/IP Illustrated</title>
+                <author><last>Stevens</last><first>W.</first></author>
+            </book>
+            <book year="2000">
+                <title>Data on the Web</title>
+                <author><last>Abiteboul</last><first>Serge</first></author>
+            </book>
+        </bib>"#;
+        let f = parse_document(xml).unwrap();
+        assert_eq!(f.data.name(), Some("bib"));
+        assert_eq!(f.children.len(), 2);
+        assert_eq!(f.children[0].data.attr("year"), Some("1994"));
+        assert_eq!(f.children[0].children[0].string_value(), "TCP/IP Illustrated");
+        assert_eq!(f.children[1].children[1].string_value(), "AbiteboulSerge");
+    }
+
+    #[test]
+    fn roundtrip_parse_serialize() {
+        let xml = r#"<prices><entry><price>39.95</price><b-title>Data on the Web</b-title></entry></prices>"#;
+        let f = parse_document(xml).unwrap();
+        assert_eq!(f.to_xml(), xml);
+    }
+
+    #[test]
+    fn declaration_and_comments_skipped() {
+        let xml = "<?xml version=\"1.0\"?><!-- top --><r><!-- inner --><c/></r><!-- tail -->";
+        let f = parse_document(xml).unwrap();
+        assert_eq!(f.data.name(), Some("r"));
+        assert_eq!(f.children.len(), 1);
+    }
+
+    #[test]
+    fn entities_unescaped() {
+        let f = parse_document("<t a=\"x&quot;y\">1 &lt; 2 &amp;&#65;&#x42;</t>").unwrap();
+        assert_eq!(f.data.attr("a"), Some("x\"y"));
+        assert_eq!(f.string_value(), "1 < 2 &AB");
+    }
+
+    #[test]
+    fn self_closing_and_single_quotes() {
+        let f = parse_document("<a x='1'><b/><c y='2'/></a>").unwrap();
+        assert_eq!(f.children.len(), 2);
+        assert_eq!(f.children[1].data.attr("y"), Some("2"));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_document("<a><b></a>").is_err());
+        assert!(parse_document("<a").is_err());
+        assert!(parse_document("<a></a><b></b>").is_err());
+        assert!(parse_document("<a x=1></a>").is_err());
+    }
+
+    #[test]
+    fn whitespace_only_text_dropped() {
+        let f = parse_document("<a>\n   <b>x</b>\n   </a>").unwrap();
+        assert_eq!(f.children.len(), 1);
+    }
+}

@@ -1,0 +1,522 @@
+//! The storage manager: FlexKey-ordered documents with update support.
+//!
+//! Plays the role of MASS [DR03] in the paper's architecture (§3.3): nodes
+//! are stored keyed by FlexKey, descendants come back in document order, and
+//! all update primitives (insert fragment / delete subtree / replace text)
+//! allocate keys without relabeling existing nodes.
+
+use crate::frag::{Frag, NodeData};
+use crate::parse::{parse_document, ParseError};
+use flexkey::{FlexKey, Seg};
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// A stored XML node: its data plus the count annotation of Chapter 6.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Node {
+    pub data: NodeData,
+    /// Number of derivations (§6.2): 1 for source nodes.
+    pub count: i64,
+}
+
+/// One stored document: a name, a root key, and the FlexKey-ordered node map.
+#[derive(Clone, Debug, Default)]
+pub struct Doc {
+    pub name: String,
+    pub root: FlexKey,
+    nodes: BTreeMap<FlexKey, Node>,
+}
+
+/// Where to place an inserted fragment among its new siblings.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InsertPos {
+    /// Before all existing children of the parent.
+    First,
+    /// After all existing children of the parent.
+    Last,
+    /// Immediately before the sibling with this key.
+    Before(FlexKey),
+    /// Immediately after the sibling with this key (the paper's
+    /// `insert … after $book` in Figure 1.3(a)).
+    After(FlexKey),
+}
+
+/// The storage manager: a set of named documents with globally unique keys.
+///
+/// Each document's root gets a distinct top-level segment (bib.xml → `b`,
+/// prices.xml → `e` in Figure 3.1), so every node key is unique across the
+/// whole store (§3.4.4 "Order Among Multiple Documents").
+///
+/// Every document is held under a synthetic `#document` node (the XPath
+/// document node): [`Store::doc_handle`] returns it, so an XPath like
+/// `/bib/book` — whose first step names the root element — evaluates
+/// uniformly as child navigation. [`Store::doc_root`] returns the root
+/// *element*.
+#[derive(Clone, Debug, Default)]
+pub struct Store {
+    docs: BTreeMap<String, Doc>,
+    next_root: usize,
+}
+
+impl Store {
+    pub fn new() -> Store {
+        Store::default()
+    }
+
+    /// Parse `xml` and register it under `name`. Returns the root key.
+    pub fn load_doc(&mut self, name: &str, xml: &str) -> Result<FlexKey, ParseError> {
+        let frag = parse_document(xml)?;
+        Ok(self.add_doc(name, frag))
+    }
+
+    /// Register a fragment tree as document `name`. Returns the root key.
+    /// Keys are assigned depth-first using the canonical dense segment
+    /// sequence, leaving gaps for future [`Seg::between`] insertions.
+    pub fn add_doc(&mut self, name: &str, frag: Frag) -> FlexKey {
+        // Skip 3 top-level segments per document so document handles are
+        // spaced (b, f, … as in Figure 3.1) and fragments can be inserted
+        // around them.
+        let handle = FlexKey::root(Seg::nth(self.next_root * 3));
+        self.next_root += 1;
+        let mut doc = Doc { name: name.to_string(), root: handle.clone(), nodes: BTreeMap::new() };
+        doc.nodes.insert(
+            handle.clone(),
+            Node { data: NodeData::element("#document"), count: 1 },
+        );
+        let elem_root = handle.nth_child(0);
+        insert_frag_at(&mut doc.nodes, elem_root.clone(), &frag, 2);
+        self.docs.insert(name.to_string(), doc);
+        elem_root
+    }
+
+    /// The document registered under `name`.
+    pub fn doc(&self, name: &str) -> Option<&Doc> {
+        self.docs.get(name)
+    }
+
+    /// The synthetic document node of `name` (parent of the root element) —
+    /// the entry point for XPath evaluation.
+    pub fn doc_handle(&self, name: &str) -> Option<FlexKey> {
+        self.docs.get(name).map(|d| d.root.clone())
+    }
+
+    /// Root *element* key of document `name`.
+    pub fn doc_root(&self, name: &str) -> Option<FlexKey> {
+        self.docs.get(name).map(|d| d.root.nth_child(0))
+    }
+
+    /// Name of the document containing `key`, if any.
+    pub fn doc_containing(&self, key: &FlexKey) -> Option<&str> {
+        self.doc_of(key).map(|d| d.name.as_str())
+    }
+
+    /// All registered document names.
+    pub fn doc_names(&self) -> impl Iterator<Item = &str> {
+        self.docs.keys().map(String::as_str)
+    }
+
+    fn doc_of(&self, key: &FlexKey) -> Option<&Doc> {
+        self.docs
+            .values()
+            .find(|d| d.root.is_self_or_ancestor_of(key))
+    }
+
+    fn doc_of_mut(&mut self, key: &FlexKey) -> Option<&mut Doc> {
+        self.docs
+            .values_mut()
+            .find(|d| d.root.is_self_or_ancestor_of(key))
+    }
+
+    /// Look up a node by key.
+    pub fn node(&self, key: &FlexKey) -> Option<&Node> {
+        self.doc_of(key)?.nodes.get(key)
+    }
+
+    /// Children of `key` in document order (a range scan — no sorting).
+    pub fn children(&self, key: &FlexKey) -> Vec<(FlexKey, &Node)> {
+        match self.doc_of(key) {
+            None => Vec::new(),
+            Some(doc) => doc
+                .range_after(key)
+                .take_while(|(k, _)| key.is_ancestor_of(k))
+                .filter(|(k, _)| key.is_parent_of(k))
+                .map(|(k, n)| (k.clone(), n))
+                .collect(),
+        }
+    }
+
+    /// All strict descendants of `key` in document order.
+    pub fn descendants(&self, key: &FlexKey) -> Vec<(FlexKey, &Node)> {
+        match self.doc_of(key) {
+            None => Vec::new(),
+            Some(doc) => doc
+                .range_after(key)
+                .take_while(|(k, _)| key.is_ancestor_of(k))
+                .map(|(k, n)| (k.clone(), n))
+                .collect(),
+        }
+    }
+
+    /// Element children of `key` with tag `name`, in document order.
+    pub fn children_named(&self, key: &FlexKey, name: &str) -> Vec<FlexKey> {
+        self.children(key)
+            .into_iter()
+            .filter(|(_, n)| n.data.name() == Some(name))
+            .map(|(k, _)| k)
+            .collect()
+    }
+
+    /// Element descendants of `key` with tag `name`, in document order
+    /// (the `//` axis).
+    pub fn descendants_named(&self, key: &FlexKey, name: &str) -> Vec<FlexKey> {
+        self.descendants(key)
+            .into_iter()
+            .filter(|(_, n)| n.data.name() == Some(name))
+            .map(|(k, _)| k)
+            .collect()
+    }
+
+    /// The concatenated text of the subtree rooted at `key` (string value).
+    /// Allocation-free range walk — this sits on the hot path of predicate
+    /// evaluation and update resolution.
+    pub fn string_value(&self, key: &FlexKey) -> String {
+        let Some(doc) = self.doc_of(key) else { return String::new() };
+        let mut out = String::new();
+        if let Some(Node { data: NodeData::Text { value }, .. }) = doc.nodes.get(key) {
+            out.push_str(value);
+        }
+        for (k, n) in doc.range_after(key) {
+            if !key.is_ancestor_of(k) {
+                break;
+            }
+            if let NodeData::Text { value } = &n.data {
+                out.push_str(value);
+            }
+        }
+        out
+    }
+
+    /// Attribute value of the element at `key`.
+    pub fn attr(&self, key: &FlexKey, name: &str) -> Option<String> {
+        self.node(key)?.data.attr(name).map(str::to_string)
+    }
+
+    /// Copy the subtree rooted at `key` out as a keyless fragment
+    /// (used to annotate delete updates with sufficient information, Ch. 5).
+    pub fn extract_frag(&self, key: &FlexKey) -> Option<Frag> {
+        let node = self.node(key)?;
+        let mut frag = Frag { data: node.data.clone(), count: node.count, children: Vec::new() };
+        for (ck, _) in self.children(key) {
+            frag.children.push(self.extract_frag(&ck)?);
+        }
+        Some(frag)
+    }
+
+    /// Insert a fragment under `parent` at `pos`. Returns the key assigned to
+    /// the fragment root. Only new keys are allocated — existing keys are
+    /// untouched (the FlexKey no-relabeling property, §3.4.4).
+    pub fn insert_fragment(&mut self, parent: &FlexKey, pos: InsertPos, frag: &Frag) -> Option<FlexKey> {
+        // Determine the (lo, hi) sibling bounds for the new root key. The
+        // Before/After anchors are resolved by *key value*, not existence:
+        // FlexKeys are stable, so a position like "after book[2]" stays
+        // well-defined even when a batch deleted that book first (the
+        // Figure 1.3 batch does exactly this — insert after a book, then
+        // delete it).
+        let siblings: Vec<FlexKey> = self.children(parent).into_iter().map(|(k, _)| k).collect();
+        let (lo, hi): (Option<FlexKey>, Option<FlexKey>) = match &pos {
+            InsertPos::First => (None, siblings.first().cloned()),
+            InsertPos::Last => (siblings.last().cloned(), None),
+            InsertPos::Before(k) => {
+                if !parent.is_parent_of(k) {
+                    return None;
+                }
+                (siblings.iter().rfind(|s| *s < k).cloned(), Some(k.clone()))
+            }
+            InsertPos::After(k) => {
+                if !parent.is_parent_of(k) {
+                    return None;
+                }
+                (Some(k.clone()), siblings.iter().find(|s| *s > k).cloned())
+            }
+        };
+        let doc = self.doc_of_mut(parent)?;
+        let root = FlexKey::sibling_between(parent, lo.as_ref(), hi.as_ref());
+        insert_frag_at(&mut doc.nodes, root.clone(), frag, 2);
+        Some(root)
+    }
+
+    /// Delete the subtree rooted at `key`. Returns the number of nodes
+    /// removed (0 if the key does not exist).
+    pub fn delete_subtree(&mut self, key: &FlexKey) -> usize {
+        let Some(doc) = self.doc_of_mut(key) else { return 0 };
+        if !doc.nodes.contains_key(key) {
+            return 0;
+        }
+        let to_remove: Vec<FlexKey> = std::iter::once(key.clone())
+            .chain(
+                doc.range_after(key)
+                    .take_while(|(k, _)| key.is_ancestor_of(k))
+                    .map(|(k, _)| k.clone()),
+            )
+            .collect();
+        for k in &to_remove {
+            doc.nodes.remove(k);
+        }
+        to_remove.len()
+    }
+
+    /// Replace the text content of the node at `key`. If `key` is a text
+    /// node, its value is replaced; if it is an element, its single text
+    /// child is replaced (the `replace $e/price/text() with "70"` form of
+    /// Figure 1.3(c)).
+    pub fn replace_text(&mut self, key: &FlexKey, new_value: &str) -> bool {
+        // Element case: find its text child first (immutable scan).
+        let target = match self.node(key) {
+            Some(Node { data: NodeData::Text { .. }, .. }) => Some(key.clone()),
+            Some(Node { data: NodeData::Element { .. }, .. }) => self
+                .children(key)
+                .into_iter()
+                .find(|(_, n)| matches!(n.data, NodeData::Text { .. }))
+                .map(|(k, _)| k),
+            None => None,
+        };
+        let Some(target) = target else { return false };
+        let Some(doc) = self.doc_of_mut(&target) else { return false };
+        if let Some(node) = doc.nodes.get_mut(&target) {
+            node.data = NodeData::text(new_value);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Replace the value of attribute `name` on the element at `key`.
+    pub fn replace_attr(&mut self, key: &FlexKey, name: &str, new_value: &str) -> bool {
+        let Some(doc) = self.doc_of_mut(key) else { return false };
+        match doc.nodes.get_mut(key) {
+            Some(Node { data: NodeData::Element { attrs, .. }, .. }) => {
+                match attrs.iter_mut().find(|(k, _)| k == name) {
+                    Some((_, v)) => {
+                        *v = new_value.to_string();
+                        true
+                    }
+                    None => {
+                        attrs.push((name.to_string(), new_value.to_string()));
+                        true
+                    }
+                }
+            }
+            _ => false,
+        }
+    }
+
+    /// Serialize the document registered under `name` back to XML text.
+    pub fn serialize_doc(&self, name: &str) -> Option<String> {
+        let root = self.doc_root(name)?;
+        self.extract_frag(&root).map(|f| f.to_xml())
+    }
+
+    /// Total node count across all documents.
+    pub fn total_nodes(&self) -> usize {
+        self.docs.values().map(|d| d.nodes.len()).sum()
+    }
+}
+
+impl Doc {
+    /// Iterate nodes strictly after `key` in document order.
+    fn range_after(&self, key: &FlexKey) -> impl Iterator<Item = (&FlexKey, &Node)> {
+        self.nodes
+            .range((Bound::Excluded(key.clone()), Bound::Unbounded))
+    }
+
+    /// Number of nodes in the document.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterate all nodes in document order.
+    pub fn iter(&self) -> impl Iterator<Item = (&FlexKey, &Node)> {
+        self.nodes.iter()
+    }
+}
+
+/// Recursively key and insert `frag` at `key`. `spacing` controls the stride
+/// of child segments (a stride of 2 mirrors the paper's gap-leaving
+/// assignment: b, d, f, …).
+fn insert_frag_at(nodes: &mut BTreeMap<FlexKey, Node>, key: FlexKey, frag: &Frag, spacing: usize) {
+    nodes.insert(key.clone(), Node { data: frag.data.clone(), count: frag.count });
+    for (i, c) in frag.children.iter().enumerate() {
+        insert_frag_at(nodes, key.nth_child(i * spacing), c, spacing);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BIB: &str = r#"<bib>
+        <book year="1994"><title>TCP/IP Illustrated</title>
+            <author><last>Stevens</last><first>W.</first></author></book>
+        <book year="2000"><title>Data on the Web</title>
+            <author><last>Abiteboul</last><first>Serge</first></author></book>
+    </bib>"#;
+
+    const PRICES: &str = r#"<prices>
+        <entry><price>39.95</price><b-title>Data on the Web</b-title></entry>
+        <entry><price>65.95</price><b-title>TCP/IP Illustrated</b-title></entry>
+        <entry><price>69.99</price><b-title>Advanced Programming in the Unix environment</b-title></entry>
+    </prices>"#;
+
+    fn two_docs() -> Store {
+        let mut s = Store::new();
+        s.load_doc("bib.xml", BIB).unwrap();
+        s.load_doc("prices.xml", PRICES).unwrap();
+        s
+    }
+
+    #[test]
+    fn roots_are_distinct_across_documents() {
+        let s = two_docs();
+        let b = s.doc_root("bib.xml").unwrap();
+        let e = s.doc_root("prices.xml").unwrap();
+        assert_ne!(b, e);
+        assert!(!b.is_ancestor_of(&e) && !e.is_ancestor_of(&b));
+    }
+
+    #[test]
+    fn children_in_document_order() {
+        let s = two_docs();
+        let bib = s.doc_root("bib.xml").unwrap();
+        let books = s.children_named(&bib, "book");
+        assert_eq!(books.len(), 2);
+        assert!(books[0] < books[1]);
+        assert_eq!(s.attr(&books[0], "year"), Some("1994".into()));
+        assert_eq!(s.attr(&books[1], "year"), Some("2000".into()));
+    }
+
+    #[test]
+    fn descendants_named_finds_deep_nodes() {
+        let s = two_docs();
+        let bib = s.doc_root("bib.xml").unwrap();
+        let lasts = s.descendants_named(&bib, "last");
+        assert_eq!(lasts.len(), 2);
+        assert_eq!(s.string_value(&lasts[0]), "Stevens");
+        assert_eq!(s.string_value(&lasts[1]), "Abiteboul");
+    }
+
+    #[test]
+    fn string_values() {
+        let s = two_docs();
+        let bib = s.doc_root("bib.xml").unwrap();
+        let books = s.children_named(&bib, "book");
+        let titles = s.children_named(&books[0], "title");
+        assert_eq!(s.string_value(&titles[0]), "TCP/IP Illustrated");
+    }
+
+    #[test]
+    fn insert_after_keeps_existing_keys_and_order() {
+        // Figure 1.3(a): insert a new book after book[2].
+        let mut s = two_docs();
+        let bib = s.doc_root("bib.xml").unwrap();
+        let before: Vec<FlexKey> = s.children_named(&bib, "book");
+        let frag = Frag::elem("book")
+            .attr("year", "1994")
+            .child(Frag::elem("title").text_child("Advanced Programming in the Unix environment"));
+        let new_key = s
+            .insert_fragment(&bib, InsertPos::After(before[1].clone()), &frag)
+            .unwrap();
+        let after: Vec<FlexKey> = s.children_named(&bib, "book");
+        assert_eq!(after.len(), 3);
+        assert_eq!(&after[0..2], &before[..], "existing keys unchanged");
+        assert_eq!(after[2], new_key);
+        assert!(before[1] < new_key);
+    }
+
+    #[test]
+    fn insert_between_siblings() {
+        let mut s = two_docs();
+        let bib = s.doc_root("bib.xml").unwrap();
+        let books = s.children_named(&bib, "book");
+        let frag = Frag::elem("book").attr("year", "1997");
+        let mid = s
+            .insert_fragment(&bib, InsertPos::After(books[0].clone()), &frag)
+            .unwrap();
+        assert!(books[0] < mid && mid < books[1]);
+        let now = s.children_named(&bib, "book");
+        assert_eq!(now, vec![books[0].clone(), mid, books[1].clone()]);
+    }
+
+    #[test]
+    fn repeated_skewed_inserts_never_relabel() {
+        let mut s = two_docs();
+        let bib = s.doc_root("bib.xml").unwrap();
+        let anchor = s.children_named(&bib, "book")[0].clone();
+        let mut all = vec![anchor.clone()];
+        for i in 0..50 {
+            let frag = Frag::elem("book").attr("year", &format!("{}", 1900 + i));
+            let k = s
+                .insert_fragment(&bib, InsertPos::After(anchor.clone()), &frag)
+                .unwrap();
+            assert!(!all.contains(&k));
+            all.push(k);
+        }
+        // Anchor and all previously assigned keys still resolve.
+        for k in &all {
+            assert!(s.node(k).is_some());
+        }
+        assert_eq!(s.children_named(&bib, "book").len(), 52);
+    }
+
+    #[test]
+    fn delete_subtree_removes_descendants_only() {
+        let mut s = two_docs();
+        let bib = s.doc_root("bib.xml").unwrap();
+        let books = s.children_named(&bib, "book");
+        let removed = s.delete_subtree(&books[1]);
+        assert_eq!(removed, 8, "book, title+text, author, last+text, first+text");
+        assert_eq!(s.children_named(&bib, "book").len(), 1);
+        assert!(s.node(&books[0]).is_some());
+        assert_eq!(s.delete_subtree(&books[1]), 0, "already gone");
+    }
+
+    #[test]
+    fn replace_text_on_element_and_text_node() {
+        // Figure 1.3(c): replace price text with "70".
+        let mut s = two_docs();
+        let prices = s.doc_root("prices.xml").unwrap();
+        let entries = s.children_named(&prices, "entry");
+        let price = s.children_named(&entries[1], "price")[0].clone();
+        assert!(s.replace_text(&price, "70"));
+        assert_eq!(s.string_value(&price), "70");
+    }
+
+    #[test]
+    fn extract_frag_roundtrip() {
+        let s = two_docs();
+        let bib = s.doc_root("bib.xml").unwrap();
+        let frag = s.extract_frag(&bib).unwrap();
+        assert_eq!(frag.children.len(), 2);
+        assert!(frag.to_xml().contains("<title>Data on the Web</title>"));
+    }
+
+    #[test]
+    fn serialize_doc_matches_content() {
+        let s = two_docs();
+        let xml = s.serialize_doc("prices.xml").unwrap();
+        assert!(xml.starts_with("<prices>"));
+        assert!(xml.contains("<price>65.95</price>"));
+    }
+
+    #[test]
+    fn replace_attr_updates_value() {
+        let mut s = two_docs();
+        let bib = s.doc_root("bib.xml").unwrap();
+        let books = s.children_named(&bib, "book");
+        assert!(s.replace_attr(&books[0], "year", "1995"));
+        assert_eq!(s.attr(&books[0], "year"), Some("1995".into()));
+    }
+}

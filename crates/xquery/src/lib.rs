@@ -1,0 +1,27 @@
+//! # xquery-lang — parser, AST and normalization for the paper's XQuery subset
+//!
+//! Implements the language layer of the system (Ch. 2):
+//!
+//! * [`ast`] — the abstract syntax of the Figure 2.1 grammar: FLWOR
+//!   expressions, XPath expressions over the `/` and `//` axes with
+//!   predicates, direct element constructors, `distinct-values`, and
+//!   aggregate functions.
+//! * [`parser`] — a recursive-descent parser with modal lexing for element
+//!   constructors (text/`{expr}` content).
+//! * [`normalize`] — the source-level normalization of §2.3.1: let-variable
+//!   inlining (Rule 1), splitting of multi-variable `for` clauses (Rule 2,
+//!   represented structurally), and hoisting of XPath predicates into `where`
+//!   clauses (Rule 3).
+//! * [`update`] — the XQuery update language of [TIHW01] used for source
+//!   updates (Figure 1.3): `insert … before/after/into`, `delete`,
+//!   `replace … with`.
+
+pub mod ast;
+pub mod normalize;
+pub mod parser;
+pub mod update;
+
+pub use ast::*;
+pub use normalize::normalize;
+pub use parser::{parse_query, QueryParseError};
+pub use update::{parse_updates, UpdateAction, UpdateStmt};

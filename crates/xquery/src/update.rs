@@ -1,0 +1,363 @@
+//! The XQuery update language of [TIHW01], as used for source updates
+//! (Figure 1.3):
+//!
+//! ```text
+//! for $v in document("doc.xml")/path [where <cond>]
+//! update $v {
+//!     insert <fragment…/> (before | after) $v        -- or: into $v
+//!   | delete $v[/path]
+//!   | replace $v/path[/text()] with "literal"
+//! }
+//! ```
+//!
+//! (The braces are optional, matching the paper's own examples.) The target
+//! binding path may use positional predicates (`/bib/book[2]`,
+//! Figure 1.3(a)).
+
+use crate::ast::*;
+use crate::parser::{QueryParseError, P};
+
+/// The action of one update statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UpdateAction {
+    /// `insert <frag> after $v` — raw fragment XML, resolved by the caller.
+    InsertAfter { fragment_xml: String },
+    /// `insert <frag> before $v`.
+    InsertBefore { fragment_xml: String },
+    /// `insert <frag> into $v` (append as last child).
+    InsertInto { fragment_xml: String },
+    /// `delete $v[/path]` — relative path from the bound target (usually
+    /// empty: delete the target itself).
+    Delete { rel_path: Vec<Step> },
+    /// `replace $v/path with "value"` — replace the text content of the node
+    /// reached by `rel_path` (a trailing `text()` step is accepted and
+    /// ignored; replacement is by string value).
+    ReplaceWith { rel_path: Vec<Step>, new_value: String },
+}
+
+/// One parsed update statement: bind `$var` to `doc` nodes via `path`
+/// (filtered by `where_`), then perform `action` on each binding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UpdateStmt {
+    pub var: String,
+    pub doc: String,
+    pub path: Vec<Step>,
+    pub where_: Option<BoolExpr>,
+    pub action: UpdateAction,
+}
+
+/// Parse a sequence of update statements (separated by whitespace or `;`).
+pub fn parse_updates(input: &str) -> Result<Vec<UpdateStmt>, QueryParseError> {
+    let mut p = P { b: input.as_bytes(), pos: 0 };
+    let mut out = Vec::new();
+    p.ws();
+    while p.pos < p.b.len() {
+        out.push(parse_one(&mut p)?);
+        p.ws();
+        while p.peek() == Some(b';') {
+            p.pos += 1;
+            p.ws();
+        }
+    }
+    Ok(out)
+}
+
+fn parse_one(p: &mut P) -> Result<UpdateStmt, QueryParseError> {
+    if !p.kw("for") {
+        return Err(p.err("expected 'for' at start of update statement"));
+    }
+    let var = p.var()?;
+    if !p.kw("in") {
+        return Err(p.err("expected 'in'"));
+    }
+    // document("…")/path
+    let fname = p.name()?;
+    p.ws();
+    if !matches!(fname.to_ascii_lowercase().as_str(), "doc" | "document") {
+        return Err(p.err("expected doc(...) or document(...)"));
+    }
+    p.expect("(")?;
+    let doc = match p.peek() {
+        Some(b'"') | Some(b'\'') => {
+            // reuse string parsing by delegating through expr machinery:
+            let q = p.peek().unwrap();
+            p.pos += 1;
+            let start = p.pos;
+            while p.peek().is_some_and(|c| c != q) {
+                p.pos += 1;
+            }
+            let s = String::from_utf8_lossy(&p.b[start..p.pos]).into_owned();
+            p.pos += 1;
+            p.ws();
+            s
+        }
+        _ => return Err(p.err("expected document name string")),
+    };
+    p.expect(")")?;
+    let path = p.steps()?;
+    let where_ = if p.kw("where") {
+        Some(parse_where(p)?)
+    } else {
+        None
+    };
+    if !p.kw("update") {
+        return Err(p.err("expected 'update'"));
+    }
+    let target = p.var()?;
+    if target != var {
+        return Err(p.err(format!("update target ${target} does not match bound ${var}")));
+    }
+    // Optional braces around the action.
+    let braced = p.peek() == Some(b'{');
+    if braced {
+        p.expect("{")?;
+    }
+    let action = parse_action(p, &var)?;
+    if braced {
+        p.expect("}")?;
+    }
+    Ok(UpdateStmt { var, doc, path, where_, action })
+}
+
+fn parse_where(p: &mut P) -> Result<BoolExpr, QueryParseError> {
+    let mut acc = parse_cmp(p)?;
+    while p.kw("and") {
+        let rhs = parse_cmp(p)?;
+        acc = BoolExpr::And(Box::new(acc), Box::new(rhs));
+    }
+    Ok(acc)
+}
+
+fn parse_cmp(p: &mut P) -> Result<BoolExpr, QueryParseError> {
+    let lhs = p.operand()?;
+    let op = p.cmp_op()?;
+    let rhs = p.operand()?;
+    Ok(BoolExpr::Cmp { lhs, op, rhs })
+}
+
+fn parse_action(p: &mut P, var: &str) -> Result<UpdateAction, QueryParseError> {
+    if p.kw("insert") {
+        let fragment_xml = raw_fragment(p)?;
+        if p.kw("after") {
+            expect_target(p, var)?;
+            Ok(UpdateAction::InsertAfter { fragment_xml })
+        } else if p.kw("before") {
+            expect_target(p, var)?;
+            Ok(UpdateAction::InsertBefore { fragment_xml })
+        } else if p.kw("into") {
+            expect_target(p, var)?;
+            Ok(UpdateAction::InsertInto { fragment_xml })
+        } else {
+            Err(p.err("expected 'after', 'before' or 'into'"))
+        }
+    } else if p.kw("delete") {
+        let (tv, rel_path) = target_path(p)?;
+        if tv != var {
+            return Err(p.err(format!("delete target ${tv} does not match ${var}")));
+        }
+        Ok(UpdateAction::Delete { rel_path })
+    } else if p.kw("replace") {
+        let (tv, mut rel_path) = target_path(p)?;
+        if tv != var {
+            return Err(p.err(format!("replace target ${tv} does not match ${var}")));
+        }
+        // A trailing text() step addresses the text content; strip it.
+        if matches!(rel_path.last(), Some(Step { test: NodeTest::Text, .. })) {
+            rel_path.pop();
+        }
+        if !p.kw("with") {
+            return Err(p.err("expected 'with'"));
+        }
+        let new_value = match p.peek() {
+            Some(q @ (b'"' | b'\'')) => {
+                p.pos += 1;
+                let start = p.pos;
+                while p.peek().is_some_and(|c| c != q) {
+                    p.pos += 1;
+                }
+                let s = String::from_utf8_lossy(&p.b[start..p.pos]).into_owned();
+                p.pos += 1;
+                p.ws();
+                s
+            }
+            Some(c) if c.is_ascii_digit() => {
+                let start = p.pos;
+                while p.peek().is_some_and(|c| c.is_ascii_digit() || c == b'.') {
+                    p.pos += 1;
+                }
+                let s = String::from_utf8_lossy(&p.b[start..p.pos]).into_owned();
+                p.ws();
+                s
+            }
+            _ => return Err(p.err("expected replacement literal")),
+        };
+        Ok(UpdateAction::ReplaceWith { rel_path, new_value })
+    } else {
+        Err(p.err("expected 'insert', 'delete' or 'replace'"))
+    }
+}
+
+fn expect_target(p: &mut P, var: &str) -> Result<(), QueryParseError> {
+    let v = p.var()?;
+    if v != var {
+        Err(p.err(format!("position target ${v} does not match ${var}")))
+    } else {
+        Ok(())
+    }
+}
+
+fn target_path(p: &mut P) -> Result<(String, Vec<Step>), QueryParseError> {
+    let v = p.var()?;
+    // `p.var()` eats trailing whitespace; a relative path must be adjacent,
+    // but accepting `$v /path` is harmless.
+    let steps = p.steps()?;
+    Ok((v, steps))
+}
+
+/// Scan a raw XML fragment: from `<` to the matching close of the first
+/// element, honoring nesting and self-closing tags. The fragment is kept as
+/// text; `xmlstore::parse_document` materializes it later.
+fn raw_fragment(p: &mut P) -> Result<String, QueryParseError> {
+    if p.peek() != Some(b'<') {
+        return Err(p.err("expected XML fragment after 'insert'"));
+    }
+    let start = p.pos;
+    let mut depth = 0usize;
+    loop {
+        match p.peek() {
+            None => return Err(p.err("unterminated XML fragment")),
+            Some(b'<') => {
+                if p.b[p.pos..].starts_with(b"</") {
+                    // close tag
+                    while p.peek().is_some_and(|c| c != b'>') {
+                        p.pos += 1;
+                    }
+                    p.pos += 1; // consume '>'
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    // open or self-closing tag
+                    let mut self_closing = false;
+                    while let Some(c) = p.peek() {
+                        if c == b'>' {
+                            break;
+                        }
+                        if c == b'/' && p.b.get(p.pos + 1) == Some(&b'>') {
+                            self_closing = true;
+                        }
+                        // skip quoted attr values to ignore '>' inside them
+                        if c == b'"' || c == b'\'' {
+                            let q = c;
+                            p.pos += 1;
+                            while p.peek().is_some_and(|x| x != q) {
+                                p.pos += 1;
+                            }
+                        }
+                        p.pos += 1;
+                    }
+                    p.pos += 1; // consume '>'
+                    if !self_closing {
+                        depth += 1;
+                    }
+                    if depth == 0 {
+                        break; // single self-closing element
+                    }
+                }
+            }
+            Some(_) => p.pos += 1,
+        }
+    }
+    let xml = String::from_utf8_lossy(&p.b[start..p.pos]).into_owned();
+    p.ws();
+    Ok(xml)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_figure_1_3a_insert_after() {
+        let u = r#"for $book in document("bib.xml")/bib/book[2]
+            update $book
+            insert <book year="1994"><title>Advanced programming in the Unix environment</title><author><last>Stevens</last><first>W.</first></author></book> after $book"#;
+        let stmts = parse_updates(u).unwrap();
+        assert_eq!(stmts.len(), 1);
+        let s = &stmts[0];
+        assert_eq!(s.doc, "bib.xml");
+        assert_eq!(s.path[1].predicate, Some(StepPredicate::Position(2)));
+        let UpdateAction::InsertAfter { fragment_xml } = &s.action else { panic!() };
+        assert!(fragment_xml.starts_with("<book year=\"1994\">"));
+        assert!(fragment_xml.ends_with("</book>"));
+    }
+
+    #[test]
+    fn parse_figure_1_3b_delete() {
+        let u = r#"for $book in document("bib.xml")/bib/book
+            where $book/title = "Data on the Web"
+            update $book
+            delete $book"#;
+        let stmts = parse_updates(u).unwrap();
+        let s = &stmts[0];
+        assert!(s.where_.is_some());
+        assert_eq!(s.action, UpdateAction::Delete { rel_path: vec![] });
+    }
+
+    #[test]
+    fn parse_figure_1_3c_replace() {
+        let u = r#"for $entry in document("prices.xml")/prices/entry
+            where $entry/b-title = "TCP/IP Illustrated"
+            update $entry
+            replace $entry/price/text() with "70""#;
+        let stmts = parse_updates(u).unwrap();
+        let UpdateAction::ReplaceWith { rel_path, new_value } = &stmts[0].action else { panic!() };
+        assert_eq!(rel_path.len(), 1, "text() step stripped");
+        assert_eq!(rel_path[0].test, NodeTest::Name("price".into()));
+        assert_eq!(new_value, "70");
+    }
+
+    #[test]
+    fn parse_batch_of_heterogeneous_updates() {
+        let u = r#"
+        for $b in doc("bib.xml")/bib/book[1] update $b insert <note>x</note> into $b ;
+        for $b in doc("bib.xml")/bib/book where $b/@year = "2000" update $b delete $b ;
+        for $e in doc("prices.xml")/prices/entry[1] update $e replace $e/price with "10"
+        "#;
+        let stmts = parse_updates(u).unwrap();
+        assert_eq!(stmts.len(), 3);
+        assert!(matches!(stmts[0].action, UpdateAction::InsertInto { .. }));
+        assert!(matches!(stmts[1].action, UpdateAction::Delete { .. }));
+        assert!(matches!(stmts[2].action, UpdateAction::ReplaceWith { .. }));
+    }
+
+    #[test]
+    fn self_closing_fragment() {
+        let u = r#"for $b in doc("bib.xml")/bib/book[1] update $b insert <flag set="1"/> into $b"#;
+        let stmts = parse_updates(u).unwrap();
+        let UpdateAction::InsertInto { fragment_xml } = &stmts[0].action else { panic!() };
+        assert_eq!(fragment_xml, r#"<flag set="1"/>"#);
+    }
+
+    #[test]
+    fn nested_fragment_with_gt_in_attr() {
+        let u = r#"for $b in doc("b.xml")/r update $b insert <a t="x>y"><c/></a> into $b"#;
+        let stmts = parse_updates(u).unwrap();
+        let UpdateAction::InsertInto { fragment_xml } = &stmts[0].action else { panic!() };
+        assert_eq!(fragment_xml, r#"<a t="x>y"><c/></a>"#);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_updates("for $b in doc(\"x\")/r update $c delete $c").is_err());
+        assert!(parse_updates("for $b in doc(\"x\")/r update $b explode $b").is_err());
+        assert!(parse_updates("update $b delete $b").is_err());
+    }
+
+    #[test]
+    fn braced_action_accepted() {
+        let u = r#"for $b in doc("x.xml")/r update $b { delete $b }"#;
+        assert!(parse_updates(u).is_ok());
+    }
+}

@@ -1,0 +1,58 @@
+//! # xqview — incremental maintenance of materialized XQuery views
+//!
+//! A from-scratch Rust reproduction of *"Incremental Maintenance of
+//! Materialized XQuery Views"* (M. El-Sayed, ICDE 2006 / WPI dissertation):
+//! the VPA (Validate–Propagate–Apply) framework over a Rainbow-style XQuery
+//! engine, built on FlexKey order encoding, semantic identifiers, and count
+//! annotations.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use xqview::{Store, ViewManager};
+//!
+//! let mut store = Store::new();
+//! store.load_doc("bib.xml", r#"<bib>
+//!     <book year="1994"><title>TCP/IP Illustrated</title></book>
+//!     <book year="2000"><title>Data on the Web</title></book>
+//! </bib>"#).unwrap();
+//!
+//! let mut view = ViewManager::new(store, r#"<result>{
+//!     for $b in doc("bib.xml")/bib/book
+//!     where $b/@year = "1994"
+//!     return $b/title
+//! }</result>"#).unwrap();
+//! assert_eq!(view.extent_xml(),
+//!            "<result><title>TCP/IP Illustrated</title></result>");
+//!
+//! // Maintain incrementally on a source update:
+//! view.apply_update_script(r#"
+//!     for $r in document("bib.xml")/bib update $r
+//!     insert <book year="1994"><title>Advanced Programming</title></book> into $r
+//! "#).unwrap();
+//! assert!(view.extent_xml().contains("Advanced Programming"));
+//! assert_eq!(view.extent_xml(), view.recompute_xml().unwrap());
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Layer | Crate | Paper chapter |
+//! |---|---|---|
+//! | Order keys, semantic ids | [`flexkey`] | 3, 4 |
+//! | XML model + storage manager | [`xmlstore`] | 3 (MASS substrate) |
+//! | XQuery + update parser | [`xquery_lang`] | 2, 5 |
+//! | XAT algebra + engine | [`xat`] | 2, 3, 4, 6 |
+//! | VPA maintenance framework | [`vpa_core`] | 5, 6, 7, 8 |
+//! | Synthetic data / workloads | [`datagen`] | 3.5, 9 |
+
+pub use flexkey;
+pub use vpa_core;
+pub use xat;
+pub use xmlstore;
+pub use xquery_lang;
+
+pub use datagen;
+pub use flexkey::{FlexKey, OrdKey, SemId};
+pub use vpa_core::{MaintStats, ResolvedUpdate, Sapt, ViewManager};
+pub use xat::{ExecOptions, ExecStats, Executor, Plan, ViewExtent};
+pub use xmlstore::{Frag, InsertPos, Store};

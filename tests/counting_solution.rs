@@ -1,0 +1,176 @@
+//! The counting solution for delete updates (Chapter 6): view nodes with
+//! multiple derivations must survive partial deletes and disappear exactly
+//! when their last derivation goes — including through joins, duplicate
+//! join partners, and duplicate-elimination.
+
+use xqview::{Store, ViewManager};
+
+/// Two books share a title, and two entries share that title too: the join
+/// derives 4 pairs; every view node has interesting multiplicities.
+fn dup_store() -> Store {
+    let mut s = Store::new();
+    s.load_doc(
+        "bib.xml",
+        r#"<bib>
+            <book year="1994"><title>Twin</title></book>
+            <book year="1994"><title>Twin</title></book>
+            <book year="2000"><title>Solo</title></book>
+        </bib>"#,
+    )
+    .unwrap();
+    s.load_doc(
+        "prices.xml",
+        r#"<prices>
+            <entry><price>10</price><b-title>Twin</b-title></entry>
+            <entry><price>20</price><b-title>Twin</b-title></entry>
+            <entry><price>30</price><b-title>Solo</b-title></entry>
+        </prices>"#,
+    )
+    .unwrap();
+    s
+}
+
+const JOIN_VIEW: &str = r#"<r>{
+    for $b in doc("bib.xml")/bib/book, $e in doc("prices.xml")/prices/entry
+    where $b/title = $e/b-title
+    return <hit y="{$b/@year}">{$e/price}</hit>
+}</r>"#;
+
+const GROUPED_VIEW: &str = r#"<r>{
+    for $y in distinct-values(doc("bib.xml")/bib/book/@year)
+    return <g Y="{$y}">{
+        for $b in doc("bib.xml")/bib/book, $e in doc("prices.xml")/prices/entry
+        where $y = $b/@year and $b/title = $e/b-title
+        return $e/price
+    }</g>
+}</r>"#;
+
+#[test]
+fn join_multiplicities_survive_partial_delete() {
+    let mut vm = ViewManager::new(dup_store(), JOIN_VIEW).unwrap();
+    // 2 Twin books × 2 Twin entries = 4 hits + 1 Solo hit.
+    assert_eq!(vm.extent_xml().matches("<hit").count(), 5);
+    // Delete ONE Twin book: 2 hits remain from the other Twin book.
+    vm.apply_update_script(
+        r#"for $b in document("bib.xml")/bib/book[1] update $b delete $b"#,
+    )
+    .unwrap();
+    assert_eq!(vm.extent_xml().matches("<hit").count(), 3);
+    assert_eq!(vm.extent_xml(), vm.recompute_xml().unwrap());
+    // Delete the second Twin book: only Solo remains.
+    vm.apply_update_script(
+        r#"for $b in document("bib.xml")/bib/book where $b/title = "Twin" update $b delete $b"#,
+    )
+    .unwrap();
+    assert_eq!(vm.extent_xml().matches("<hit").count(), 1);
+    assert!(vm.extent_xml().contains("<price>30</price>"));
+    assert_eq!(vm.extent_xml(), vm.recompute_xml().unwrap());
+}
+
+#[test]
+fn distinct_value_survives_until_last_witness_gone() {
+    let mut vm = ViewManager::new(dup_store(), GROUPED_VIEW).unwrap();
+    assert!(vm.extent_xml().contains(r#"<g Y="1994">"#));
+    // Two 1994 books: deleting one keeps the group.
+    vm.apply_update_script(
+        r#"for $b in document("bib.xml")/bib/book[1] update $b delete $b"#,
+    )
+    .unwrap();
+    assert!(vm.extent_xml().contains(r#"<g Y="1994">"#), "{}", vm.extent_xml());
+    assert_eq!(vm.extent_xml(), vm.recompute_xml().unwrap());
+    // Deleting the second removes the whole group fragment at once (§8.3.2).
+    vm.apply_update_script(
+        r#"for $b in document("bib.xml")/bib/book where $b/@year = "1994" update $b delete $b"#,
+    )
+    .unwrap();
+    assert!(!vm.extent_xml().contains("1994"));
+    assert_eq!(vm.extent_xml(), vm.recompute_xml().unwrap());
+}
+
+#[test]
+fn entry_side_deletes_decrement_join_hits() {
+    let mut vm = ViewManager::new(dup_store(), JOIN_VIEW).unwrap();
+    // Delete one Twin entry: each Twin book loses one pairing (4 → 2).
+    vm.apply_update_script(
+        r#"for $e in document("prices.xml")/prices/entry where $e/price = "10"
+           update $e delete $e"#,
+    )
+    .unwrap();
+    assert_eq!(vm.extent_xml().matches("<hit").count(), 3);
+    assert_eq!(vm.extent_xml(), vm.recompute_xml().unwrap());
+}
+
+#[test]
+fn reinsert_after_full_delete_recreates_nodes() {
+    let mut vm = ViewManager::new(dup_store(), GROUPED_VIEW).unwrap();
+    vm.apply_update_script(
+        r#"for $b in document("bib.xml")/bib/book where $b/@year = "1994" update $b delete $b"#,
+    )
+    .unwrap();
+    assert!(!vm.extent_xml().contains("1994"));
+    vm.apply_update_script(
+        r#"for $r in document("bib.xml")/bib update $r
+           insert <book year="1994"><title>Twin</title></book> into $r"#,
+    )
+    .unwrap();
+    // The group returns, with both Twin prices, count rebuilt from scratch.
+    let xml = vm.extent_xml();
+    assert!(xml.contains(r#"<g Y="1994">"#), "{xml}");
+    assert!(xml.contains("<price>10</price>") && xml.contains("<price>20</price>"));
+    assert_eq!(xml, vm.recompute_xml().unwrap());
+}
+
+#[test]
+fn insert_then_delete_across_batches_nets_zero() {
+    // (Within one batch, all statements resolve against the same snapshot —
+    // the paper's batch-update-tree semantics, §5.3 — so a delete cannot see
+    // a same-batch insert. Across batches, insert-then-delete nets zero.)
+    let mut vm = ViewManager::new(dup_store(), GROUPED_VIEW).unwrap();
+    let before = vm.extent_xml();
+    vm.apply_update_script(
+        r#"for $r in document("bib.xml")/bib update $r
+           insert <book year="1977"><title>Ghost</title></book> into $r"#,
+    )
+    .unwrap();
+    assert!(vm.extent_xml().contains("1977"));
+    vm.apply_update_script(
+        r#"for $b in document("bib.xml")/bib/book where $b/@year = "1977"
+           update $b delete $b"#,
+    )
+    .unwrap();
+    assert_eq!(vm.extent_xml(), before);
+    assert_eq!(vm.extent_xml(), vm.recompute_xml().unwrap());
+}
+
+#[test]
+fn update_inside_bound_fragment_adjusts_content_not_existence() {
+    // §6.5 classification: inserting a node INSIDE a bound book fragment
+    // re-derives the book's exposed copy without changing group counts.
+    let mut s = Store::new();
+    s.load_doc(
+        "bib.xml",
+        r#"<bib><book year="1994"><title>Solo</title></book></bib>"#,
+    )
+    .unwrap();
+    let mut vm = ViewManager::new(
+        s,
+        r#"<r>{ for $b in doc("bib.xml")/bib/book return $b }</r>"#,
+    )
+    .unwrap();
+    vm.apply_update_script(
+        r#"for $b in document("bib.xml")/bib/book[1]
+           update $b insert <note>annotated</note> into $b"#,
+    )
+    .unwrap();
+    let xml = vm.extent_xml();
+    assert_eq!(xml.matches("<book").count(), 1, "book still derived once: {xml}");
+    assert!(xml.contains("<note>annotated</note>"));
+    assert_eq!(xml, vm.recompute_xml().unwrap());
+    // And deleting that inner node restores the original content.
+    vm.apply_update_script(
+        r#"for $b in document("bib.xml")/bib/book[1] update $b delete $b/note"#,
+    )
+    .unwrap();
+    assert!(!vm.extent_xml().contains("note"));
+    assert_eq!(vm.extent_xml(), vm.recompute_xml().unwrap());
+}
