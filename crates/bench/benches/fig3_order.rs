@@ -1,26 +1,19 @@
-//! Criterion bench for Figures 3.7–3.10: order-handling cost per query at a
+//! Bench for Figures 3.7–3.10: order-handling cost per query at a
 //! representative document size (the `figures` binary prints full sweeps).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use vpa_bench::harness::timed;
 use vpa_bench::*;
 use xat::exec::ExecOptions;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let store = site_store(1);
-    let mut g = c.benchmark_group("fig3_order_queries");
-    g.sample_size(10);
+    println!("== fig3_order_queries ==");
     for (name, q) in [
         ("q1_document_order", Q1_PROFILES),
         ("q2_order_by", Q2_CITIES),
         ("q3_join_order", Q3_SELLER_DATES),
         ("q4_construction_order", Q4_CONSTRUCTION),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| run_query(&store, q, ExecOptions::default()))
-        });
+        timed(name, 10, || run_query(&store, q, ExecOptions::default()));
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,24 +1,17 @@
-//! Criterion bench for Figures 4.9/4.10: semantic-id generation overhead —
-//! the same query with semantic ids on vs off.
+//! Bench for Figures 4.9/4.10: semantic-id generation overhead — the same
+//! query with semantic ids on vs off.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use vpa_bench::harness::timed;
 use vpa_bench::*;
 use xat::exec::ExecOptions;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let store = site_store(1);
-    let mut g = c.benchmark_group("fig4_semantic_ids");
-    g.sample_size(10);
+    println!("== fig4_semantic_ids ==");
     for (name, q) in [("q1_retag", Q1_PROFILES), ("q2_construction", Q4_CONSTRUCTION)] {
-        g.bench_function(format!("{name}/ids_on"), |b| {
-            b.iter(|| run_query(&store, q, ExecOptions { semantic_ids: true, counts: false }))
+        timed(&format!("{name}/ids_on"), 10, || {
+            run_query(&store, q, ExecOptions { semantic_ids: true, counts: false })
         });
-        g.bench_function(format!("{name}/ids_off"), |b| {
-            b.iter(|| run_query(&store, q, ExecOptions::plain()))
-        });
+        timed(&format!("{name}/ids_off"), 10, || run_query(&store, q, ExecOptions::plain()));
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

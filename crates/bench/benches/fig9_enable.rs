@@ -1,22 +1,13 @@
-//! Criterion bench for Figure 9.1: initial view computation with the
-//! maintenance machinery (semantic ids + counts) enabled vs plain.
+//! Bench for Figure 9.1: initial view computation with the maintenance
+//! machinery (semantic ids + counts) enabled vs plain.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use vpa_bench::harness::timed;
 use vpa_bench::*;
 use xat::exec::ExecOptions;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let (store, _) = bib_store(1000);
-    let mut g = c.benchmark_group("fig9_1_enable_vm");
-    g.sample_size(10);
-    g.bench_function("plain_execution", |b| {
-        b.iter(|| run_query(&store, GROUPED_BIB_VIEW, ExecOptions::plain()))
-    });
-    g.bench_function("vm_enabled", |b| {
-        b.iter(|| run_query(&store, GROUPED_BIB_VIEW, ExecOptions::default()))
-    });
-    g.finish();
+    println!("== fig9_1_enable_vm ==");
+    timed("plain_execution", 10, || run_query(&store, GROUPED_BIB_VIEW, ExecOptions::plain()));
+    timed("vm_enabled", 10, || run_query(&store, GROUPED_BIB_VIEW, ExecOptions::default()));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,59 +1,54 @@
-//! Criterion bench for Figures 9.2/9.4/9.5: incremental maintenance vs full
+//! Bench for Figures 9.2/9.4/9.5: incremental maintenance vs full
 //! recomputation for single-insert and single-delete updates.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use vpa_bench::harness::timed_with_setup;
 use vpa_bench::*;
 use vpa_core::ViewManager;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let books = 1000usize;
-    let mut g = c.benchmark_group("fig9_maintenance_vs_recompute");
-    g.sample_size(10);
-    g.bench_function("insert_one/incremental", |b| {
-        b.iter_with_setup(
-            || {
-                let (store, cfg) = bib_store(books);
-                let vm = ViewManager::new(store, GROUPED_BIB_VIEW).unwrap();
-                let script = datagen::insert_books_script(&cfg, books, 1, Some(1900));
-                (vm, script)
-            },
-            |(mut vm, script)| {
-                vm.apply_update_script(&script).unwrap();
-                vm
-            },
-        )
-    });
-    g.bench_function("insert_one/recompute", |b| {
-        b.iter_with_setup(
-            || {
-                let (store, cfg) = bib_store(books);
-                let mut vm = ViewManager::new(store, GROUPED_BIB_VIEW).unwrap();
-                // Apply to sources; timing covers only recomputation.
-                vm.apply_update_script(&datagen::insert_books_script(&cfg, books, 1, Some(1900)))
-                    .unwrap();
-                vm
-            },
-            |vm| {
-                let x = vm.recompute_xml().unwrap();
-                (vm, x)
-            },
-        )
-    });
-    g.bench_function("delete_one/incremental", |b| {
-        b.iter_with_setup(
-            || {
-                let (store, _) = bib_store(books);
-                let vm = ViewManager::new(store, GROUPED_BIB_VIEW).unwrap();
-                (vm, datagen::delete_books_script(0, 1))
-            },
-            |(mut vm, script)| {
-                vm.apply_update_script(&script).unwrap();
-                vm
-            },
-        )
-    });
-    g.finish();
+    println!("== fig9_maintenance_vs_recompute ==");
+    timed_with_setup(
+        "insert_one/incremental",
+        10,
+        || {
+            let (store, cfg) = bib_store(books);
+            let vm = ViewManager::new(store, GROUPED_BIB_VIEW).unwrap();
+            let script = datagen::insert_books_script(&cfg, books, 1, Some(1900));
+            (vm, script)
+        },
+        |(mut vm, script)| {
+            vm.apply_update_script(&script).unwrap();
+            vm
+        },
+    );
+    timed_with_setup(
+        "insert_one/recompute",
+        10,
+        || {
+            let (store, cfg) = bib_store(books);
+            let mut vm = ViewManager::new(store, GROUPED_BIB_VIEW).unwrap();
+            // Apply to sources; timing covers only recomputation.
+            vm.apply_update_script(&datagen::insert_books_script(&cfg, books, 1, Some(1900)))
+                .unwrap();
+            vm
+        },
+        |vm| {
+            let x = vm.recompute_xml().unwrap();
+            (vm, x)
+        },
+    );
+    timed_with_setup(
+        "delete_one/incremental",
+        10,
+        || {
+            let (store, _) = bib_store(books);
+            let vm = ViewManager::new(store, GROUPED_BIB_VIEW).unwrap();
+            (vm, datagen::delete_books_script(0, 1))
+        },
+        |(mut vm, script)| {
+            vm.apply_update_script(&script).unwrap();
+            vm
+        },
+    );
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -49,6 +49,36 @@ fn main() {
     if run("fig9_6") {
         fig9_6_fragment_delete();
     }
+    if run("fig_multiview") {
+        fig_multiview();
+    }
+}
+
+/// Multi-view catalog sweep (beyond the paper): shared validation +
+/// relevancy routing + parallel apply vs the same pipeline sequential vs a
+/// naive per-view `ViewManager` loop, over growing view counts.
+fn fig_multiview() {
+    println!("\n== fig_multiview: catalog vs naive per-view loop ==");
+    println!(
+        "{:>7} {:>13} {:>13} {:>11} {:>9} {:>8}",
+        "views", "catalog(ms)", "seq-cat(ms)", "naive(ms)", "skipped", "routed"
+    );
+    let books = 400usize;
+    let (store, cfg) = vpa_bench::bib_store(books);
+    let scripts = multiview_workload(&cfg, 2);
+    for n_views in [2usize, 4, 8, 16] {
+        let queries = multiview_queries(n_views, cfg.years);
+        let p = measure_multiview(&store, &queries, &scripts);
+        println!(
+            "{:>7} {} {} {} {:>9} {:>8}",
+            n_views,
+            ms(p.catalog),
+            ms(p.catalog_seq),
+            ms(p.naive),
+            p.views_skipped,
+            p.views_routed,
+        );
+    }
 }
 
 /// Figures 3.7–3.10: order-handling cost relative to execution, per query,
@@ -139,7 +169,9 @@ fn fig9_1_enable_cost() {
 /// Figure 9.2: maintenance vs recomputation across source document sizes,
 /// fixed small update; with the phase breakdown (bottom charts).
 fn fig9_2_doc_size() {
-    for (name, view) in [("Query 1 (flat)", FLAT_BIB_VIEW), ("Query 2 (grouped join)", GROUPED_BIB_VIEW)] {
+    for (name, view) in
+        [("Query 1 (flat)", FLAT_BIB_VIEW), ("Query 2 (grouped join)", GROUPED_BIB_VIEW)]
+    {
         println!("\n== Fig 9.2: varying source size — {name} ==");
         println!(
             "{:>8} {:>12} {:>12} {:>10} {:>10} {:>10}",
@@ -169,7 +201,8 @@ fn fig9_3_selectivity() {
     println!("{:>8} {:>10} {:>12} {:>12}", "years", "sel(%)", "maint(ms)", "recomp(ms)");
     let books = 2000usize;
     for years in [2usize, 5, 10, 20, 50] {
-        let cfg = datagen::BibConfig { books, years, priced_ratio: 0.8, extra_entries: 50, seed: 9 };
+        let cfg =
+            datagen::BibConfig { books, years, priced_ratio: 0.8, extra_entries: 50, seed: 9 };
         let mut store = xmlstore::Store::new();
         store.load_doc("bib.xml", &datagen::bib_xml(&cfg)).unwrap();
         store.load_doc("prices.xml", &datagen::prices_xml(&cfg)).unwrap();
@@ -211,12 +244,11 @@ fn fig9_4_insert_size() {
 
 /// Figure 9.5: varying delete-update size for both queries.
 fn fig9_5_delete_size() {
-    for (name, view) in [("Query 1 (flat)", FLAT_BIB_VIEW), ("Query 2 (grouped join)", GROUPED_BIB_VIEW)] {
+    for (name, view) in
+        [("Query 1 (flat)", FLAT_BIB_VIEW), ("Query 2 (grouped join)", GROUPED_BIB_VIEW)]
+    {
         println!("\n== Fig 9.5: varying delete size — {name} ==");
-        println!(
-            "{:>8} {:>12} {:>12} {:>12}",
-            "deletes", "maint(ms)", "recomp(ms)", "resolve(ms)"
-        );
+        println!("{:>8} {:>12} {:>12} {:>12}", "deletes", "maint(ms)", "recomp(ms)", "resolve(ms)");
         let books = 2000usize;
         for n in [1usize, 5, 25, 100, 400] {
             let (store, _) = bib_store(books);
@@ -289,14 +321,7 @@ fn fig9_6_fragment_delete() {
         let oracle = vm.recompute_xml().unwrap();
         let recomp = t1.elapsed();
         assert_eq!(vm.extent_xml(), oracle);
-        println!(
-            "{:>12} {} {} {:>14} {}",
-            group,
-            ms(disconnect),
-            ms(naive),
-            ms(full),
-            ms(recomp),
-        );
+        println!("{:>12} {} {} {:>14} {}", group, ms(disconnect), ms(naive), ms(full), ms(recomp),);
     }
 }
 

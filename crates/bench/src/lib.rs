@@ -1,9 +1,10 @@
 //! # vpa-bench — shared experiment drivers for the paper's evaluation
 //!
 //! Each `fig*` driver reproduces one figure of the dissertation's evaluation
-//! (Chapters 3, 4, 9). The drivers are shared between the Criterion benches
-//! (statistical timing of representative points) and the `figures` binary
-//! (full parameter sweeps printed as the paper's series).
+//! (Chapters 3, 4, 9). The drivers are shared between the `benches/`
+//! targets (statistical timing of representative points on the internal
+//! [`harness`]) and the `figures` binary (full parameter sweeps printed as
+//! the paper's series).
 //!
 //! Timing caveat (DESIGN.md): absolute numbers are incomparable to the 2005
 //! Java/Rainbow prototype on a 733 MHz PC; what is reproduced is each
@@ -145,4 +146,192 @@ pub fn measure_maintenance(store: Store, view: &str, script: &str) -> MaintPoint
 /// Pretty milliseconds.
 pub fn ms(d: Duration) -> String {
     format!("{:9.3}", d.as_secs_f64() * 1e3)
+}
+
+/// A family of `n` distinct view definitions over the generated bib/prices
+/// pair for the multi-view catalog sweep: per-year flat selections
+/// (bib-only), a prices-only projection, the two-document join, and the
+/// grouped/ordered running-example view, cycled until `n` views exist.
+pub fn multiview_queries(n: usize, years: usize) -> Vec<(String, String)> {
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let (name, q) = match i % 4 {
+            0 => {
+                let year = 1900 + (i / 4) % years.max(1);
+                (
+                    format!("flat_y{year}_{i}"),
+                    format!(
+                        r#"<result>{{
+  for $b in doc("bib.xml")/bib/book
+  where $b/@year = "{year}"
+  return <hit>{{$b/title}}</hit>
+}}</result>"#
+                    ),
+                )
+            }
+            1 => (
+                format!("prices_{i}"),
+                r#"<result>{
+  for $e in doc("prices.xml")/prices/entry
+  return <p>{$e/price}</p>
+}</result>"#
+                    .to_string(),
+            ),
+            2 => (format!("join_{i}"), FLAT_JOIN_VIEW.to_string()),
+            _ => (format!("grouped_{i}"), GROUPED_BIB_VIEW.to_string()),
+        };
+        out.push((name, q));
+    }
+    out
+}
+
+/// The two-document join without grouping (multi-view sweep member).
+pub const FLAT_JOIN_VIEW: &str = r#"<result>{
+  for $b in doc("bib.xml")/bib/book, $e in doc("prices.xml")/prices/entry
+  where $b/title = $e/b-title
+  return <pair>{$b/title}{$e/price}</pair>
+}</result>"#;
+
+/// Outcome of one multi-view catalog measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct MultiViewPoint {
+    /// Shared validation + relevancy routing + parallel apply (the catalog).
+    pub catalog: Duration,
+    /// The identical routed pipeline, forced sequential.
+    pub catalog_seq: Duration,
+    /// Naive baseline: one `ViewManager` per view, each re-resolving and
+    /// re-validating every script against its own store copy.
+    pub naive: Duration,
+    /// (update, view) pairs the catalog skipped by relevancy.
+    pub views_skipped: usize,
+    /// (update, view) pairs the catalog propagated.
+    pub views_routed: usize,
+}
+
+/// Maintain `queries` under `scripts` three ways — catalog (parallel),
+/// catalog (sequential), and a naive per-view `ViewManager` loop — timing
+/// each and asserting all three produce identical extents.
+pub fn measure_multiview(
+    store: &Store,
+    queries: &[(String, String)],
+    scripts: &[String],
+) -> MultiViewPoint {
+    // Catalog, parallel.
+    let mut cat = viewsrv::ViewCatalog::new(store.clone());
+    for (name, q) in queries {
+        cat.register(name, q).expect("view registers");
+    }
+    let t0 = Instant::now();
+    for s in scripts {
+        cat.apply_update_script(s).expect("catalog maintenance");
+    }
+    let catalog = t0.elapsed();
+    let stats = cat.stats();
+
+    // Catalog, sequential (same routing, no threads).
+    let mut seq = viewsrv::ViewCatalog::new(store.clone());
+    seq.set_parallel(false);
+    for (name, q) in queries {
+        seq.register(name, q).expect("view registers");
+    }
+    let t0 = Instant::now();
+    for s in scripts {
+        seq.apply_update_script(s).expect("sequential maintenance");
+    }
+    let catalog_seq = t0.elapsed();
+
+    // Naive: independent managers over private store copies.
+    let mut managers: Vec<(String, ViewManager)> = queries
+        .iter()
+        .map(|(name, q)| (name.clone(), ViewManager::new(store.clone(), q).expect("view")))
+        .collect();
+    let t0 = Instant::now();
+    for s in scripts {
+        for (_, vm) in &mut managers {
+            vm.apply_update_script(s).expect("naive maintenance");
+        }
+    }
+    let naive = t0.elapsed();
+
+    for (name, vm) in &managers {
+        assert_eq!(
+            cat.extent_xml(name).unwrap(),
+            vm.extent_xml(),
+            "catalog vs naive divergence on {name}"
+        );
+        assert_eq!(
+            seq.extent_xml(name).unwrap(),
+            vm.extent_xml(),
+            "sequential catalog divergence on {name}"
+        );
+    }
+
+    MultiViewPoint {
+        catalog,
+        catalog_seq,
+        naive,
+        views_skipped: stats.views_skipped,
+        views_routed: stats.views_routed,
+    }
+}
+
+/// The mixed update workload used by the multi-view sweep.
+pub fn multiview_workload(cfg: &datagen::BibConfig, batches: usize) -> Vec<String> {
+    let mut out = Vec::with_capacity(batches * 3);
+    for b in 0..batches {
+        out.push(datagen::insert_books_script(cfg, cfg.books + b * 2, 2, Some(1900)));
+        out.push(datagen::modify_prices_script(b * 3, 2, "33.33"));
+        out.push(datagen::delete_books_script(b * 2, 1));
+    }
+    out
+}
+
+pub mod harness {
+    //! Minimal statistical bench harness (the environment has no registry
+    //! access, so Criterion is unavailable): fixed sample count, median +
+    //! min reporting, setup excluded from timing. Used by the `benches/`
+    //! targets; the `figures` binary does its own full sweeps.
+
+    use std::time::{Duration, Instant};
+
+    /// Run `samples` timed iterations of `routine` and print min / median.
+    pub fn bench(name: &str, samples: usize, mut routine: impl FnMut() -> Duration) {
+        assert!(samples > 0);
+        let mut times: Vec<Duration> = (0..samples).map(|_| routine()).collect();
+        times.sort();
+        println!(
+            "{name:<44} min {} ms   median {} ms   ({samples} samples)",
+            super::ms(times[0]).trim(),
+            super::ms(times[times.len() / 2]).trim(),
+        );
+    }
+
+    /// Time `f` on a value produced by `setup` (setup excluded), like
+    /// Criterion's `iter_with_setup`.
+    pub fn timed_with_setup<S, T>(
+        name: &str,
+        samples: usize,
+        mut setup: impl FnMut() -> S,
+        mut f: impl FnMut(S) -> T,
+    ) {
+        bench(name, samples, || {
+            let input = setup();
+            let t0 = Instant::now();
+            let out = f(input);
+            let d = t0.elapsed();
+            std::hint::black_box(out);
+            d
+        });
+    }
+
+    /// Time `f` directly.
+    pub fn timed<T>(name: &str, samples: usize, mut f: impl FnMut() -> T) {
+        bench(name, samples, || {
+            let t0 = Instant::now();
+            let out = f();
+            let d = t0.elapsed();
+            std::hint::black_box(out);
+            d
+        });
+    }
 }

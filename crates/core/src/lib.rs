@@ -34,8 +34,12 @@ pub mod manager;
 pub mod propagate;
 pub mod update;
 pub mod validate;
+pub mod view;
 
 pub use manager::{MaintError, MaintStats, ViewManager};
 pub use propagate::propagate_batch;
-pub use update::{resolve_update_script, resolve_updates, ResolvedUpdate, UpdateKind};
+pub use update::{
+    apply_to_store, resolve_update_script, resolve_updates, ResolvedUpdate, UpdateKind,
+};
 pub use validate::{Relevancy, Sapt};
+pub use view::MaintView;

@@ -20,18 +20,22 @@
 //!   This realizes the paper's modify classification (§6.5) with the
 //!   delete/insert machinery; the paper's direct modify deltas are an
 //!   optimization over the same algebra.
+//!
+//! The view state itself lives in [`MaintView`] (store-less); the manager
+//! pairs it with an owned [`Store`]. Multi-view deployments share one store
+//! across many `MaintView`s through the `viewsrv` catalog instead.
 
-use crate::propagate::propagate_batch;
 use crate::update::{self, ResolvedUpdate, UpdateError, UpdateKind};
-use crate::validate::{Relevancy, Sapt};
-use flexkey::{FlexKey, SemId};
+use crate::validate::Relevancy;
+use crate::view::{text_node_key, widen_modify, MaintView};
+use flexkey::FlexKey;
 use std::fmt;
 use std::time::{Duration, Instant};
-use xat::exec::{ExecError, ExecOptions, ExecStats, Executor};
+use xat::exec::{ExecError, ExecStats};
 use xat::plan::Plan;
-use xat::translate::{translate_query, TranslateError};
-use xat::{ViewExtent, VNode};
-use xmlstore::{Frag, InsertPos, NodeData, Store};
+use xat::translate::TranslateError;
+use xat::ViewExtent;
+use xmlstore::Store;
 
 /// Per-maintenance-round statistics (the Chapter 9 cost breakdown:
 /// validate / propagate / apply).
@@ -53,18 +57,14 @@ impl MaintStats {
         self.validate + self.propagate + self.apply
     }
 
-    fn merge(&mut self, o: MaintStats) {
+    pub(crate) fn merge(&mut self, o: MaintStats) {
         self.validate += o.validate;
         self.propagate += o.propagate;
         self.apply += o.apply;
         self.relevant += o.relevant;
         self.irrelevant += o.irrelevant;
         self.fast_modifies += o.fast_modifies;
-        self.exec.total += o.exec.total;
-        self.exec.order_schema += o.exec.order_schema;
-        self.exec.overriding += o.exec.overriding;
-        self.exec.semid += o.exec.semid;
-        self.exec.final_sort += o.exec.final_sort;
+        self.exec.merge(&o.exec);
     }
 }
 
@@ -109,46 +109,31 @@ impl From<UpdateError> for MaintError {
 /// A materialized XQuery view with incremental maintenance.
 pub struct ViewManager {
     store: Store,
-    query: String,
-    plan: Plan,
-    out_col: String,
-    sapt: Sapt,
-    extent: ViewExtent,
-    opts: ExecOptions,
+    view: MaintView,
 }
 
 impl ViewManager {
     /// Define and materialize a view over `store` (takes ownership: the
     /// manager is the system of record for the sources).
     pub fn new(store: Store, query: &str) -> Result<ViewManager, MaintError> {
-        let (plan, out_col) = translate_query(query)?;
-        let sapt = Sapt::from_plan(&plan);
-        let mut vm = ViewManager {
-            store,
-            query: query.to_string(),
-            plan,
-            out_col,
-            sapt,
-            extent: ViewExtent::default(),
-            opts: ExecOptions::default(),
-        };
-        vm.extent = vm.compute_extent()?;
-        Ok(vm)
+        let mut view = MaintView::define(query)?;
+        view.materialize(&store)?;
+        Ok(ViewManager { store, view })
     }
 
     /// The view definition.
     pub fn query(&self) -> &str {
-        &self.query
+        self.view.query()
     }
 
     /// The annotated view plan.
     pub fn plan(&self) -> &Plan {
-        &self.plan
+        self.view.plan()
     }
 
     /// The view's Source Access Pattern Tree.
-    pub fn sapt(&self) -> &Sapt {
-        &self.sapt
+    pub fn sapt(&self) -> &crate::validate::Sapt {
+        self.view.sapt()
     }
 
     /// Read access to the source store.
@@ -156,38 +141,30 @@ impl ViewManager {
         &self.store
     }
 
+    /// The store-less view core.
+    pub fn view(&self) -> &MaintView {
+        &self.view
+    }
+
     /// The current materialized extent.
     pub fn extent(&self) -> &ViewExtent {
-        &self.extent
+        self.view.extent()
     }
 
     /// Serialized materialized view.
     pub fn extent_xml(&self) -> String {
-        self.extent.to_xml()
+        self.view.extent_xml()
     }
 
     /// Recompute the view from scratch over the current sources — the
     /// correctness oracle (§1.2) and the baseline the Chapter 9 experiments
     /// compare against.
     pub fn recompute(&self) -> Result<ViewExtent, MaintError> {
-        self.compute_extent()
+        self.view.compute_extent(&self.store)
     }
 
     pub fn recompute_xml(&self) -> Result<String, MaintError> {
         Ok(self.recompute()?.to_xml())
-    }
-
-    fn compute_extent(&self) -> Result<ViewExtent, MaintError> {
-        let mut ex = Executor::with_options(&self.store, self.opts);
-        let t = ex.eval(&self.plan)?;
-        if t.n_rows() == 0 {
-            return Ok(ViewExtent::default());
-        }
-        let ci = t
-            .col_idx(&self.out_col)
-            .ok_or_else(|| ExecError(format!("missing output column ${}", self.out_col)))?;
-        let items = t.rows[0].cells[ci].items().to_vec();
-        Ok(ex.materialize(&items)?)
     }
 
     /// Parse an XQuery-update script and maintain the view incrementally.
@@ -201,13 +178,16 @@ impl ViewManager {
 
     /// Maintain the view for a batch of resolved updates (mixed kinds and
     /// documents).
-    pub fn apply_resolved(&mut self, updates: Vec<ResolvedUpdate>) -> Result<MaintStats, MaintError> {
+    pub fn apply_resolved(
+        &mut self,
+        updates: Vec<ResolvedUpdate>,
+    ) -> Result<MaintStats, MaintError> {
         let mut stats = MaintStats::default();
         // Validate: classify and split the batch.
         let tv = Instant::now();
         let mut relevant: Vec<(ResolvedUpdate, Relevancy)> = Vec::new();
         for u in updates {
-            match self.sapt.classify(&self.store, &u) {
+            match self.view.sapt().classify(&self.store, &u) {
                 Relevancy::Irrelevant => {
                     // Apply to the source; the view is untouched (§5.2.1:
                     // "we prevent unnecessary update propagations").
@@ -222,7 +202,7 @@ impl ViewManager {
         }
         stats.validate += tv.elapsed();
         // Process per document: deletes → modifies → inserts.
-        let docs: Vec<String> = self.plan.source_docs();
+        let docs: Vec<String> = self.view.source_docs();
         for doc in docs {
             let mut deletes = Vec::new();
             let mut modifies = Vec::new();
@@ -244,7 +224,11 @@ impl ViewManager {
         Ok(stats)
     }
 
-    fn round_deletes(&mut self, doc: &str, dels: Vec<ResolvedUpdate>) -> Result<MaintStats, MaintError> {
+    fn round_deletes(
+        &mut self,
+        doc: &str,
+        dels: Vec<ResolvedUpdate>,
+    ) -> Result<MaintStats, MaintError> {
         let mut stats = MaintStats::default();
         if dels.is_empty() {
             return Ok(stats);
@@ -258,21 +242,24 @@ impl ViewManager {
             .collect();
         // Propagate against the pre-update store…
         let tp = Instant::now();
-        let (delta, exec) =
-            propagate_batch(&self.store, &self.plan, &self.out_col, doc, &roots, -1, self.opts)?;
+        let (delta, exec) = self.view.propagate(&self.store, doc, &roots, -1)?;
         stats.propagate += tp.elapsed();
-        stats.exec = exec;
+        stats.exec.merge(&exec);
         // …then apply to store and extent.
         let ta = Instant::now();
         for r in &roots {
             self.store.delete_subtree(r);
         }
-        self.apply_delta(delta);
+        self.view.apply_delta(delta);
         stats.apply += ta.elapsed();
         Ok(stats)
     }
 
-    fn round_inserts(&mut self, doc: &str, ins: Vec<ResolvedUpdate>) -> Result<MaintStats, MaintError> {
+    fn round_inserts(
+        &mut self,
+        doc: &str,
+        ins: Vec<ResolvedUpdate>,
+    ) -> Result<MaintStats, MaintError> {
         let mut stats = MaintStats::default();
         if ins.is_empty() {
             return Ok(stats);
@@ -285,12 +272,11 @@ impl ViewManager {
         }
         stats.apply += ta0.elapsed();
         let tp = Instant::now();
-        let (delta, exec) =
-            propagate_batch(&self.store, &self.plan, &self.out_col, doc, &roots, 1, self.opts)?;
+        let (delta, exec) = self.view.propagate(&self.store, doc, &roots, 1)?;
         stats.propagate += tp.elapsed();
-        stats.exec = exec;
+        stats.exec.merge(&exec);
         let ta = Instant::now();
-        self.apply_delta(delta);
+        self.view.apply_delta(delta);
         stats.apply += ta.elapsed();
         Ok(stats)
     }
@@ -308,166 +294,52 @@ impl ViewManager {
                 // so the extent copies are patched in place (§6.5's
                 // "modify" classification).
                 let ta = Instant::now();
-                let text_key = self.text_node_key(target);
+                let text_key = text_node_key(&self.store, target);
                 update::apply_to_store(&mut self.store, &u)?;
                 if let Some(tk) = text_key {
-                    let sem = SemId::base(tk);
-                    let mut roots = std::mem::take(&mut self.extent.roots);
-                    for root in &mut roots {
-                        patch_text(root, sem.identity(), new_value);
-                    }
-                    self.extent.roots = roots;
+                    self.view.patch_text_by_key(&tk, new_value);
                 }
                 stats.apply += ta.elapsed();
                 stats.fast_modifies += 1;
                 continue;
             }
             // Widen to delete+insert of the binding-anchor fragment.
-            let Some(anchor) = self.sapt.binding_anchor(&self.store, doc, target) else {
+            let Some(anchor) = self.view.sapt().binding_anchor(&self.store, doc, target) else {
                 // No bound ancestor: fall back to recomputation (correct,
                 // and only reachable for updates above every binding).
                 update::apply_to_store(&mut self.store, &u)?;
                 let tr = Instant::now();
-                self.extent = self.compute_extent()?;
+                let extent = self.view.compute_extent(&self.store)?;
+                self.view.set_extent(extent);
                 stats.apply += tr.elapsed();
                 continue;
             };
-            // Position bookkeeping for the re-insert.
-            let parent = anchor.parent().expect("bound anchor below the root");
-            let siblings: Vec<FlexKey> =
-                self.store.children(&parent).into_iter().map(|(k, _)| k).collect();
-            let idx = siblings.iter().position(|k| *k == anchor).expect("anchor exists");
-            let pos = if idx > 0 {
-                InsertPos::After(siblings[idx - 1].clone())
-            } else {
-                InsertPos::First
-            };
-            let pre_frag = self
-                .store
-                .extract_frag(&anchor)
-                .ok_or_else(|| UpdateError(format!("anchor {anchor} vanished")))?;
-            // Locate the modified node inside the fragment while the anchor
-            // is still in the store (child indices level by level).
-            let rel = index_path(&self.store_pre_keys(&anchor, target), &anchor, target);
+            let widened = widen_modify(&self.store, anchor, target, new_value)?;
             // Delete round (pre-state).
             let tp = Instant::now();
-            let (delta, exec) = propagate_batch(
-                &self.store,
-                &self.plan,
-                &self.out_col,
-                doc,
-                &[anchor.clone()],
-                -1,
-                self.opts,
-            )?;
+            let (delta, exec) =
+                self.view.propagate(&self.store, doc, std::slice::from_ref(&widened.anchor), -1)?;
             stats.propagate += tp.elapsed();
-            stats.exec = exec;
+            stats.exec.merge(&exec);
             let ta = Instant::now();
-            self.store.delete_subtree(&anchor);
-            self.apply_delta(delta);
+            self.store.delete_subtree(&widened.anchor);
+            self.view.apply_delta(delta);
             stats.apply += ta.elapsed();
             // Insert round (post-state) with the modified fragment.
-            let mut frag = pre_frag;
-            replace_in_frag(&mut frag, &rel, new_value);
             let ta = Instant::now();
             let new_root = self
                 .store
-                .insert_fragment(&parent, pos, &frag)
+                .insert_fragment(&widened.parent, widened.pos.clone(), &widened.new_frag)
                 .ok_or_else(|| UpdateError("re-insert position vanished".into()))?;
             stats.apply += ta.elapsed();
             let tp = Instant::now();
-            let (delta, exec) = propagate_batch(
-                &self.store,
-                &self.plan,
-                &self.out_col,
-                doc,
-                &[new_root],
-                1,
-                self.opts,
-            )?;
+            let (delta, exec) = self.view.propagate(&self.store, doc, &[new_root], 1)?;
             stats.propagate += tp.elapsed();
-            stats.exec = exec;
+            stats.exec.merge(&exec);
             let ta = Instant::now();
-            self.apply_delta(delta);
+            self.view.apply_delta(delta);
             stats.apply += ta.elapsed();
         }
         Ok(stats)
-    }
-
-    /// Key of the text child of `target` (or `target` itself when a text
-    /// node) — the node `replace_text` rewrites in place.
-    fn text_node_key(&self, target: &FlexKey) -> Option<FlexKey> {
-        match self.store.node(target)? {
-            n if matches!(n.data, NodeData::Text { .. }) => Some(target.clone()),
-            _ => self
-                .store
-                .children(target)
-                .into_iter()
-                .find(|(_, n)| matches!(n.data, NodeData::Text { .. }))
-                .map(|(k, _)| k),
-        }
-    }
-
-    /// Index path of `target` below `anchor` at extraction time (children
-    /// positions level by level), for locating it in the extracted fragment.
-    fn store_pre_keys(&self, anchor: &FlexKey, target: &FlexKey) -> Vec<Vec<FlexKey>> {
-        let mut out = Vec::new();
-        let mut k = anchor.clone();
-        for d in anchor.depth()..target.depth() {
-            let kids: Vec<FlexKey> = self.store.children(&k).into_iter().map(|(c, _)| c).collect();
-            out.push(kids);
-            k = FlexKey::from_segs(target.segs()[..d + 1].to_vec());
-        }
-        out
-    }
-
-    fn apply_delta(&mut self, delta: Vec<VNode>) {
-        xat::extent::union_many(&mut self.extent.roots, delta, false);
-    }
-}
-
-/// Replace the text under the node addressed by child indices `rel` within
-/// `frag` (empty path ⇒ the fragment root).
-fn replace_in_frag(frag: &mut Frag, rel: &[usize], new_value: &str) {
-    let mut node = frag;
-    for &i in rel {
-        node = &mut node.children[i];
-    }
-    match &mut node.data {
-        NodeData::Text { value } => *value = new_value.to_string(),
-        NodeData::Element { .. } => {
-            if let Some(t) = node
-                .children
-                .iter_mut()
-                .find(|c| matches!(c.data, NodeData::Text { .. }))
-            {
-                t.data = NodeData::text(new_value);
-            } else {
-                node.children.push(Frag::text(new_value));
-            }
-        }
-    }
-}
-
-/// Convert the level-by-level sibling lists into child indices.
-fn index_path(levels: &[Vec<FlexKey>], anchor: &FlexKey, target: &FlexKey) -> Vec<usize> {
-    let mut rel = Vec::new();
-    for (d, kids) in levels.iter().enumerate() {
-        let key_at = FlexKey::from_segs(target.segs()[..anchor.depth() + d + 1].to_vec());
-        if let Some(i) = kids.iter().position(|k| *k == key_at) {
-            rel.push(i);
-        }
-    }
-    rel
-}
-
-/// Patch every extent node whose identity matches `sem` (base text copies
-/// can be exposed several times) with the new text value.
-fn patch_text(node: &mut VNode, ident: &flexkey::semid::SemBody, new_value: &str) {
-    if node.sem.identity() == ident {
-        node.data = NodeData::text(new_value);
-    }
-    for c in &mut node.children {
-        patch_text(c, ident, new_value);
     }
 }

@@ -54,7 +54,7 @@ pub fn propagate_batch(
         ex.set_delta(doc, frag_roots.to_vec(), sign);
         let table = ex.eval(&imp)?;
         if table.n_rows() == 0 {
-            stats = add(stats, ex.stats);
+            stats.merge(&ex.stats);
             continue;
         }
         let ci = table
@@ -63,19 +63,9 @@ pub fn propagate_batch(
         let items = table.rows[0].cells[ci].items().to_vec();
         let extent = ex.materialize_signed(&items)?;
         xat::extent::union_many(&mut delta_roots, extent.roots, true);
-        stats = add(stats, ex.stats);
+        stats.merge(&ex.stats);
     }
     Ok((delta_roots, stats))
-}
-
-fn add(a: ExecStats, b: ExecStats) -> ExecStats {
-    ExecStats {
-        total: a.total + b.total,
-        order_schema: a.order_schema + b.order_schema,
-        overriding: a.overriding + b.overriding,
-        semid: a.semid + b.semid,
-        final_sort: a.final_sort + b.final_sort,
-    }
 }
 
 #[cfg(test)]
@@ -108,10 +98,12 @@ mod tests {
 
         // Insert a book (apply first: store is post-state for inserts).
         let bib = s.doc_root("bib.xml").unwrap();
-        let frag = Frag::elem("book").attr("year", "1997").child(Frag::elem("title").text_child("C"));
+        let frag =
+            Frag::elem("book").attr("year", "1997").child(Frag::elem("title").text_child("C"));
         let new = s.insert_fragment(&bib, InsertPos::Last, &frag).unwrap();
 
-        let (delta, _) = propagate_batch(&s, &plan, &col, "bib.xml", &[new], 1, ExecOptions::default()).unwrap();
+        let (delta, _) =
+            propagate_batch(&s, &plan, &col, "bib.xml", &[new], 1, ExecOptions::default()).unwrap();
         let mut roots = before.roots;
         for d in delta {
             deep_union_siblings(&mut roots, d);
@@ -131,7 +123,16 @@ mod tests {
         let bib = s.doc_root("bib.xml").unwrap();
         let victim = s.children_named(&bib, "book")[0].clone();
         // Propagate first (store is pre-state for deletes), then apply.
-        let (delta, _) = propagate_batch(&s, &plan, &col, "bib.xml", &[victim.clone()], -1, ExecOptions::default()).unwrap();
+        let (delta, _) = propagate_batch(
+            &s,
+            &plan,
+            &col,
+            "bib.xml",
+            std::slice::from_ref(&victim),
+            -1,
+            ExecOptions::default(),
+        )
+        .unwrap();
         s.delete_subtree(&victim);
 
         let mut roots = before.roots;
@@ -154,12 +155,13 @@ mod tests {
         let mut roots_new = Vec::new();
         for i in 0..5 {
             let f = Frag::elem("book")
-                .attr("year", &format!("19{i}0"))
+                .attr("year", format!("19{i}0"))
                 .child(Frag::elem("title").text_child(format!("N{i}")));
             roots_new.push(s.insert_fragment(&bib, InsertPos::Last, &f).unwrap());
         }
         let (delta, _) =
-            propagate_batch(&s, &plan, &col, "bib.xml", &roots_new, 1, ExecOptions::default()).unwrap();
+            propagate_batch(&s, &plan, &col, "bib.xml", &roots_new, 1, ExecOptions::default())
+                .unwrap();
         let mut roots = before.roots;
         for d in delta {
             deep_union_siblings(&mut roots, d);

@@ -12,7 +12,10 @@
 use flexkey::FlexKey;
 use std::fmt;
 use xmlstore::{Frag, InsertPos, Store};
-use xquery_lang::{parse_updates, BoolExpr, CmpOp, Expr, NodeTest, PathSource, Step, StepPredicate, UpdateAction, UpdateStmt};
+use xquery_lang::{
+    parse_updates, BoolExpr, CmpOp, Expr, NodeTest, PathSource, Step, StepPredicate, UpdateAction,
+    UpdateStmt,
+};
 
 /// The kind of a resolved update primitive.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -27,25 +30,12 @@ pub enum UpdateKind {
 #[derive(Clone, Debug)]
 pub enum ResolvedUpdate {
     /// Insert `frag` under `parent` at `pos`.
-    Insert {
-        doc: String,
-        parent: FlexKey,
-        pos: InsertPos,
-        frag: Frag,
-    },
+    Insert { doc: String, parent: FlexKey, pos: InsertPos, frag: Frag },
     /// Delete the subtree rooted at `target`. `frag` is the sufficiency
     /// annotation: the full fragment extracted from the pre-update store.
-    Delete {
-        doc: String,
-        target: FlexKey,
-        frag: Frag,
-    },
+    Delete { doc: String, target: FlexKey, frag: Frag },
     /// Replace the text content of `target` with `new_value`.
-    ReplaceText {
-        doc: String,
-        target: FlexKey,
-        new_value: String,
-    },
+    ReplaceText { doc: String, target: FlexKey, new_value: String },
 }
 
 impl ResolvedUpdate {
@@ -68,7 +58,9 @@ impl ResolvedUpdate {
     /// Number of nodes in the update payload (update size, Figures 9.4/9.5).
     pub fn size(&self) -> usize {
         match self {
-            ResolvedUpdate::Insert { frag, .. } | ResolvedUpdate::Delete { frag, .. } => frag.size(),
+            ResolvedUpdate::Insert { frag, .. } | ResolvedUpdate::Delete { frag, .. } => {
+                frag.size()
+            }
             ResolvedUpdate::ReplaceText { .. } => 1,
         }
     }
@@ -87,13 +79,19 @@ impl fmt::Display for UpdateError {
 impl std::error::Error for UpdateError {}
 
 /// Parse an update script and resolve every statement against `store`.
-pub fn resolve_update_script(store: &Store, script: &str) -> Result<Vec<ResolvedUpdate>, UpdateError> {
+pub fn resolve_update_script(
+    store: &Store,
+    script: &str,
+) -> Result<Vec<ResolvedUpdate>, UpdateError> {
     let stmts = parse_updates(script).map_err(|e| UpdateError(e.to_string()))?;
     resolve_updates(store, &stmts)
 }
 
 /// Resolve parsed update statements against the (pre-update) store.
-pub fn resolve_updates(store: &Store, stmts: &[UpdateStmt]) -> Result<Vec<ResolvedUpdate>, UpdateError> {
+pub fn resolve_updates(
+    store: &Store,
+    stmts: &[UpdateStmt],
+) -> Result<Vec<ResolvedUpdate>, UpdateError> {
     let mut out = Vec::new();
     for stmt in stmts {
         out.extend(resolve_one(store, stmt)?);
@@ -186,7 +184,11 @@ fn resolve_one(store: &Store, stmt: &UpdateStmt) -> Result<Vec<ResolvedUpdate>, 
 /// Evaluate location steps (with positional / comparison predicates) from a
 /// node — the small navigator used for update-target binding only; view
 /// evaluation uses the full engine.
-pub fn eval_steps(store: &Store, from: &FlexKey, steps: &[Step]) -> Result<Vec<FlexKey>, UpdateError> {
+pub fn eval_steps(
+    store: &Store,
+    from: &FlexKey,
+    steps: &[Step],
+) -> Result<Vec<FlexKey>, UpdateError> {
     let mut frontier = vec![from.clone()];
     for step in steps {
         let mut next = Vec::new();
@@ -237,7 +239,9 @@ pub fn eval_steps(store: &Store, from: &FlexKey, steps: &[Step]) -> Result<Vec<F
 
 fn eval_where(store: &Store, target: &FlexKey, var: &str, w: &BoolExpr) -> bool {
     match w {
-        BoolExpr::And(a, b) => eval_where(store, target, var, a) && eval_where(store, target, var, b),
+        BoolExpr::And(a, b) => {
+            eval_where(store, target, var, a) && eval_where(store, target, var, b)
+        }
         BoolExpr::Cmp { lhs, op, rhs } => {
             let lv = operand_values(store, target, var, lhs);
             let rv = operand_values(store, target, var, rhs);

@@ -180,7 +180,12 @@ fn update_names(store: &Store, u: &ResolvedUpdate) -> (Vec<String>, Vec<String>)
 
 /// Does the update at `anchor_names` (with optional payload root names for
 /// inserts) intersect an access path?
-fn path_intersects(anchor: &[String], payload_roots: &[String], kind: UpdateKind, steps: &[Step]) -> bool {
+fn path_intersects(
+    anchor: &[String],
+    payload_roots: &[String],
+    kind: UpdateKind,
+    steps: &[Step],
+) -> bool {
     // Build the update's effective path: anchor names, plus the payload root
     // for inserts (the new node's own path).
     let mut full: Vec<Vec<String>> = Vec::new();
@@ -268,7 +273,11 @@ fn walk(plan: &Plan, sapt: &mut Sapt, col_paths: &mut BTreeMap<String, (String, 
     }
 }
 
-fn mark_sensitive(op: &Operand, sapt: &mut Sapt, col_paths: &BTreeMap<String, (String, Vec<Step>)>) {
+fn mark_sensitive(
+    op: &Operand,
+    sapt: &mut Sapt,
+    col_paths: &BTreeMap<String, (String, Vec<Step>)>,
+) {
     let (col, extra) = match op {
         Operand::Col(c) => (c, &[][..]),
         Operand::Path { col, steps } => (col, steps.as_slice()),

@@ -1,0 +1,254 @@
+//! [`MaintView`]: one maintained view *without* its store.
+//!
+//! The seed's [`crate::ViewManager`] owns both the sources and the view —
+//! correct for the paper's single-view experiments, but a service maintains
+//! **many** views over **shared** documents. `MaintView` is the store-less
+//! core extracted from the manager: definition (plan + SAPT), materialized
+//! extent, and the VPA primitives (compute, propagate, apply-delta, in-place
+//! text patch), each parameterized by an external `&Store`. `ViewManager`
+//! now wraps `Store + MaintView`; the `viewsrv` catalog drives N
+//! `MaintView`s over one store, validating each source update once.
+
+use crate::manager::MaintError;
+use crate::propagate::propagate_batch;
+use crate::update::UpdateError;
+use crate::validate::Sapt;
+use flexkey::{FlexKey, SemId};
+use xat::exec::{ExecError, ExecOptions, ExecStats, Executor};
+use xat::plan::Plan;
+use xat::translate::translate_query;
+use xat::{VNode, ViewExtent};
+use xmlstore::{Frag, InsertPos, NodeData, Store};
+
+/// A materialized XQuery view minus the source store: definition, SAPT, and
+/// extent, with every maintenance primitive taking the store explicitly.
+pub struct MaintView {
+    query: String,
+    plan: Plan,
+    out_col: String,
+    sapt: Sapt,
+    extent: ViewExtent,
+    opts: ExecOptions,
+}
+
+impl MaintView {
+    /// Translate and annotate `query`; the extent starts empty — call
+    /// [`MaintView::materialize`] against a store.
+    pub fn define(query: &str) -> Result<MaintView, MaintError> {
+        let (plan, out_col) = translate_query(query)?;
+        let sapt = Sapt::from_plan(&plan);
+        Ok(MaintView {
+            query: query.to_string(),
+            plan,
+            out_col,
+            sapt,
+            extent: ViewExtent::default(),
+            opts: ExecOptions::default(),
+        })
+    }
+
+    /// Compute the extent from scratch and install it.
+    pub fn materialize(&mut self, store: &Store) -> Result<(), MaintError> {
+        self.extent = self.compute_extent(store)?;
+        Ok(())
+    }
+
+    /// The view definition.
+    pub fn query(&self) -> &str {
+        &self.query
+    }
+
+    /// The annotated view plan.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// The output column of the plan root.
+    pub fn out_col(&self) -> &str {
+        &self.out_col
+    }
+
+    /// The view's Source Access Pattern Tree.
+    pub fn sapt(&self) -> &Sapt {
+        &self.sapt
+    }
+
+    /// The current materialized extent.
+    pub fn extent(&self) -> &ViewExtent {
+        &self.extent
+    }
+
+    /// Serialized materialized view.
+    pub fn extent_xml(&self) -> String {
+        self.extent.to_xml()
+    }
+
+    /// Documents this view reads (deduplicated, from the plan sources).
+    pub fn source_docs(&self) -> Vec<String> {
+        self.plan.source_docs()
+    }
+
+    /// Execution options used for (re)computation and propagation.
+    pub fn opts(&self) -> ExecOptions {
+        self.opts
+    }
+
+    /// Full recomputation over `store` — the §1.2 correctness oracle.
+    pub fn compute_extent(&self, store: &Store) -> Result<ViewExtent, MaintError> {
+        let mut ex = Executor::with_options(store, self.opts);
+        let t = ex.eval(&self.plan)?;
+        if t.n_rows() == 0 {
+            return Ok(ViewExtent::default());
+        }
+        let ci = t
+            .col_idx(&self.out_col)
+            .ok_or_else(|| ExecError(format!("missing output column ${}", self.out_col)))?;
+        let items = t.rows[0].cells[ci].items().to_vec();
+        Ok(ex.materialize(&items)?)
+    }
+
+    pub fn recompute_xml(&self, store: &Store) -> Result<String, MaintError> {
+        Ok(self.compute_extent(store)?.to_xml())
+    }
+
+    /// Propagate one same-signed batch of update fragments of `doc` through
+    /// this view's IMPs (read-only on the store): the Propagate phase.
+    pub fn propagate(
+        &self,
+        store: &Store,
+        doc: &str,
+        frag_roots: &[FlexKey],
+        sign: i64,
+    ) -> Result<(Vec<VNode>, ExecStats), MaintError> {
+        Ok(propagate_batch(store, &self.plan, &self.out_col, doc, frag_roots, sign, self.opts)?)
+    }
+
+    /// Merge a delta update tree into the extent (count-aware deep union):
+    /// the Apply phase.
+    pub fn apply_delta(&mut self, delta: Vec<VNode>) {
+        xat::extent::union_many(&mut self.extent.roots, delta, false);
+    }
+
+    /// Replace the whole extent (recomputation fallback paths).
+    pub fn set_extent(&mut self, extent: ViewExtent) {
+        self.extent = extent;
+    }
+
+    /// In-place fast path for content-only modifies (§6.5): patch every
+    /// extent copy of the text node stored under `text_key`.
+    pub fn patch_text_by_key(&mut self, text_key: &FlexKey, new_value: &str) {
+        let sem = SemId::base(text_key.clone());
+        let mut roots = std::mem::take(&mut self.extent.roots);
+        for root in &mut roots {
+            patch_text(root, sem.identity(), new_value);
+        }
+        self.extent.roots = roots;
+    }
+}
+
+/// A modify widened to delete+insert of a fragment (§6.5): everything a
+/// maintainer needs to run the delete round at `anchor`, then re-insert
+/// `new_frag` (the pre-update fragment with the text change applied) at the
+/// same source position.
+pub struct WidenedModify {
+    pub anchor: FlexKey,
+    pub parent: FlexKey,
+    pub pos: InsertPos,
+    pub new_frag: Frag,
+}
+
+/// Plan the widening of a text modify at `target` into delete+insert of the
+/// subtree rooted at `anchor` (an ancestor-or-self of `target`). Must be
+/// called while the anchor is still in the store.
+pub fn widen_modify(
+    store: &Store,
+    anchor: FlexKey,
+    target: &FlexKey,
+    new_value: &str,
+) -> Result<WidenedModify, UpdateError> {
+    let parent = anchor.parent().expect("bound anchor below the root");
+    let siblings: Vec<FlexKey> = store.children(&parent).into_iter().map(|(k, _)| k).collect();
+    let idx = siblings
+        .iter()
+        .position(|k| *k == anchor)
+        .ok_or_else(|| UpdateError(format!("anchor {anchor} vanished")))?;
+    let pos = if idx > 0 { InsertPos::After(siblings[idx - 1].clone()) } else { InsertPos::First };
+    let mut frag = store
+        .extract_frag(&anchor)
+        .ok_or_else(|| UpdateError(format!("anchor {anchor} vanished")))?;
+    // Locate the modified node inside the fragment while the anchor is
+    // still in the store (child indices level by level).
+    let rel = index_path(&store_pre_keys(store, &anchor, target), &anchor, target);
+    replace_in_frag(&mut frag, &rel, new_value);
+    Ok(WidenedModify { anchor, parent, pos, new_frag: frag })
+}
+
+/// Index path of `target` below `anchor` at extraction time (children
+/// positions level by level), for locating it in the extracted fragment.
+fn store_pre_keys(store: &Store, anchor: &FlexKey, target: &FlexKey) -> Vec<Vec<FlexKey>> {
+    let mut out = Vec::new();
+    let mut k = anchor.clone();
+    for d in anchor.depth()..target.depth() {
+        let kids: Vec<FlexKey> = store.children(&k).into_iter().map(|(c, _)| c).collect();
+        out.push(kids);
+        k = FlexKey::from_segs(target.segs()[..d + 1].to_vec());
+    }
+    out
+}
+
+/// Convert the level-by-level sibling lists into child indices.
+fn index_path(levels: &[Vec<FlexKey>], anchor: &FlexKey, target: &FlexKey) -> Vec<usize> {
+    let mut rel = Vec::new();
+    for (d, kids) in levels.iter().enumerate() {
+        let key_at = FlexKey::from_segs(target.segs()[..anchor.depth() + d + 1].to_vec());
+        if let Some(i) = kids.iter().position(|k| *k == key_at) {
+            rel.push(i);
+        }
+    }
+    rel
+}
+
+/// Replace the text under the node addressed by child indices `rel` within
+/// `frag` (empty path ⇒ the fragment root).
+fn replace_in_frag(frag: &mut Frag, rel: &[usize], new_value: &str) {
+    let mut node = frag;
+    for &i in rel {
+        node = &mut node.children[i];
+    }
+    match &mut node.data {
+        NodeData::Text { value } => *value = new_value.to_string(),
+        NodeData::Element { .. } => {
+            if let Some(t) =
+                node.children.iter_mut().find(|c| matches!(c.data, NodeData::Text { .. }))
+            {
+                t.data = NodeData::text(new_value);
+            } else {
+                node.children.push(Frag::text(new_value));
+            }
+        }
+    }
+}
+
+/// Key of the text child of `target` (or `target` itself when a text node)
+/// — the node `replace_text` rewrites in place.
+pub fn text_node_key(store: &Store, target: &FlexKey) -> Option<FlexKey> {
+    match store.node(target)? {
+        n if matches!(n.data, NodeData::Text { .. }) => Some(target.clone()),
+        _ => store
+            .children(target)
+            .into_iter()
+            .find(|(_, n)| matches!(n.data, NodeData::Text { .. }))
+            .map(|(k, _)| k),
+    }
+}
+
+/// Patch every extent node whose identity matches `sem` (base text copies
+/// can be exposed several times) with the new text value.
+fn patch_text(node: &mut VNode, ident: &flexkey::semid::SemBody, new_value: &str) {
+    if node.sem.identity() == ident {
+        node.data = NodeData::text(new_value);
+    }
+    for c in &mut node.children {
+        patch_text(c, ident, new_value);
+    }
+}

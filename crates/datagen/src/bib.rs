@@ -96,8 +96,18 @@ pub fn prices_xml(cfg: &BibConfig) -> String {
 }
 
 const LAST_NAMES: &[&str] = &[
-    "Stevens", "Abiteboul", "Buneman", "Suciu", "Widom", "Ullman", "Gray", "Codd", "Chen",
-    "Bernstein", "Stonebraker", "DeWitt",
+    "Stevens",
+    "Abiteboul",
+    "Buneman",
+    "Suciu",
+    "Widom",
+    "Ullman",
+    "Gray",
+    "Codd",
+    "Chen",
+    "Bernstein",
+    "Stonebraker",
+    "DeWitt",
 ];
 
 const FIRST_NAMES: &[&str] = &[

@@ -19,5 +19,7 @@ pub mod workload;
 pub mod xmark;
 
 pub use bib::{bib_xml, prices_xml, BibConfig};
-pub use workload::{delete_books_script, delete_year_script, insert_books_script, modify_prices_script};
+pub use workload::{
+    delete_books_script, delete_year_script, insert_books_script, modify_prices_script,
+};
 pub use xmark::{site_xml, SiteConfig};

@@ -7,7 +7,12 @@ use std::fmt::Write;
 /// Script inserting `n` fresh books at the end of bib.xml. `start_idx`
 /// should continue the generator's numbering so titles stay unique; setting
 /// `year` groups them into one year (skewed batch) or `None` spreads them.
-pub fn insert_books_script(cfg: &BibConfig, start_idx: usize, n: usize, year: Option<usize>) -> String {
+pub fn insert_books_script(
+    cfg: &BibConfig,
+    start_idx: usize,
+    n: usize,
+    year: Option<usize>,
+) -> String {
     let mut out = String::new();
     for j in 0..n {
         let i = start_idx + j;

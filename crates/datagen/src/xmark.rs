@@ -36,12 +36,7 @@ impl SiteConfig {
     /// A configuration scaled to roughly `mb` megabytes of serialized XML.
     pub fn for_megabytes(mb: usize) -> SiteConfig {
         let people = mb * 1800;
-        SiteConfig {
-            people,
-            closed_auctions: people / 2,
-            open_auctions: people / 2,
-            seed: 2005,
-        }
+        SiteConfig { people, closed_auctions: people / 2, open_auctions: people / 2, seed: 2005 }
     }
 }
 
@@ -109,8 +104,16 @@ pub fn site_xml(cfg: &SiteConfig) -> String {
 }
 
 const CITIES: &[&str] = &[
-    "Worcester", "Boston", "Cambridge", "Springfield", "Lowell", "Providence", "Hartford",
-    "Albany", "Portland", "Burlington",
+    "Worcester",
+    "Boston",
+    "Cambridge",
+    "Springfield",
+    "Lowell",
+    "Providence",
+    "Hartford",
+    "Albany",
+    "Portland",
+    "Burlington",
 ];
 
 const COUNTRIES: &[&str] = &["United States", "Canada", "Mexico", "Germany", "Egypt", "Japan"];

@@ -68,9 +68,7 @@ impl FlexKey {
         if self.segs.is_empty() {
             None
         } else {
-            Some(FlexKey {
-                segs: self.segs[..self.segs.len() - 1].to_vec(),
-            })
+            Some(FlexKey { segs: self.segs[..self.segs.len() - 1].to_vec() })
         }
     }
 
@@ -125,13 +123,14 @@ impl FlexKey {
     ///
     /// # Panics
     /// In debug builds, if `lo`/`hi` are present but not siblings in order.
-    pub fn sibling_between(parent: &FlexKey, lo: Option<&FlexKey>, hi: Option<&FlexKey>) -> FlexKey {
+    pub fn sibling_between(
+        parent: &FlexKey,
+        lo: Option<&FlexKey>,
+        hi: Option<&FlexKey>,
+    ) -> FlexKey {
         debug_assert!(lo.is_none_or(|k| parent.is_parent_of(k)));
         debug_assert!(hi.is_none_or(|k| parent.is_parent_of(k)));
-        let seg = Seg::between(
-            lo.and_then(|k| k.last_seg()),
-            hi.and_then(|k| k.last_seg()),
-        );
+        let seg = Seg::between(lo.and_then(|k| k.last_seg()), hi.and_then(|k| k.last_seg()));
         parent.child(seg)
     }
 }
@@ -237,7 +236,6 @@ impl From<FlexKey> for Key {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn k(s: &str) -> FlexKey {
         FlexKey::parse(s).unwrap()
@@ -334,31 +332,60 @@ mod tests {
         assert_eq!(plain.to_string(), "f.b[f,f.b]");
     }
 
-    fn arb_key() -> impl Strategy<Value = FlexKey> {
-        proptest::collection::vec(0usize..40, 0..5)
-            .prop_map(|idx| FlexKey::from_segs(idx.into_iter().map(Seg::nth).collect()))
+    /// Tiny deterministic generator (no external deps in this crate): an
+    /// LCG driving random keys of 0..5 segments drawn from Seg::nth(0..40).
+    struct TestRng(u64);
+
+    impl TestRng {
+        fn next(&mut self, bound: usize) -> usize {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((self.0 >> 33) as usize) % bound
+        }
+
+        fn key(&mut self) -> FlexKey {
+            let len = self.next(5);
+            FlexKey::from_segs((0..len).map(|_| Seg::nth(self.next(40))).collect())
+        }
     }
 
-    proptest! {
-        #[test]
-        fn prop_ancestor_implies_less(a in arb_key(), b in arb_key()) {
+    #[test]
+    fn random_ancestor_implies_less() {
+        let mut rng = TestRng(11);
+        for _ in 0..2000 {
+            let a = rng.key();
+            let b = rng.key();
             if a.is_ancestor_of(&b) {
-                prop_assert!(a < b);
+                assert!(a < b, "{a} ancestor of {b} but not smaller");
+            }
+            // Also force the ancestor relation to hold often.
+            let c = b.child(Seg::nth(rng.next(40)));
+            if b.is_ancestor_of(&c) {
+                assert!(b < c, "{b} !< its descendant {c}");
             }
         }
+    }
 
-        #[test]
-        fn prop_parse_display_roundtrip(a in arb_key()) {
-            prop_assert_eq!(FlexKey::parse(&a.to_string()).unwrap(), a);
+    #[test]
+    fn random_parse_display_roundtrip() {
+        let mut rng = TestRng(22);
+        for _ in 0..2000 {
+            let a = rng.key();
+            assert_eq!(FlexKey::parse(&a.to_string()).unwrap(), a);
         }
+    }
 
-        #[test]
-        fn prop_sibling_between_within_parent(p in arb_key(), i in 0usize..20, j in 21usize..40) {
+    #[test]
+    fn random_sibling_between_within_parent() {
+        let mut rng = TestRng(33);
+        for _ in 0..2000 {
+            let p = rng.key();
+            let i = rng.next(20);
+            let j = 21 + rng.next(19);
             let c1 = p.nth_child(i);
             let c2 = p.nth_child(j);
             let m = FlexKey::sibling_between(&p, Some(&c1), Some(&c2));
-            prop_assert!(c1 < m && m < c2);
-            prop_assert!(p.is_parent_of(&m));
+            assert!(c1 < m && m < c2, "{c1} {m} {c2}");
+            assert!(p.is_parent_of(&m));
         }
     }
 }

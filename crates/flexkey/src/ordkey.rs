@@ -177,8 +177,7 @@ mod tests {
 
     #[test]
     fn numeric_order_values() {
-        let atoms = [-2.5f64, -1.0, 0.0, 0.5, 39.95, 65.95, 70.0]
-            .map(OrdAtom::num);
+        let atoms = [-2.5f64, -1.0, 0.0, 0.5, 39.95, 65.95, 70.0].map(OrdAtom::num);
         for w in atoms.windows(2) {
             assert!(w[0] < w[1], "{:?} !< {:?}", w[0], w[1]);
         }

@@ -181,7 +181,6 @@ impl fmt::Display for Seg {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn nth_is_strictly_increasing() {
@@ -268,40 +267,68 @@ mod tests {
         assert!(Seg::parse("ab").is_some(), "'a' allowed in the middle");
     }
 
-    fn arb_seg() -> impl Strategy<Value = Seg> {
-        proptest::collection::vec(MIN..=MAX, 1..6).prop_map(|mut v| {
+    /// Tiny deterministic generator (no external deps in this crate).
+    struct TestRng(u64);
+
+    impl TestRng {
+        fn next(&mut self, bound: usize) -> usize {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((self.0 >> 33) as usize) % bound
+        }
+
+        fn seg(&mut self) -> Seg {
+            let len = 1 + self.next(5);
+            let mut v: Vec<u8> =
+                (0..len).map(|_| MIN + self.next((MAX - MIN + 1) as usize) as u8).collect();
             if *v.last().unwrap() == MIN {
                 *v.last_mut().unwrap() = MIN + 1;
             }
             Seg(v)
-        })
+        }
     }
 
-    proptest! {
-        #[test]
-        fn prop_between_is_strictly_inside(a in arb_seg(), b in arb_seg()) {
-            prop_assume!(a != b);
+    #[test]
+    fn random_between_is_strictly_inside() {
+        let mut rng = TestRng(44);
+        for _ in 0..4000 {
+            let a = rng.seg();
+            let b = rng.seg();
+            if a == b {
+                continue;
+            }
             let (lo, hi) = if a < b { (a, b) } else { (b, a) };
             let m = Seg::between(Some(&lo), Some(&hi));
-            prop_assert!(lo < m && m < hi, "lo={lo:?} m={m:?} hi={hi:?}");
-            prop_assert_ne!(*m.as_bytes().last().unwrap(), MIN);
+            assert!(lo < m && m < hi, "lo={lo:?} m={m:?} hi={hi:?}");
+            assert_ne!(*m.as_bytes().last().unwrap(), MIN);
         }
+    }
 
-        #[test]
-        fn prop_between_open_ends(a in arb_seg()) {
+    #[test]
+    fn random_between_open_ends() {
+        let mut rng = TestRng(55);
+        for _ in 0..4000 {
+            let a = rng.seg();
             let below = Seg::between(None, Some(&a));
-            prop_assert!(below < a);
+            assert!(below < a);
             let over = Seg::between(Some(&a), None);
-            prop_assert!(over > a);
+            assert!(over > a);
         }
+    }
 
-        #[test]
-        fn prop_repeated_squeeze(a in arb_seg(), b in arb_seg(), n in 1usize..24) {
-            prop_assume!(a != b);
+    #[test]
+    fn random_repeated_squeeze() {
+        let mut rng = TestRng(66);
+        for _ in 0..500 {
+            let a = rng.seg();
+            let b = rng.seg();
+            if a == b {
+                continue;
+            }
+            let n = 1 + rng.next(23);
             let (mut lo, hi) = if a < b { (a, b) } else { (b, a) };
             for _ in 0..n {
                 let m = Seg::between(Some(&lo), Some(&hi));
-                prop_assert!(lo < m && m < hi);
+                assert!(lo < m && m < hi);
                 lo = m;
             }
         }

@@ -1,0 +1,817 @@
+//! # viewsrv — multi-view catalog with shared validation and parallel maintenance
+//!
+//! The paper's [`vpa_core::ViewManager`] maintains *one* materialized view
+//! over sources it owns. A production service maintains **many** views over
+//! **shared** documents, and the paper's own relevancy check (the SAPT,
+//! Fig 5.2) is exactly the lever to do so efficiently: an incoming update
+//! batch is resolved and classified **once**, then propagated only to the
+//! views it can actually affect.
+//!
+//! [`ViewCatalog`] owns one [`Store`] plus N registered [`MaintView`]s and
+//! runs the VPA phases service-wide:
+//!
+//! 1. **Validate (shared)** — each resolved update is routed through a
+//!    document→views *relevancy index* built from the registered SAPTs, so
+//!    only views that read the updated document are classified at all, and
+//!    only views whose access paths intersect the update receive it.
+//! 2. **Propagate (routed, parallel)** — per document and update kind, each
+//!    relevant view derives its delta with its own IMPs. Views are
+//!    independent, and propagation is read-only on the store, so the IMP
+//!    executions run on scoped threads, chunked to the hardware
+//!    parallelism.
+//! 3. **Apply (parallel)** — the source update is applied to the shared
+//!    store **once**; each view's delta then merges into its own extent
+//!    (count-aware deep union), again in parallel.
+//!
+//! Modifies keep the paper's classification (§6.5): if *every* relevant
+//! view sees a content-only change, the text is patched in place
+//! store-side and extent-side; otherwise the modify widens to
+//! delete+insert of a shared anchor fragment, which is then re-routed —
+//! widening changes node keys, so views untouched by the original text
+//! change can still be touched by the widened fragment.
+//!
+//! [`ServiceStats`] aggregates per-phase wall times and the routing
+//! counters (updates seen, view propagations, views skipped by relevancy),
+//! and [`ViewCatalog::verify_all`] is the service-level §1.2 oracle: every
+//! extent must equal its from-scratch recomputation.
+
+use flexkey::FlexKey;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::time::{Duration, Instant};
+use vpa_core::manager::{MaintError, MaintStats};
+use vpa_core::update::{self, ResolvedUpdate, UpdateKind};
+use vpa_core::validate::Relevancy;
+use vpa_core::view::{text_node_key, widen_modify, MaintView};
+use xat::exec::ExecStats;
+use xat::VNode;
+use xmlstore::{Frag, Store};
+
+/// Service-level statistics: the Chapter 9 per-phase breakdown lifted to
+/// the catalog, plus the relevancy-routing counters that only exist with
+/// multiple views.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServiceStats {
+    /// Update batches processed.
+    pub batches: usize,
+    /// Resolved update primitives seen.
+    pub updates_seen: usize,
+    /// (update, view) pairs skipped by the relevancy check — work a naive
+    /// per-view loop would have propagated.
+    pub views_skipped: usize,
+    /// (update, view) pairs routed into propagation.
+    pub views_routed: usize,
+    /// Modifies served by the in-place fast path (all relevant views
+    /// content-only).
+    pub fast_modifies: usize,
+    /// Modifies widened to delete+insert of an anchor fragment.
+    pub widened_modifies: usize,
+    /// Views refreshed by full recomputation (no binding anchor fallback).
+    pub recomputes: usize,
+    /// Wall time of the shared Validate phase (resolution + routing).
+    pub validate: Duration,
+    /// Wall time of the Propagate phases (parallel sections measured as
+    /// wall time, not summed across threads).
+    pub propagate: Duration,
+    /// Wall time of the Apply phases (store + extents).
+    pub apply: Duration,
+}
+
+impl ServiceStats {
+    pub fn total(&self) -> Duration {
+        self.validate + self.propagate + self.apply
+    }
+
+    fn merge(&mut self, o: &ServiceStats) {
+        self.batches += o.batches;
+        self.updates_seen += o.updates_seen;
+        self.views_skipped += o.views_skipped;
+        self.views_routed += o.views_routed;
+        self.fast_modifies += o.fast_modifies;
+        self.widened_modifies += o.widened_modifies;
+        self.recomputes += o.recomputes;
+        self.validate += o.validate;
+        self.propagate += o.propagate;
+        self.apply += o.apply;
+    }
+}
+
+/// Catalog-level failures.
+#[derive(Debug)]
+pub enum CatalogError {
+    /// A view with this name is already registered.
+    DuplicateView(String),
+    /// No view with this name is registered.
+    UnknownView(String),
+    /// One or more extents diverged from their recomputation (view names).
+    Inconsistent(Vec<String>),
+    /// An underlying maintenance failure.
+    Maint(MaintError),
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::DuplicateView(n) => write!(f, "view {n:?} is already registered"),
+            CatalogError::UnknownView(n) => write!(f, "no view named {n:?}"),
+            CatalogError::Inconsistent(names) => {
+                write!(f, "extents diverged from recomputation: {}", names.join(", "))
+            }
+            CatalogError::Maint(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+impl From<MaintError> for CatalogError {
+    fn from(e: MaintError) -> Self {
+        CatalogError::Maint(e)
+    }
+}
+
+impl From<vpa_core::update::UpdateError> for CatalogError {
+    fn from(e: vpa_core::update::UpdateError) -> Self {
+        CatalogError::Maint(MaintError::Update(e))
+    }
+}
+
+/// Worker-thread budget for the parallel rounds: `VIEWSRV_THREADS` when
+/// set (deployment knob, and lets single-core CI exercise the threaded
+/// path), otherwise the hardware parallelism.
+fn worker_threads() -> usize {
+    match std::env::var("VIEWSRV_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) if n > 0 => n,
+        _ => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+/// One registered view: the store-less core plus its service bookkeeping.
+struct Slot {
+    name: String,
+    view: MaintView,
+    stats: MaintStats,
+}
+
+/// A catalog of materialized views over one shared [`Store`], maintained
+/// with shared validation and parallel propagation/application.
+pub struct ViewCatalog {
+    store: Store,
+    slots: Vec<Slot>,
+    /// document name → indices into `slots` of views reading it.
+    doc_index: BTreeMap<String, Vec<usize>>,
+    stats: ServiceStats,
+    parallel: bool,
+}
+
+impl ViewCatalog {
+    /// A catalog over `store` (takes ownership: the catalog is the system
+    /// of record for the shared sources).
+    pub fn new(store: Store) -> ViewCatalog {
+        ViewCatalog {
+            store,
+            slots: Vec::new(),
+            doc_index: BTreeMap::new(),
+            stats: ServiceStats::default(),
+            parallel: true,
+        }
+    }
+
+    /// Disable/enable scoped-thread parallelism (the bench baseline runs
+    /// the identical routed pipeline sequentially).
+    pub fn set_parallel(&mut self, parallel: bool) {
+        self.parallel = parallel;
+    }
+
+    /// Define, materialize, and register a view under `name`.
+    pub fn register(&mut self, name: &str, query: &str) -> Result<(), CatalogError> {
+        if self.slots.iter().any(|s| s.name == name) {
+            return Err(CatalogError::DuplicateView(name.to_string()));
+        }
+        let mut view = MaintView::define(query)?;
+        view.materialize(&self.store)?;
+        self.slots.push(Slot { name: name.to_string(), view, stats: MaintStats::default() });
+        self.rebuild_index();
+        Ok(())
+    }
+
+    /// Drop the view named `name`.
+    pub fn drop_view(&mut self, name: &str) -> Result<(), CatalogError> {
+        let i = self
+            .slots
+            .iter()
+            .position(|s| s.name == name)
+            .ok_or_else(|| CatalogError::UnknownView(name.to_string()))?;
+        self.slots.remove(i);
+        self.rebuild_index();
+        Ok(())
+    }
+
+    fn rebuild_index(&mut self) {
+        self.doc_index.clear();
+        for (i, slot) in self.slots.iter().enumerate() {
+            for doc in slot.view.source_docs() {
+                self.doc_index.entry(doc).or_default().push(i);
+            }
+        }
+    }
+
+    /// Number of registered views.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Registered view names, in registration order.
+    pub fn view_names(&self) -> Vec<&str> {
+        self.slots.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// Read access to the shared source store.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// The documents each view reads (the relevancy index, for inspection).
+    pub fn doc_index(&self) -> &BTreeMap<String, Vec<usize>> {
+        &self.doc_index
+    }
+
+    /// Serialized extent of the view named `name`.
+    pub fn extent_xml(&self, name: &str) -> Result<String, CatalogError> {
+        self.slot(name).map(|s| s.view.extent_xml())
+    }
+
+    /// The store-less view core registered under `name`.
+    pub fn view(&self, name: &str) -> Result<&MaintView, CatalogError> {
+        self.slot(name).map(|s| &s.view)
+    }
+
+    /// Accumulated per-view maintenance statistics: propagate/apply wall
+    /// times, engine stats, relevancy counts, and fast modifies. The
+    /// `validate` field stays zero — validation is shared across views and
+    /// reported service-level in [`ServiceStats`].
+    pub fn view_stats(&self, name: &str) -> Result<MaintStats, CatalogError> {
+        self.slot(name).map(|s| s.stats)
+    }
+
+    fn slot(&self, name: &str) -> Result<&Slot, CatalogError> {
+        self.slots
+            .iter()
+            .find(|s| s.name == name)
+            .ok_or_else(|| CatalogError::UnknownView(name.to_string()))
+    }
+
+    /// Cumulative service statistics.
+    pub fn stats(&self) -> ServiceStats {
+        self.stats
+    }
+
+    /// Parse an XQuery-update script, resolve it once against the shared
+    /// store, and maintain every registered view. Returns this batch's
+    /// service statistics.
+    pub fn apply_update_script(&mut self, script: &str) -> Result<ServiceStats, CatalogError> {
+        let t0 = Instant::now();
+        let resolved = update::resolve_update_script(&self.store, script)?;
+        let mut batch = self.apply_resolved(resolved)?;
+        // Script parsing/resolution is part of the shared Validate phase.
+        let resolve_overhead = t0.elapsed() - batch.total();
+        batch.validate += resolve_overhead;
+        self.stats.validate += resolve_overhead;
+        Ok(batch)
+    }
+
+    /// Maintain every view for a batch of already-resolved updates.
+    pub fn apply_resolved(
+        &mut self,
+        updates: Vec<ResolvedUpdate>,
+    ) -> Result<ServiceStats, CatalogError> {
+        let mut batch =
+            ServiceStats { batches: 1, updates_seen: updates.len(), ..Default::default() };
+        let n_views = self.slots.len();
+
+        // ── Validate (shared): route each update through the relevancy
+        // index; apply updates relevant to no view straight to the store.
+        let tv = Instant::now();
+        let mut routed: Vec<(ResolvedUpdate, Vec<(usize, Relevancy)>)> = Vec::new();
+        for u in updates {
+            let mut relevant: Vec<(usize, Relevancy)> = Vec::new();
+            let candidates = self.doc_index.get(u.doc()).cloned().unwrap_or_default();
+            for i in candidates {
+                match self.slots[i].view.sapt().classify(&self.store, &u) {
+                    Relevancy::Irrelevant => self.slots[i].stats.irrelevant += 1,
+                    r => {
+                        self.slots[i].stats.relevant += 1;
+                        relevant.push((i, r));
+                    }
+                }
+            }
+            batch.views_skipped += n_views - relevant.len();
+            batch.views_routed += relevant.len();
+            if relevant.is_empty() {
+                update::apply_to_store(&mut self.store, &u)?;
+            } else {
+                routed.push((u, relevant));
+            }
+        }
+        batch.validate += tv.elapsed();
+
+        // ── Per document: deletes → modifies → inserts, mirroring the
+        // single-view manager's batching discipline (§5.3).
+        let docs: BTreeSet<String> = routed.iter().map(|(u, _)| u.doc().to_string()).collect();
+        for doc in docs {
+            let mut deletes: Vec<(FlexKey, Vec<usize>)> = Vec::new();
+            let mut modifies: Vec<(ResolvedUpdate, Vec<(usize, Relevancy)>)> = Vec::new();
+            let mut inserts: Vec<(ResolvedUpdate, Vec<usize>)> = Vec::new();
+            for (u, rel) in routed.iter().filter(|(u, _)| u.doc() == doc) {
+                match u.kind() {
+                    UpdateKind::Delete => {
+                        let ResolvedUpdate::Delete { target, .. } = u else { unreachable!() };
+                        deletes.push((target.clone(), rel.iter().map(|(i, _)| *i).collect()));
+                    }
+                    UpdateKind::Modify => modifies.push((u.clone(), rel.clone())),
+                    UpdateKind::Insert => {
+                        inserts.push((u.clone(), rel.iter().map(|(i, _)| *i).collect()));
+                    }
+                }
+            }
+            self.round_deletes(&doc, deletes, &mut batch)?;
+            self.round_modifies(&doc, modifies, &mut batch)?;
+            self.round_inserts(&doc, inserts, &mut batch)?;
+        }
+        self.stats.merge(&batch);
+        Ok(batch)
+    }
+
+    /// Delete round: propagate every view's relevant roots against the
+    /// pre-update store (parallel), apply to the store once, then merge
+    /// each delta (parallel).
+    fn round_deletes(
+        &mut self,
+        doc: &str,
+        deletes: Vec<(FlexKey, Vec<usize>)>,
+        batch: &mut ServiceStats,
+    ) -> Result<(), CatalogError> {
+        if deletes.is_empty() {
+            return Ok(());
+        }
+        let mut roots_per_view: BTreeMap<usize, Vec<FlexKey>> = BTreeMap::new();
+        for (target, views) in &deletes {
+            for &i in views {
+                roots_per_view.entry(i).or_default().push(target.clone());
+            }
+        }
+        let tp = Instant::now();
+        let deltas = self.par_propagate(doc, &roots_per_view, -1)?;
+        batch.propagate += tp.elapsed();
+        let ta = Instant::now();
+        for (target, _) in &deletes {
+            self.store.delete_subtree(target);
+        }
+        self.par_apply(deltas);
+        batch.apply += ta.elapsed();
+        Ok(())
+    }
+
+    /// Insert round: apply to the store once (post-state), then propagate
+    /// per relevant view (parallel) and merge (parallel).
+    fn round_inserts(
+        &mut self,
+        doc: &str,
+        inserts: Vec<(ResolvedUpdate, Vec<usize>)>,
+        batch: &mut ServiceStats,
+    ) -> Result<(), CatalogError> {
+        if inserts.is_empty() {
+            return Ok(());
+        }
+        let ta0 = Instant::now();
+        let mut roots_per_view: BTreeMap<usize, Vec<FlexKey>> = BTreeMap::new();
+        for (u, views) in &inserts {
+            let root = update::apply_to_store(&mut self.store, u)?;
+            for &i in views {
+                roots_per_view.entry(i).or_default().push(root.clone());
+            }
+        }
+        batch.apply += ta0.elapsed();
+        let tp = Instant::now();
+        let deltas = self.par_propagate(doc, &roots_per_view, 1)?;
+        batch.propagate += tp.elapsed();
+        let ta = Instant::now();
+        self.par_apply(deltas);
+        batch.apply += ta.elapsed();
+        Ok(())
+    }
+
+    /// Modify round, one update at a time (widening changes keys, so later
+    /// classifications must see the refreshed store).
+    fn round_modifies(
+        &mut self,
+        doc: &str,
+        modifies: Vec<(ResolvedUpdate, Vec<(usize, Relevancy)>)>,
+        batch: &mut ServiceStats,
+    ) -> Result<(), CatalogError> {
+        for (u, rel) in modifies {
+            let ResolvedUpdate::ReplaceText { target, new_value, .. } = &u else { unreachable!() };
+            if rel.iter().all(|(_, r)| *r == Relevancy::RelevantContentOnly) {
+                // Every relevant view sees exposed content only: patch the
+                // text in place, store-side once and extent-side per view.
+                let ta = Instant::now();
+                let text_key = text_node_key(&self.store, target);
+                update::apply_to_store(&mut self.store, &u)?;
+                if let Some(tk) = text_key {
+                    for (i, _) in &rel {
+                        self.slots[*i].view.patch_text_by_key(&tk, new_value);
+                        self.slots[*i].stats.fast_modifies += 1;
+                    }
+                }
+                batch.apply += ta.elapsed();
+                batch.fast_modifies += 1;
+                continue;
+            }
+            // Widen to delete+insert of a shared anchor fragment: the
+            // shallowest binding anchor over the relevant views, so every
+            // view's processing unit is contained in the re-routed delta.
+            let mut anchor: Option<FlexKey> = None;
+            let mut missing = false;
+            for (i, _) in &rel {
+                match self.slots[*i].view.sapt().binding_anchor(&self.store, doc, target) {
+                    Some(a) => {
+                        anchor = Some(match anchor {
+                            Some(b) if b.depth() <= a.depth() => b,
+                            _ => a,
+                        });
+                    }
+                    None => missing = true,
+                }
+            }
+            let Some(anchor) = anchor.filter(|_| !missing) else {
+                // Some relevant view has no bound ancestor: apply the text
+                // change (key-stable) and recompute the affected views.
+                update::apply_to_store(&mut self.store, &u)?;
+                let tr = Instant::now();
+                for (i, _) in &rel {
+                    let extent = self.slots[*i].view.compute_extent(&self.store)?;
+                    self.slots[*i].view.set_extent(extent);
+                    batch.recomputes += 1;
+                }
+                batch.apply += tr.elapsed();
+                continue;
+            };
+            batch.widened_modifies += 1;
+            // Widening moves the whole anchor fragment to fresh keys, so it
+            // can affect views the text change alone did not: re-route the
+            // anchor-level delete against every view reading this document.
+            let tv = Instant::now();
+            // Classification reads the anchor's path from the store (the
+            // anchor is still present); the fragment only supplies a root
+            // name fallback, so a childless stand-in avoids deep-copying
+            // the subtree (widen_modify extracts it once, below).
+            let anchor_data = self
+                .store
+                .node(&anchor)
+                .ok_or_else(|| vpa_core::update::UpdateError(format!("anchor {anchor} vanished")))?
+                .data
+                .clone();
+            let synthetic = ResolvedUpdate::Delete {
+                doc: doc.to_string(),
+                target: anchor.clone(),
+                frag: Frag { data: anchor_data, count: 1, children: Vec::new() },
+            };
+            let mut affected: Vec<usize> = Vec::new();
+            if let Some(candidates) = self.doc_index.get(doc) {
+                for &i in candidates {
+                    if self.slots[i].view.sapt().classify(&self.store, &synthetic)
+                        != Relevancy::Irrelevant
+                    {
+                        affected.push(i);
+                    }
+                }
+            }
+            for (i, _) in &rel {
+                if !affected.contains(i) {
+                    affected.push(*i);
+                }
+            }
+            affected.sort_unstable();
+            // Views reached only through the widened fragment are extra
+            // routings the initial Validate loop could not see.
+            for &i in &affected {
+                if !rel.iter().any(|(j, _)| *j == i) {
+                    batch.views_routed += 1;
+                    batch.views_skipped = batch.views_skipped.saturating_sub(1);
+                    self.slots[i].stats.relevant += 1;
+                    self.slots[i].stats.irrelevant =
+                        self.slots[i].stats.irrelevant.saturating_sub(1);
+                }
+            }
+            batch.validate += tv.elapsed();
+            let widened = widen_modify(&self.store, anchor, target, new_value)?;
+            let roots: BTreeMap<usize, Vec<FlexKey>> =
+                affected.iter().map(|&i| (i, vec![widened.anchor.clone()])).collect();
+            // Delete round at the anchor (pre-state)…
+            let tp = Instant::now();
+            let deltas = self.par_propagate(doc, &roots, -1)?;
+            batch.propagate += tp.elapsed();
+            let ta = Instant::now();
+            self.store.delete_subtree(&widened.anchor);
+            self.par_apply(deltas);
+            batch.apply += ta.elapsed();
+            // …then the insert round with the patched fragment (post-state).
+            let ta = Instant::now();
+            let new_root = self
+                .store
+                .insert_fragment(&widened.parent, widened.pos.clone(), &widened.new_frag)
+                .ok_or_else(|| {
+                    vpa_core::update::UpdateError("re-insert position vanished".into())
+                })?;
+            batch.apply += ta.elapsed();
+            let roots: BTreeMap<usize, Vec<FlexKey>> =
+                affected.iter().map(|&i| (i, vec![new_root.clone()])).collect();
+            let tp = Instant::now();
+            let deltas = self.par_propagate(doc, &roots, 1)?;
+            batch.propagate += tp.elapsed();
+            let ta = Instant::now();
+            self.par_apply(deltas);
+            batch.apply += ta.elapsed();
+        }
+        Ok(())
+    }
+
+    /// Run each view's IMP propagation for its batch of update roots —
+    /// read-only on the shared store, one scoped thread per view.
+    fn par_propagate(
+        &mut self,
+        doc: &str,
+        roots_per_view: &BTreeMap<usize, Vec<FlexKey>>,
+        sign: i64,
+    ) -> Result<Vec<(usize, Vec<VNode>)>, CatalogError> {
+        let store = &self.store;
+        let slots = &self.slots;
+        let jobs: Vec<(usize, &Vec<FlexKey>)> =
+            roots_per_view.iter().map(|(&i, r)| (i, r)).collect();
+        type PropResult = Result<(Vec<VNode>, ExecStats), MaintError>;
+        let timed = |i: usize, roots: &Vec<FlexKey>| -> (usize, PropResult, Duration) {
+            let t0 = Instant::now();
+            let r = slots[i].view.propagate(store, doc, roots, sign);
+            (i, r, t0.elapsed())
+        };
+        // One thread per chunk of views, capped at the hardware parallelism
+        // (a catalog can hold far more views than cores).
+        let threads = worker_threads();
+        let results: Vec<(usize, PropResult, Duration)> =
+            if self.parallel && jobs.len() > 1 && threads > 1 {
+                let chunk = jobs.len().div_ceil(threads);
+                std::thread::scope(|s| {
+                    let timed = &timed;
+                    let handles: Vec<_> = jobs
+                        .chunks(chunk)
+                        .map(|c| {
+                            s.spawn(move || {
+                                c.iter().map(|&(i, roots)| timed(i, roots)).collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().flat_map(|h| h.join().expect("propagate thread")).collect()
+                })
+            } else {
+                jobs.into_iter().map(|(i, roots)| timed(i, roots)).collect()
+            };
+        let mut out = Vec::with_capacity(results.len());
+        for (i, r, dur) in results {
+            let (delta, exec) = r?;
+            let st = &mut self.slots[i].stats;
+            st.propagate += dur;
+            st.exec.merge(&exec);
+            out.push((i, delta));
+        }
+        Ok(out)
+    }
+
+    /// Merge each view's delta into its extent — independent extents,
+    /// chunked over hardware-parallelism scoped threads.
+    fn par_apply(&mut self, deltas: Vec<(usize, Vec<VNode>)>) {
+        let mut by_idx: BTreeMap<usize, Vec<VNode>> = deltas.into_iter().collect();
+        let mut work: Vec<(&mut Slot, Vec<VNode>)> = self
+            .slots
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, slot)| by_idx.remove(&i).map(|d| (slot, d)))
+            .collect();
+        let apply_one = |slot: &mut Slot, delta: Vec<VNode>| {
+            let t0 = Instant::now();
+            slot.view.apply_delta(delta);
+            slot.stats.apply += t0.elapsed();
+        };
+        let threads = worker_threads();
+        if self.parallel && work.len() > 1 && threads > 1 {
+            let chunk = work.len().div_ceil(threads);
+            std::thread::scope(|s| {
+                for c in work.chunks_mut(chunk) {
+                    s.spawn(|| {
+                        for (slot, delta) in c.iter_mut() {
+                            apply_one(slot, std::mem::take(delta));
+                        }
+                    });
+                }
+            });
+        } else {
+            for (slot, delta) in work.into_iter() {
+                apply_one(slot, delta);
+            }
+        }
+    }
+
+    /// The service-level consistency oracle (§1.2 lifted to the catalog):
+    /// every registered extent must equal its from-scratch recomputation
+    /// over the current shared store.
+    pub fn verify_all(&self) -> Result<(), CatalogError> {
+        let mut diverged = Vec::new();
+        for slot in &self.slots {
+            let oracle = slot.view.recompute_xml(&self.store)?;
+            if slot.view.extent_xml() != oracle {
+                diverged.push(slot.name.clone());
+            }
+        }
+        if diverged.is_empty() {
+            Ok(())
+        } else {
+            Err(CatalogError::Inconsistent(diverged))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BIB: &str = r#"<bib>
+        <book year="1994"><title>TCP/IP Illustrated</title></book>
+        <book year="2000"><title>Data on the Web</title></book>
+    </bib>"#;
+
+    const PRICES: &str = r#"<prices>
+        <entry><price>65.95</price><b-title>TCP/IP Illustrated</b-title></entry>
+        <entry><price>39.95</price><b-title>Data on the Web</b-title></entry>
+    </prices>"#;
+
+    const FLAT: &str = r#"<result>{
+        for $b in doc("bib.xml")/bib/book
+        where $b/@year = "1994"
+        return <hit>{$b/title}</hit>
+    }</result>"#;
+
+    const JOIN: &str = r#"<result>{
+        for $b in doc("bib.xml")/bib/book, $e in doc("prices.xml")/prices/entry
+        where $b/title = $e/b-title
+        return <pair>{$b/title}{$e/price}</pair>
+    }</result>"#;
+
+    const PRICES_ONLY: &str = r#"<result>{
+        for $e in doc("prices.xml")/prices/entry
+        return <p>{$e/price}</p>
+    }</result>"#;
+
+    fn catalog() -> ViewCatalog {
+        let mut s = Store::new();
+        s.load_doc("bib.xml", BIB).unwrap();
+        s.load_doc("prices.xml", PRICES).unwrap();
+        let mut cat = ViewCatalog::new(s);
+        cat.register("flat", FLAT).unwrap();
+        cat.register("join", JOIN).unwrap();
+        cat.register("prices_only", PRICES_ONLY).unwrap();
+        cat
+    }
+
+    #[test]
+    fn register_materializes_and_indexes() {
+        let cat = catalog();
+        assert_eq!(cat.len(), 3);
+        assert!(cat.extent_xml("flat").unwrap().contains("TCP/IP"));
+        assert_eq!(cat.doc_index()["bib.xml"], vec![0, 1]);
+        assert_eq!(cat.doc_index()["prices.xml"], vec![1, 2]);
+        cat.verify_all().unwrap();
+    }
+
+    #[test]
+    fn duplicate_and_unknown_names_error() {
+        let mut cat = catalog();
+        assert!(matches!(cat.register("flat", FLAT), Err(CatalogError::DuplicateView(_))));
+        assert!(matches!(cat.drop_view("nope"), Err(CatalogError::UnknownView(_))));
+        cat.drop_view("join").unwrap();
+        assert_eq!(cat.len(), 2);
+        assert_eq!(cat.doc_index()["prices.xml"], vec![1]);
+        cat.verify_all().unwrap();
+    }
+
+    #[test]
+    fn insert_routes_only_to_relevant_views() {
+        let mut cat = catalog();
+        let batch = cat
+            .apply_update_script(
+                r#"for $r in document("prices.xml")/prices update $r
+                   insert <entry><price>9.99</price><b-title>New</b-title></entry> into $r"#,
+            )
+            .unwrap();
+        // flat (bib-only) is skipped; join + prices_only are routed.
+        assert_eq!(batch.views_skipped, 1);
+        assert_eq!(batch.views_routed, 2);
+        cat.verify_all().unwrap();
+        assert!(cat.extent_xml("prices_only").unwrap().contains("9.99"));
+    }
+
+    #[test]
+    fn mixed_batch_maintains_all_views() {
+        let mut cat = catalog();
+        cat.apply_update_script(
+            r#"for $r in document("bib.xml")/bib update $r
+               insert <book year="1994"><title>Advanced Programming</title></book> into $r ;
+               for $b in document("bib.xml")/bib/book where $b/title = "Data on the Web"
+               update $b delete $b ;
+               for $e in document("prices.xml")/prices/entry
+               where $e/b-title = "TCP/IP Illustrated"
+               update $e replace $e/price/text() with "70.00""#,
+        )
+        .unwrap();
+        cat.verify_all().unwrap();
+        assert!(cat.extent_xml("flat").unwrap().contains("Advanced Programming"));
+        assert!(!cat.extent_xml("join").unwrap().contains("Data on the Web"));
+        assert!(cat.extent_xml("join").unwrap().contains("70.00"));
+    }
+
+    #[test]
+    fn sequential_mode_matches_parallel() {
+        let script = r#"for $r in document("bib.xml")/bib update $r
+               insert <book year="1994"><title>P</title></book> into $r ;
+               for $b in document("bib.xml")/bib/book where $b/@year = "2000"
+               update $b delete $b"#;
+        let mut a = catalog();
+        let mut b = catalog();
+        b.set_parallel(false);
+        a.apply_update_script(script).unwrap();
+        b.apply_update_script(script).unwrap();
+        for name in ["flat", "join", "prices_only"] {
+            assert_eq!(a.extent_xml(name).unwrap(), b.extent_xml(name).unwrap());
+        }
+        a.verify_all().unwrap();
+        b.verify_all().unwrap();
+    }
+
+    #[test]
+    fn widened_modify_stays_consistent_across_views() {
+        // A title modify is join-predicate-sensitive ($b/title = $e/b-title)
+        // ⇒ widens to the book fragment, re-keying it; flat sees the same
+        // title as exposed content only, so the re-routed delete+insert must
+        // reach flat too or its extent keeps stale keys.
+        let mut cat = catalog();
+        let batch = cat
+            .apply_update_script(
+                r#"for $b in document("bib.xml")/bib/book where $b/@year = "1994"
+                   update $b replace $b/title/text() with "Data on the Web""#,
+            )
+            .unwrap();
+        assert_eq!(batch.widened_modifies, 1);
+        assert_eq!(batch.fast_modifies, 0);
+        cat.verify_all().unwrap();
+        // The retitled book now joins with the other price entry.
+        assert!(cat.extent_xml("join").unwrap().contains("39.95"));
+        // And later maintenance over the re-keyed fragment still works.
+        cat.apply_update_script(
+            r#"for $b in document("bib.xml")/bib/book where $b/@year = "1994"
+               update $b delete $b"#,
+        )
+        .unwrap();
+        cat.verify_all().unwrap();
+    }
+
+    #[test]
+    fn stats_accumulate_across_batches() {
+        let mut cat = catalog();
+        cat.apply_update_script(
+            r#"for $r in document("prices.xml")/prices update $r
+               insert <entry><price>1.00</price><b-title>X</b-title></entry> into $r"#,
+        )
+        .unwrap();
+        cat.apply_update_script(
+            r#"for $e in document("prices.xml")/prices/entry where $e/b-title = "X"
+               update $e delete $e"#,
+        )
+        .unwrap();
+        let s = cat.stats();
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.updates_seen, 2);
+        assert!(s.views_skipped >= 2, "flat skipped in both batches");
+        // Per-view stats: the routed views saw propagation work; flat does
+        // not read prices.xml, so the doc index skips it before it is even
+        // classified — all its counters stay zero.
+        let join = cat.view_stats("join").unwrap();
+        assert_eq!(join.relevant, 2);
+        assert!(join.propagate > Duration::ZERO);
+        let flat = cat.view_stats("flat").unwrap();
+        assert_eq!((flat.relevant, flat.irrelevant), (0, 0));
+        assert_eq!(flat.propagate, Duration::ZERO);
+        cat.verify_all().unwrap();
+    }
+}

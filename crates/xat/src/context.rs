@@ -215,11 +215,9 @@ mod tests {
     fn ecc_membership() {
         assert!(ContextSchema::source().in_ecc());
         assert!(!ContextSchema::new(OrdSpec::Null, LngSpec::Star).in_ecc());
-        assert!(!ContextSchema::new(
-            OrdSpec::Empty,
-            LngSpec::Cols(vec![LngCol::plain("y")])
-        )
-        .in_ecc());
+        assert!(
+            !ContextSchema::new(OrdSpec::Empty, LngSpec::Cols(vec![LngCol::plain("y")])).in_ecc()
+        );
     }
 
     #[test]

@@ -76,6 +76,15 @@ impl ExecStats {
     pub fn order_total(&self) -> Duration {
         self.order_schema + self.overriding + self.final_sort
     }
+
+    /// Accumulate another run's statistics field by field.
+    pub fn merge(&mut self, o: &ExecStats) {
+        self.total += o.total;
+        self.order_schema += o.order_schema;
+        self.overriding += o.overriding;
+        self.semid += o.semid;
+        self.final_sort += o.final_sort;
+    }
 }
 
 /// A constructed node skeleton (§3.3.1 "Constructed Nodes": only structure
@@ -220,11 +229,9 @@ impl<'s> Executor<'s> {
                             // (exposed copies, attributes, aggregates).
                             if hit.delta == NavMode::DeltaOnly {
                                 if let Some(k) = hit.as_base() {
-                                    let inside = self
-                                        .restriction_for(k)
-                                        .map_or(false, |frags| {
-                                            frags.iter().any(|f| f.is_self_or_ancestor_of(k))
-                                        });
+                                    let inside = self.restriction_for(k).is_some_and(|frags| {
+                                        frags.iter().any(|f| f.is_self_or_ancestor_of(k))
+                                    });
                                     if !inside {
                                         let store_is_post = self.delta_sign > 0;
                                         let (post_mode, pre_mode) = if store_is_post {
@@ -280,8 +287,7 @@ impl<'s> Executor<'s> {
             }
             OpKind::InSet { operand, values } => {
                 let t = &inputs[0];
-                let set: std::collections::HashSet<String> =
-                    values.iter().map(atom_key).collect();
+                let set: std::collections::HashSet<String> = values.iter().map(atom_key).collect();
                 for row in &t.rows {
                     let vals = self.operand_values(t, row, operand)?;
                     if vals.iter().any(|v| set.contains(&atom_key(v))) {
@@ -320,10 +326,8 @@ impl<'s> Executor<'s> {
                             seen.insert(val.clone(), out.rows.len());
                             // Project to the distinct value alone (see the
                             // annotation rule: re-rooted columns are dead).
-                            out.rows.push(Row::with_count(
-                                vec![Cell::one(Item::val(val))],
-                                row.count,
-                            ));
+                            out.rows
+                                .push(Row::with_count(vec![Cell::one(Item::val(val))], row.count));
                         }
                     }
                 }
@@ -340,7 +344,11 @@ impl<'s> Executor<'s> {
                 let t = &inputs[0];
                 let kis: Vec<(usize, bool)> = keys
                     .iter()
-                    .map(|(k, d)| t.col_idx(k).map(|i| (i, *d)).ok_or_else(|| ExecError(format!("no column ${k}"))))
+                    .map(|(k, d)| {
+                        t.col_idx(k)
+                            .map(|i| (i, *d))
+                            .ok_or_else(|| ExecError(format!("no column ${k}")))
+                    })
                     .collect::<EResult<_>>()?;
                 for row in &t.rows {
                     let mut ord = OrdKey::empty();
@@ -422,7 +430,13 @@ impl<'s> Executor<'s> {
                         .collect();
                     let v = eval_agg(*func, &vals);
                     let mut cells = row.cells.clone();
-                    cells.push(Cell::one(Item { r: ItemRef::Val(v), ord: None, count: 1, abs: false, delta: NavMode::Free }));
+                    cells.push(Cell::one(Item {
+                        r: ItemRef::Val(v),
+                        ord: None,
+                        count: 1,
+                        abs: false,
+                        delta: NavMode::Free,
+                    }));
                     out.rows.push(Row::with_count(cells, row.count));
                 }
             }
@@ -476,12 +490,15 @@ impl<'s> Executor<'s> {
 
     /// The update fragments to exclude when deep-copying the subtree at
     /// `key` under navigation mode `mode` (pre-state copies skip them).
-    pub(crate) fn excluded_under(&self, key: &FlexKey, mode: crate::value::NavMode) -> Vec<FlexKey> {
+    pub(crate) fn excluded_under(
+        &self,
+        key: &FlexKey,
+        mode: crate::value::NavMode,
+    ) -> Vec<FlexKey> {
         match mode {
-            crate::value::NavMode::Exclude => self
-                .restriction_for(key)
-                .map(|f| f.to_vec())
-                .unwrap_or_default(),
+            crate::value::NavMode::Exclude => {
+                self.restriction_for(key).map(|f| f.to_vec()).unwrap_or_default()
+            }
             _ => Vec::new(),
         }
     }
@@ -502,7 +519,13 @@ impl<'s> Executor<'s> {
             ItemRef::Val(v) => {
                 // text() over an already-atomic value is the identity.
                 if matches!(step.test, NodeTest::Text) {
-                    out.push(Item { r: ItemRef::Val(v.clone()), ord: None, count: item.count, abs: false, delta: item.delta });
+                    out.push(Item {
+                        r: ItemRef::Val(v.clone()),
+                        ord: None,
+                        count: item.count,
+                        abs: false,
+                        delta: item.delta,
+                    });
                 }
             }
             // Constructed nodes are not re-navigated by the supported view
@@ -518,7 +541,13 @@ impl<'s> Executor<'s> {
                 match (&step.axis, &step.test) {
                     (_, NodeTest::Attr(a)) => {
                         if let Some(v) = self.store.attr(k, a) {
-                            out.push(Item { r: ItemRef::Val(Atomic(v)), ord: None, count: item.count, abs: false, delta: item.delta });
+                            out.push(Item {
+                                r: ItemRef::Val(Atomic(v)),
+                                ord: None,
+                                count: item.count,
+                                abs: false,
+                                delta: item.delta,
+                            });
                         }
                     }
                     (_, NodeTest::Text) => {
@@ -528,21 +557,39 @@ impl<'s> Executor<'s> {
                         // document order preserved.
                         for (ck, n) in self.store.children(k) {
                             if matches!(n.data, NodeData::Text { .. }) {
-                                out.push(Item { r: ItemRef::Base(ck), ord: None, count: item.count, abs: false, delta: item.delta });
+                                out.push(Item {
+                                    r: ItemRef::Base(ck),
+                                    ord: None,
+                                    count: item.count,
+                                    abs: false,
+                                    delta: item.delta,
+                                });
                             }
                         }
                     }
                     (Axis::Child, test) => {
                         for ck in self.child_candidates(k, restrict) {
                             if self.name_matches(&ck, test) {
-                                out.push(Item { r: ItemRef::Base(ck), ord: None, count: item.count, abs: false, delta: item.delta });
+                                out.push(Item {
+                                    r: ItemRef::Base(ck),
+                                    ord: None,
+                                    count: item.count,
+                                    abs: false,
+                                    delta: item.delta,
+                                });
                             }
                         }
                     }
                     (Axis::Descendant, test) => {
                         for dk in self.descendant_candidates(k, restrict) {
                             if self.name_matches(&dk, test) {
-                                out.push(Item { r: ItemRef::Base(dk), ord: None, count: item.count, abs: false, delta: item.delta });
+                                out.push(Item {
+                                    r: ItemRef::Base(dk),
+                                    ord: None,
+                                    count: item.count,
+                                    abs: false,
+                                    delta: item.delta,
+                                });
                             }
                         }
                     }
@@ -568,7 +615,11 @@ impl<'s> Executor<'s> {
     /// the keys alone, so maintenance cost scales with the update, not the
     /// document (§9.2's flat curves). In `Exclude` mode, fragment subtrees
     /// are filtered out (the document state on the other side of the update).
-    fn child_candidates(&self, k: &FlexKey, restrict: Option<(NavMode, &[FlexKey])>) -> Vec<FlexKey> {
+    fn child_candidates(
+        &self,
+        k: &FlexKey,
+        restrict: Option<(NavMode, &[FlexKey])>,
+    ) -> Vec<FlexKey> {
         match restrict {
             None | Some((NavMode::Free, _)) => {
                 self.store.children(k).into_iter().map(|(c, _)| c).collect()
@@ -599,7 +650,11 @@ impl<'s> Executor<'s> {
         }
     }
 
-    fn descendant_candidates(&self, k: &FlexKey, restrict: Option<(NavMode, &[FlexKey])>) -> Vec<FlexKey> {
+    fn descendant_candidates(
+        &self,
+        k: &FlexKey,
+        restrict: Option<(NavMode, &[FlexKey])>,
+    ) -> Vec<FlexKey> {
         match restrict {
             None | Some((NavMode::Free, _)) => {
                 self.store.descendants(k).into_iter().map(|(c, _)| c).collect()
@@ -674,7 +729,14 @@ impl<'s> Executor<'s> {
 
     // ---- join -----------------------------------------------------------
 
-    fn join(&mut self, l: &XatTable, r: &XatTable, pred: &Pred, outer: bool, out: &mut XatTable) -> EResult<()> {
+    fn join(
+        &mut self,
+        l: &XatTable,
+        r: &XatTable,
+        pred: &Pred,
+        outer: bool,
+        out: &mut XatTable,
+    ) -> EResult<()> {
         // Pick an equality conjunct with one side per input for hashing;
         // remaining conjuncts verify. The physical output order is arbitrary
         // — order is recovered from the Order Schema (§3.4.3, Fig 3.4).
@@ -867,11 +929,7 @@ impl<'s> Executor<'s> {
             self.semifiltered(&right_plan.delta_replaced(false), l, &swap_pred(pred))?;
         let b_stored = self.eval_inner(&b_stored_plan)?;
         let b_other = ecc_subtract(&b_stored, delta_b);
-        let (b_pre, b_post) = if store_is_post {
-            (b_other, b_stored)
-        } else {
-            (b_stored, b_other)
-        };
+        let (b_pre, b_post) = if store_is_post { (b_other, b_stored) } else { (b_stored, b_other) };
         for lr in &l.rows {
             let pre = self.has_match(l, lr, &b_pre, pred)?;
             let post = self.has_match(l, lr, &b_post, pred)?;
@@ -917,7 +975,14 @@ impl<'s> Executor<'s> {
         Ok(true)
     }
 
-    fn side_values(&self, l: &XatTable, r: &XatTable, lr: &Row, rr: &Row, op: &Operand) -> EResult<Vec<Atomic>> {
+    fn side_values(
+        &self,
+        l: &XatTable,
+        r: &XatTable,
+        lr: &Row,
+        rr: &Row,
+        op: &Operand,
+    ) -> EResult<Vec<Atomic>> {
         match op.col() {
             Some(c) if l.col_idx(c).is_some() => self.operand_values(l, lr, op),
             Some(_) => self.operand_values(r, rr, op),
@@ -973,7 +1038,13 @@ impl<'s> Executor<'s> {
         Ok(items)
     }
 
-    fn group_by(&mut self, t: &XatTable, gcols: &[String], func: &GroupFunc, out: &mut XatTable) -> EResult<()> {
+    fn group_by(
+        &mut self,
+        t: &XatTable,
+        gcols: &[String],
+        func: &GroupFunc,
+        out: &mut XatTable,
+    ) -> EResult<()> {
         let gis: Vec<usize> = gcols
             .iter()
             .map(|g| t.col_idx(g).ok_or_else(|| ExecError(format!("no column ${g}"))))
@@ -1001,7 +1072,8 @@ impl<'s> Executor<'s> {
                 .join("\u{2}")
         };
         for (ri, row) in t.rows.iter().enumerate() {
-            let key: String = gis.iter().map(|&i| value_key(&row.cells[i])).collect::<Vec<_>>().join("\u{1}");
+            let key: String =
+                gis.iter().map(|&i| value_key(&row.cells[i])).collect::<Vec<_>>().join("\u{1}");
             match index.get(&key) {
                 Some(&g) => groups[g].1.push(ri),
                 None => {
@@ -1014,7 +1086,8 @@ impl<'s> Executor<'s> {
         for (_, rows) in groups {
             let first = &t.rows[rows[0]];
             let mut cells: Vec<Cell> = gis.iter().map(|&i| first.cells[i].clone()).collect();
-            let gcount: i64 = if self.opts.counts { rows.iter().map(|&ri| t.rows[ri].count).sum() } else { 1 };
+            let gcount: i64 =
+                if self.opts.counts { rows.iter().map(|&ri| t.rows[ri].count).sum() } else { 1 };
             match func {
                 GroupFunc::Combine { .. } => {
                     // The nested Combine (§2.2.2 "GroupBy … Combine"): items
@@ -1052,7 +1125,13 @@ impl<'s> Executor<'s> {
                         }
                     }
                     let v = eval_agg(*func, &vals);
-                    cells.push(Cell::one(Item { r: ItemRef::Val(v), ord: None, count: 1, abs: false, delta: NavMode::Free }));
+                    cells.push(Cell::one(Item {
+                        r: ItemRef::Val(v),
+                        ord: None,
+                        count: 1,
+                        abs: false,
+                        delta: NavMode::Free,
+                    }));
                 }
             }
             out.rows.push(Row::with_count(cells, gcount));
@@ -1060,7 +1139,13 @@ impl<'s> Executor<'s> {
         Ok(())
     }
 
-    fn tagger(&mut self, t: &XatTable, pattern: &Pattern, plan: &Plan, out: &mut XatTable) -> EResult<()> {
+    fn tagger(
+        &mut self,
+        t: &XatTable,
+        pattern: &Pattern,
+        plan: &Plan,
+        out: &mut XatTable,
+    ) -> EResult<()> {
         let out_col = plan.schema.cols.last().expect("tagger output column");
         let multi_slot = pattern.content.len() > 1;
         for row in t.rows.iter() {
@@ -1132,7 +1217,13 @@ impl<'s> Executor<'s> {
     /// `composeNodeIds` (Fig 4.4): the id body comes from the content
     /// columns' lineage contexts resolved on this tuple; the order prefix
     /// from the output column's order context.
-    fn compose_node_id(&self, t: &XatTable, row: &Row, pattern: &Pattern, out_col: &ColInfo) -> SemId {
+    fn compose_node_id(
+        &self,
+        t: &XatTable,
+        row: &Row,
+        pattern: &Pattern,
+        out_col: &ColInfo,
+    ) -> SemId {
         let content = pattern.content_cols();
         // The id body starts with the constructor's plan position (its
         // output column, stable across initial and IMP plans). This is our
@@ -1302,13 +1393,7 @@ fn ecc_subtract(base: &XatTable, delta: &XatTable) -> XatTable {
 }
 
 fn swap_pred(p: &Pred) -> Pred {
-    Pred {
-        conjuncts: p
-            .conjuncts
-            .iter()
-            .map(|(a, op, b)| (b.clone(), *op, a.clone()))
-            .collect(),
-    }
+    Pred { conjuncts: p.conjuncts.iter().map(|(a, op, b)| (b.clone(), *op, a.clone())).collect() }
 }
 
 fn atom_key(a: &Atomic) -> String {

@@ -165,7 +165,12 @@ impl Executor<'_> {
     /// the item is *absolute* (Combine already multiplied in the tuple
     /// count, which may have changed again after the node was constructed —
     /// Table 6.1's product rule, applied at the right point).
-    fn materialize_item(&mut self, item: &Item, inherited: i64, signed: bool) -> Result<VNode, ExecError> {
+    fn materialize_item(
+        &mut self,
+        item: &Item,
+        inherited: i64,
+        signed: bool,
+    ) -> Result<VNode, ExecError> {
         let eff = if item.abs { item.count } else { inherited * item.count };
         match &item.r {
             ItemRef::Base(k) => {
@@ -337,11 +342,8 @@ pub fn union_many(siblings: &mut Vec<VNode>, incoming: Vec<VNode>, signed: bool)
         return;
     }
     let mut store: Vec<VNode> = std::mem::take(siblings);
-    let mut index: std::collections::HashMap<SemBody, usize> = store
-        .iter()
-        .enumerate()
-        .map(|(i, n)| (n.sem.identity().clone(), i))
-        .collect();
+    let mut index: std::collections::HashMap<SemBody, usize> =
+        store.iter().enumerate().map(|(i, n)| (n.sem.identity().clone(), i)).collect();
     for inc in incoming {
         match index.get(inc.sem.identity()) {
             Some(&i) => {
@@ -471,9 +473,7 @@ mod tests {
 
     #[test]
     fn vnode_from_frag_preserves_structure() {
-        let f = Frag::elem("book")
-            .attr("year", "1994")
-            .child(Frag::elem("title").text_child("X"));
+        let f = Frag::elem("book").attr("year", "1994").child(Frag::elem("title").text_child("X"));
         let v = vnode_from_frag(&f, &FlexKey::parse("q").unwrap());
         assert_eq!(v.size(), 3);
         assert_eq!(v.string_value(), "X");

@@ -25,7 +25,7 @@ pub mod value;
 
 pub use context::{ContextSchema, LngCol, LngSpec, OrdSpec};
 pub use exec::{ConsNode, ExecError, ExecOptions, ExecStats, Executor};
-pub use extent::{deep_union_siblings, ViewExtent, VNode};
+pub use extent::{deep_union_siblings, VNode, ViewExtent};
 pub use plan::{annotate, GroupFunc, OpKind, Operand, PatSlot, Pattern, Plan, Pred};
 pub use table::{ColInfo, Row, XatTable};
 pub use translate::{translate_query, TranslateError};

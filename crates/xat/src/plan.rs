@@ -372,7 +372,13 @@ impl Plan {
         self.imp_term_walk(doc, term, store_is_post, &mut counter)
     }
 
-    fn imp_term_walk(&self, doc: &str, term: usize, store_is_post: bool, counter: &mut usize) -> Plan {
+    fn imp_term_walk(
+        &self,
+        doc: &str,
+        term: usize,
+        store_is_post: bool,
+        counter: &mut usize,
+    ) -> Plan {
         let op = match &self.op {
             OpKind::Source { doc: d, out } if d == doc => {
                 let i = *counter;
@@ -430,9 +436,8 @@ pub fn annotate(plan: &mut Plan) -> Result<(), String> {
         },
         OpKind::NavUnnest { col, steps, out } => {
             let input = &plan.children[0].schema;
-            let in_idx = input
-                .col_idx(col)
-                .ok_or_else(|| format!("NavUnnest: unknown column ${col}"))?;
+            let in_idx =
+                input.col_idx(col).ok_or_else(|| format!("NavUnnest: unknown column ${col}"))?;
             let mut cols = input.cols.clone();
             let value_nav = is_value_path(steps);
             let cxt = if value_nav {
@@ -468,10 +473,8 @@ pub fn annotate(plan: &mut Plan) -> Result<(), String> {
         }
         OpKind::NavCollection { col, steps: _, out } => {
             let input = &plan.children[0].schema;
-            let in_cxt = &input
-                .col(col)
-                .ok_or_else(|| format!("NavCollection: unknown column ${col}"))?
-                .cxt;
+            let in_cxt =
+                &input.col(col).ok_or_else(|| format!("NavCollection: unknown column ${col}"))?.cxt;
             // Category II: collections keep the entry's lineage and order.
             let ord = match &in_cxt.ord {
                 OrdSpec::Null => OrdSpec::Null,
@@ -515,12 +518,8 @@ pub fn annotate(plan: &mut Plan) -> Result<(), String> {
                 });
             }
             // Order Schema (cat III): OS(T1) ++ OS(T2).
-            let order = l
-                .order
-                .iter()
-                .copied()
-                .chain(r.order.iter().map(|&i| i + l.cols.len()))
-                .collect();
+            let order =
+                l.order.iter().copied().chain(r.order.iter().map(|&i| i + l.cols.len())).collect();
             Schema { cols, order }
         }
         OpKind::Distinct { col } => {
@@ -642,7 +641,10 @@ pub fn annotate(plan: &mut Plan) -> Result<(), String> {
                 acc.unwrap()
             };
             let mut cols = input.cols.clone();
-            cols.push(ColInfo { name: out.clone(), cxt: ContextSchema::new(ord, LngSpec::SelfRef) });
+            cols.push(ColInfo {
+                name: out.clone(),
+                cxt: ContextSchema::new(ord, LngSpec::SelfRef),
+            });
             Schema { cols, order: input.order.clone() }
         }
         OpKind::XmlUnion { a, b, out } => {
@@ -677,10 +679,8 @@ pub fn annotate(plan: &mut Plan) -> Result<(), String> {
         }
         OpKind::XmlUnique { col, out } => {
             let input = &plan.children[0].schema;
-            let in_cxt = &input
-                .col(col)
-                .ok_or_else(|| format!("XmlUnique: unknown column ${col}"))?
-                .cxt;
+            let in_cxt =
+                &input.col(col).ok_or_else(|| format!("XmlUnique: unknown column ${col}"))?.cxt;
             // Category II: document order restored, lineage preserved.
             let mut cols = input.cols.clone();
             cols.push(ColInfo {
@@ -824,7 +824,11 @@ mod tests {
     #[test]
     fn nav_unnest_appends_order_schema() {
         let mut p = Plan::unary(
-            OpKind::NavUnnest { col: "S1".into(), steps: vec![step("bib"), step("book")], out: "b".into() },
+            OpKind::NavUnnest {
+                col: "S1".into(),
+                steps: vec![step("bib"), step("book")],
+                out: "b".into(),
+            },
             src("bib.xml", "S1"),
         );
         annotate(&mut p).unwrap();
@@ -843,7 +847,11 @@ mod tests {
                 out: "col1".into(),
             },
             Plan::unary(
-                OpKind::NavUnnest { col: "S1".into(), steps: vec![step("bib"), step("book")], out: "b".into() },
+                OpKind::NavUnnest {
+                    col: "S1".into(),
+                    steps: vec![step("bib"), step("book")],
+                    out: "b".into(),
+                },
                 src("bib.xml", "S1"),
             ),
         );
@@ -859,11 +867,19 @@ mod tests {
         // Join of books ($b) and entries ($e): OS = ($b, $e); $b gets
         // ($b,$e)[], $e gets ($b,$e)[] (Fig 4.2 #10).
         let left = Plan::unary(
-            OpKind::NavUnnest { col: "S2".into(), steps: vec![step("bib"), step("book")], out: "b".into() },
+            OpKind::NavUnnest {
+                col: "S2".into(),
+                steps: vec![step("bib"), step("book")],
+                out: "b".into(),
+            },
             src("bib.xml", "S2"),
         );
         let right = Plan::unary(
-            OpKind::NavUnnest { col: "S3".into(), steps: vec![step("prices"), step("entry")], out: "e".into() },
+            OpKind::NavUnnest {
+                col: "S3".into(),
+                steps: vec![step("prices"), step("entry")],
+                out: "e".into(),
+            },
             src("prices.xml", "S3"),
         );
         let mut p = Plan::binary(
@@ -889,7 +905,11 @@ mod tests {
             Plan::unary(
                 OpKind::NavUnnest {
                     col: "S1".into(),
-                    steps: vec![step("bib"), step("book"), Step::child(NodeTest::Attr("year".into()))],
+                    steps: vec![
+                        step("bib"),
+                        step("book"),
+                        Step::child(NodeTest::Attr("year".into())),
+                    ],
                     out: "y".into(),
                 },
                 src("bib.xml", "S1"),
@@ -905,7 +925,11 @@ mod tests {
     fn group_by_assigns_group_lineage() {
         // γ$y(Combine $col5): $col5 gets [$y] (Fig 4.2 #15).
         let base = Plan::unary(
-            OpKind::NavUnnest { col: "S1".into(), steps: vec![step("bib"), step("book")], out: "col5".into() },
+            OpKind::NavUnnest {
+                col: "S1".into(),
+                steps: vec![step("bib"), step("book")],
+                out: "col5".into(),
+            },
             src("bib.xml", "S1"),
         );
         let with_y = Plan::unary(
@@ -917,7 +941,10 @@ mod tests {
             base,
         );
         let mut p = Plan::unary(
-            OpKind::GroupBy { cols: vec!["y".into()], func: GroupFunc::Combine { col: "col5".into() } },
+            OpKind::GroupBy {
+                cols: vec!["y".into()],
+                func: GroupFunc::Combine { col: "col5".into() },
+            },
             with_y,
         );
         annotate(&mut p).unwrap();
@@ -935,7 +962,11 @@ mod tests {
         let mut p = Plan::unary(
             OpKind::Combine { col: "b".into() },
             Plan::unary(
-                OpKind::NavUnnest { col: "S1".into(), steps: vec![step("bib"), step("book")], out: "b".into() },
+                OpKind::NavUnnest {
+                    col: "S1".into(),
+                    steps: vec![step("bib"), step("book")],
+                    out: "b".into(),
+                },
                 src("bib.xml", "S1"),
             ),
         );
@@ -951,7 +982,11 @@ mod tests {
             Plan::unary(
                 OpKind::NavUnnest {
                     col: "S1".into(),
-                    steps: vec![step("bib"), step("book"), Step::child(NodeTest::Attr("year".into()))],
+                    steps: vec![
+                        step("bib"),
+                        step("book"),
+                        Step::child(NodeTest::Attr("year".into())),
+                    ],
                     out: "y".into(),
                 },
                 src("bib.xml", "S1"),
@@ -965,7 +1000,11 @@ mod tests {
     #[test]
     fn tagger_inherits_content_order_spec() {
         let base = Plan::unary(
-            OpKind::NavUnnest { col: "S1".into(), steps: vec![step("bib"), step("book")], out: "b".into() },
+            OpKind::NavUnnest {
+                col: "S1".into(),
+                steps: vec![step("bib"), step("book")],
+                out: "b".into(),
+            },
             src("bib.xml", "S1"),
         );
         let mut p = Plan::unary(
@@ -988,7 +1027,11 @@ mod tests {
     #[test]
     fn xml_union_branches_lineage() {
         let base = Plan::unary(
-            OpKind::NavUnnest { col: "S1".into(), steps: vec![step("bib"), step("book")], out: "b".into() },
+            OpKind::NavUnnest {
+                col: "S1".into(),
+                steps: vec![step("bib"), step("book")],
+                out: "b".into(),
+            },
             src("bib.xml", "S1"),
         );
         let t = Plan::unary(
@@ -996,13 +1039,15 @@ mod tests {
             base,
         );
         let a = Plan::unary(
-            OpKind::NavCollection { col: "b".into(), steps: vec![step("author")], out: "c3".into() },
+            OpKind::NavCollection {
+                col: "b".into(),
+                steps: vec![step("author")],
+                out: "c3".into(),
+            },
             t,
         );
-        let mut p = Plan::unary(
-            OpKind::XmlUnion { a: "c2".into(), b: "c3".into(), out: "c4".into() },
-            a,
-        );
+        let mut p =
+            Plan::unary(OpKind::XmlUnion { a: "c2".into(), b: "c3".into(), out: "c4".into() }, a);
         annotate(&mut p).unwrap();
         let c = p.schema.col("c4").unwrap();
         let LngSpec::Cols(lc) = &c.cxt.lng else { panic!() };
@@ -1013,11 +1058,7 @@ mod tests {
 
     #[test]
     fn delta_source_substitution() {
-        let mut p = Plan::binary(
-            OpKind::Cartesian,
-            src("bib.xml", "S1"),
-            src("prices.xml", "S2"),
-        );
+        let mut p = Plan::binary(OpKind::Cartesian, src("bib.xml", "S1"), src("prices.xml", "S2"));
         annotate(&mut p).unwrap();
         let d = p.with_delta_source("bib.xml");
         assert!(matches!(d.children[0].op, OpKind::DeltaSource { .. }));
@@ -1036,7 +1077,11 @@ mod tests {
 
     #[test]
     fn descendant_axis_formats() {
-        let s = fmt_steps(&[Step { axis: Axis::Descendant, test: NodeTest::Name("person".into()), predicate: None }]);
+        let s = fmt_steps(&[Step {
+            axis: Axis::Descendant,
+            test: NodeTest::Name("person".into()),
+            predicate: None,
+        }]);
         assert_eq!(s, "//person");
     }
 }

@@ -94,12 +94,7 @@ impl XatTable {
 
     /// Indices of the ECC columns (Definition 4.2.3).
     pub fn ecc(&self) -> Vec<usize> {
-        self.cols
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.cxt.in_ecc())
-            .map(|(i, _)| i)
-            .collect()
+        self.cols.iter().enumerate().filter(|(_, c)| c.cxt.in_ecc()).map(|(i, _)| i).collect()
     }
 
     /// Tuple match by ECC (Definition 4.2.4): equal identities/values on all
@@ -158,18 +153,15 @@ mod tests {
             ColInfo { name: "b".into(), cxt: ContextSchema::source() },
             ColInfo {
                 name: "y".into(),
-                cxt: ContextSchema::new(OrdSpec::Cols(vec!["b".into()]), LngSpec::Cols(vec![LngCol::plain("b")])),
+                cxt: ContextSchema::new(
+                    OrdSpec::Cols(vec!["b".into()]),
+                    LngSpec::Cols(vec![LngCol::plain("b")]),
+                ),
             },
         ]);
         t.order_schema = vec![0];
-        t.rows.push(Row::new(vec![
-            Cell::one(Item::base(k("b.b"))),
-            Cell::one(Item::val("1994")),
-        ]));
-        t.rows.push(Row::new(vec![
-            Cell::one(Item::base(k("b.f"))),
-            Cell::one(Item::val("2000")),
-        ]));
+        t.rows.push(Row::new(vec![Cell::one(Item::base(k("b.b"))), Cell::one(Item::val("1994"))]));
+        t.rows.push(Row::new(vec![Cell::one(Item::base(k("b.f"))), Cell::one(Item::val("2000"))]));
         t
     }
 

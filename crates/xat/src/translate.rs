@@ -27,8 +27,8 @@ use crate::plan::{annotate, GroupFunc, OpKind, Operand, PatSlot, Pattern, Plan, 
 use crate::value::Atomic;
 use std::fmt;
 use xquery_lang::{
-    normalize, parse_query, AttrValue, BoolExpr, CmpOp, ElemCons, Expr, Flwor, NodeTest,
-    OrderSpec, PathSource, Step,
+    normalize, parse_query, AttrValue, BoolExpr, CmpOp, ElemCons, Expr, Flwor, NodeTest, OrderSpec,
+    PathSource, Step,
 };
 
 /// Translation failure: the expression falls outside the supported subset
@@ -45,6 +45,10 @@ impl fmt::Display for TranslateError {
 impl std::error::Error for TranslateError {}
 
 type TResult<T> = Result<T, TranslateError>;
+
+/// (block plan, per-tuple return column, correlation conjuncts for the
+/// caller's left outer join).
+type FlworParts = (Plan, String, Vec<(Operand, CmpOp, Operand)>);
 
 /// Parse, normalize, translate and annotate a view query. Returns the
 /// annotated plan and the output column holding the result items (the plan
@@ -118,9 +122,9 @@ impl Translator {
                     let plan = self.nav_chain(src, &src_col, &p.steps, var)?;
                     Ok((plan, var.to_string()))
                 }
-                PathSource::Var(_) => Err(TranslateError(
-                    "variable-rooted binding handled by the caller".into(),
-                )),
+                PathSource::Var(_) => {
+                    Err(TranslateError("variable-rooted binding handled by the caller".into()))
+                }
             },
             Expr::DistinctValues(inner) => {
                 let (plan, col) = self.plan_binding_source(inner, var)?;
@@ -132,7 +136,13 @@ impl Translator {
 
     /// Chain Navigate Unnests for a path, splitting element runs from value
     /// runs (see module docs).
-    fn nav_chain(&mut self, mut plan: Plan, entry: &str, steps: &[Step], out: &str) -> TResult<Plan> {
+    fn nav_chain(
+        &mut self,
+        mut plan: Plan,
+        entry: &str,
+        steps: &[Step],
+        out: &str,
+    ) -> TResult<Plan> {
         if steps.is_empty() {
             return Err(TranslateError("empty navigation path".into()));
         }
@@ -167,11 +177,7 @@ impl Translator {
     /// Translate a FLWOR block. `outer_cols` are the enclosing binding
     /// plan's columns this block may correlate with. Returns (plan,
     /// per-tuple return column, correlation conjuncts for the caller's LOJ).
-    fn translate_flwor(
-        &mut self,
-        f: &Flwor,
-        outer_cols: &[String],
-    ) -> TResult<(Plan, String, Vec<(Operand, CmpOp, Operand)>)> {
+    fn translate_flwor(&mut self, f: &Flwor, outer_cols: &[String]) -> TResult<FlworParts> {
         if !f.lets.is_empty() {
             return Err(TranslateError("let clauses must be normalized away".into()));
         }
@@ -331,7 +337,12 @@ impl Translator {
 
     /// Translate one constructor child (or attribute expression) to a
     /// pattern slot over the current plan.
-    fn translate_child(&mut self, child: &Expr, plan: Plan, avail: &[String]) -> TResult<(Plan, PatSlot)> {
+    fn translate_child(
+        &mut self,
+        child: &Expr,
+        plan: Plan,
+        avail: &[String],
+    ) -> TResult<(Plan, PatSlot)> {
         match child {
             Expr::Literal(s) | Expr::Number(s) => Ok((plan, PatSlot::Text(s.clone()))),
             Expr::Var(v) => {
@@ -350,7 +361,11 @@ impl Translator {
                 }
                 let out = self.fresh("col");
                 let plan = Plan::unary(
-                    OpKind::NavCollection { col: v.clone(), steps: p.steps.clone(), out: out.clone() },
+                    OpKind::NavCollection {
+                        col: v.clone(),
+                        steps: p.steps.clone(),
+                        out: out.clone(),
+                    },
                     plan,
                 );
                 Ok((plan, PatSlot::Col(out)))
@@ -386,8 +401,10 @@ impl Translator {
                         plan,
                     );
                     let out = self.fresh("col");
-                    let plan =
-                        Plan::unary(OpKind::AggCol { col: nav, func: *func, out: out.clone() }, plan);
+                    let plan = Plan::unary(
+                        OpKind::AggCol { col: nav, func: *func, out: out.clone() },
+                        plan,
+                    );
                     Ok((plan, PatSlot::Col(out)))
                 }
             },
@@ -414,7 +431,9 @@ impl Translator {
                     match slot {
                         PatSlot::Col(c) => cols.push(c),
                         PatSlot::Text(_) => {
-                            return Err(TranslateError("literal inside sequence unsupported".into()))
+                            return Err(TranslateError(
+                                "literal inside sequence unsupported".into(),
+                            ))
                         }
                     }
                 }
@@ -606,10 +625,8 @@ mod tests {
     #[test]
     fn simple_retag() {
         let s = store();
-        let xml = run(
-            &s,
-            r#"<result>{ for $b in doc("bib.xml")/bib/book return $b/title }</result>"#,
-        );
+        let xml =
+            run(&s, r#"<result>{ for $b in doc("bib.xml")/bib/book return $b/title }</result>"#);
         assert_eq!(
             xml,
             "<result><title>TCP/IP Illustrated</title><title>Data on the Web</title></result>"
@@ -663,10 +680,7 @@ mod tests {
             &s,
             r#"<r>{ for $b in doc("bib.xml")/bib/book order by $b/title return $b/title }</r>"#,
         );
-        assert_eq!(
-            xml,
-            "<r><title>Data on the Web</title><title>TCP/IP Illustrated</title></r>"
-        );
+        assert_eq!(xml, "<r><title>Data on the Web</title><title>TCP/IP Illustrated</title></r>");
     }
 
     #[test]
@@ -735,11 +749,8 @@ mod tests {
         // A year group whose books match no price entries still appears,
         // with an empty container (LOJ semantics).
         let mut s = Store::new();
-        s.load_doc(
-            "bib.xml",
-            r#"<bib><book year="1999"><title>Unpriced</title></book></bib>"#,
-        )
-        .unwrap();
+        s.load_doc("bib.xml", r#"<bib><book year="1999"><title>Unpriced</title></book></bib>"#)
+            .unwrap();
         s.load_doc("prices.xml", PRICES).unwrap();
         let xml = run(
             &s,
@@ -766,7 +777,9 @@ mod tests {
                   <prices>{ for $e in doc("prices.xml")/prices/entry return $e/price }</prices></r>"#,
         );
         assert!(xml.starts_with("<r><titles><title>TCP/IP Illustrated</title>"));
-        assert!(xml.contains("<prices><price>39.95</price><price>65.95</price><price>69.99</price></prices>"));
+        assert!(xml.contains(
+            "<prices><price>39.95</price><price>65.95</price><price>69.99</price></prices>"
+        ));
     }
 
     #[test]

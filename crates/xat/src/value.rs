@@ -117,7 +117,13 @@ impl Item {
     }
 
     pub fn val(v: impl Into<String>) -> Item {
-        Item { r: ItemRef::Val(Atomic::new(v)), ord: None, count: 1, abs: false, delta: NavMode::Free }
+        Item {
+            r: ItemRef::Val(Atomic::new(v)),
+            ord: None,
+            count: 1,
+            abs: false,
+            delta: NavMode::Free,
+        }
     }
 
     pub fn with_count(mut self, count: i64) -> Item {
@@ -220,8 +226,7 @@ impl Cell {
             (Cell::Null, Cell::Null) => true,
             (a, b) => {
                 let (ia, ib) = (a.items(), b.items());
-                ia.len() == ib.len()
-                    && ia.iter().zip(ib).all(|(x, y)| x.r == y.r)
+                ia.len() == ib.len() && ia.iter().zip(ib).all(|(x, y)| x.r == y.r)
             }
         }
     }

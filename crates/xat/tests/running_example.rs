@@ -47,7 +47,13 @@ fn source(doc: &str, out: &str) -> Plan {
     Plan::leaf(OpKind::Source { doc: doc.into(), out: out.into() })
 }
 
-fn tagger(child: Plan, name: &str, attrs: Vec<(&str, PatSlot)>, content: Vec<PatSlot>, out: &str) -> Plan {
+fn tagger(
+    child: Plan,
+    name: &str,
+    attrs: Vec<(&str, PatSlot)>,
+    content: Vec<PatSlot>,
+    out: &str,
+) -> Plan {
     Plan::unary(
         OpKind::Tagger {
             pattern: Pattern {

@@ -11,10 +11,7 @@ use std::fmt;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum NodeData {
     /// An element with a tag name and its attributes (in source order).
-    Element {
-        name: String,
-        attrs: Vec<(String, String)>,
-    },
+    Element { name: String, attrs: Vec<(String, String)> },
     /// A text node. Atomic values are treated as text nodes (§2.2.1).
     Text { value: String },
 }
@@ -194,10 +191,7 @@ mod tests {
         let f = Frag::elem("book")
             .attr("year", "1994")
             .child(Frag::elem("title").text_child("TCP/IP Illustrated"));
-        assert_eq!(
-            f.to_xml(),
-            r#"<book year="1994"><title>TCP/IP Illustrated</title></book>"#
-        );
+        assert_eq!(f.to_xml(), r#"<book year="1994"><title>TCP/IP Illustrated</title></book>"#);
         assert_eq!(f.size(), 3);
     }
 

@@ -119,7 +119,11 @@ impl<'a> Parser<'a> {
                         return Err(self.err("expected '>' after '/'"));
                     }
                     self.pos += 1;
-                    return Ok(Frag { data: NodeData::Element { name, attrs }, count: 1, children: Vec::new() });
+                    return Ok(Frag {
+                        data: NodeData::Element { name, attrs },
+                        count: 1,
+                        children: Vec::new(),
+                    });
                 }
                 Some(b'>') => {
                     self.pos += 1;

@@ -79,10 +79,7 @@ impl Store {
         let handle = FlexKey::root(Seg::nth(self.next_root * 3));
         self.next_root += 1;
         let mut doc = Doc { name: name.to_string(), root: handle.clone(), nodes: BTreeMap::new() };
-        doc.nodes.insert(
-            handle.clone(),
-            Node { data: NodeData::element("#document"), count: 1 },
-        );
+        doc.nodes.insert(handle.clone(), Node { data: NodeData::element("#document"), count: 1 });
         let elem_root = handle.nth_child(0);
         insert_frag_at(&mut doc.nodes, elem_root.clone(), &frag, 2);
         self.docs.insert(name.to_string(), doc);
@@ -116,15 +113,11 @@ impl Store {
     }
 
     fn doc_of(&self, key: &FlexKey) -> Option<&Doc> {
-        self.docs
-            .values()
-            .find(|d| d.root.is_self_or_ancestor_of(key))
+        self.docs.values().find(|d| d.root.is_self_or_ancestor_of(key))
     }
 
     fn doc_of_mut(&mut self, key: &FlexKey) -> Option<&mut Doc> {
-        self.docs
-            .values_mut()
-            .find(|d| d.root.is_self_or_ancestor_of(key))
+        self.docs.values_mut().find(|d| d.root.is_self_or_ancestor_of(key))
     }
 
     /// Look up a node by key.
@@ -215,7 +208,12 @@ impl Store {
     /// Insert a fragment under `parent` at `pos`. Returns the key assigned to
     /// the fragment root. Only new keys are allocated — existing keys are
     /// untouched (the FlexKey no-relabeling property, §3.4.4).
-    pub fn insert_fragment(&mut self, parent: &FlexKey, pos: InsertPos, frag: &Frag) -> Option<FlexKey> {
+    pub fn insert_fragment(
+        &mut self,
+        parent: &FlexKey,
+        pos: InsertPos,
+        frag: &Frag,
+    ) -> Option<FlexKey> {
         // Determine the (lo, hi) sibling bounds for the new root key. The
         // Before/After anchors are resolved by *key value*, not existence:
         // FlexKeys are stable, so a position like "after book[2]" stays
@@ -325,8 +323,7 @@ impl Store {
 impl Doc {
     /// Iterate nodes strictly after `key` in document order.
     fn range_after(&self, key: &FlexKey) -> impl Iterator<Item = (&FlexKey, &Node)> {
-        self.nodes
-            .range((Bound::Excluded(key.clone()), Bound::Unbounded))
+        self.nodes.range((Bound::Excluded(key.clone()), Bound::Unbounded))
     }
 
     /// Number of nodes in the document.
@@ -426,9 +423,7 @@ mod tests {
         let frag = Frag::elem("book")
             .attr("year", "1994")
             .child(Frag::elem("title").text_child("Advanced Programming in the Unix environment"));
-        let new_key = s
-            .insert_fragment(&bib, InsertPos::After(before[1].clone()), &frag)
-            .unwrap();
+        let new_key = s.insert_fragment(&bib, InsertPos::After(before[1].clone()), &frag).unwrap();
         let after: Vec<FlexKey> = s.children_named(&bib, "book");
         assert_eq!(after.len(), 3);
         assert_eq!(&after[0..2], &before[..], "existing keys unchanged");
@@ -442,9 +437,7 @@ mod tests {
         let bib = s.doc_root("bib.xml").unwrap();
         let books = s.children_named(&bib, "book");
         let frag = Frag::elem("book").attr("year", "1997");
-        let mid = s
-            .insert_fragment(&bib, InsertPos::After(books[0].clone()), &frag)
-            .unwrap();
+        let mid = s.insert_fragment(&bib, InsertPos::After(books[0].clone()), &frag).unwrap();
         assert!(books[0] < mid && mid < books[1]);
         let now = s.children_named(&bib, "book");
         assert_eq!(now, vec![books[0].clone(), mid, books[1].clone()]);
@@ -457,10 +450,8 @@ mod tests {
         let anchor = s.children_named(&bib, "book")[0].clone();
         let mut all = vec![anchor.clone()];
         for i in 0..50 {
-            let frag = Frag::elem("book").attr("year", &format!("{}", 1900 + i));
-            let k = s
-                .insert_fragment(&bib, InsertPos::After(anchor.clone()), &frag)
-                .unwrap();
+            let frag = Frag::elem("book").attr("year", format!("{}", 1900 + i));
+            let k = s.insert_fragment(&bib, InsertPos::After(anchor.clone()), &frag).unwrap();
             assert!(!all.contains(&k));
             all.push(k);
         }

@@ -57,11 +57,7 @@ impl Step {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum StepPredicate {
     /// `[relative/path = "literal"]` — hoisted to `where` by normalization.
-    Cmp {
-        path: Vec<Step>,
-        op: CmpOp,
-        value: String,
-    },
+    Cmp { path: Vec<Step>, op: CmpOp, value: String },
     /// `[2]` — positional; only meaningful in update-target paths
     /// (Figure 1.3(a): `/bib/book[2]`). 1-based, as in XPath.
     Position(usize),
@@ -190,7 +186,10 @@ pub enum Expr {
     /// `distinct-values(expr)`.
     DistinctValues(Box<Expr>),
     /// An aggregate function application.
-    Agg { func: AggFunc, arg: Box<Expr> },
+    Agg {
+        func: AggFunc,
+        arg: Box<Expr>,
+    },
     Flwor(Box<Flwor>),
     Elem(Box<ElemCons>),
     /// Comma sequence (`PrimaryExpr*` in constructors / return clauses).
@@ -289,9 +288,21 @@ mod tests {
 
     #[test]
     fn conjuncts_flatten() {
-        let c1 = BoolExpr::Cmp { lhs: Expr::Var("a".into()), op: CmpOp::Eq, rhs: Expr::Literal("x".into()) };
-        let c2 = BoolExpr::Cmp { lhs: Expr::Var("b".into()), op: CmpOp::Lt, rhs: Expr::Number("3".into()) };
-        let c3 = BoolExpr::Cmp { lhs: Expr::Var("c".into()), op: CmpOp::Gt, rhs: Expr::Number("4".into()) };
+        let c1 = BoolExpr::Cmp {
+            lhs: Expr::Var("a".into()),
+            op: CmpOp::Eq,
+            rhs: Expr::Literal("x".into()),
+        };
+        let c2 = BoolExpr::Cmp {
+            lhs: Expr::Var("b".into()),
+            op: CmpOp::Lt,
+            rhs: Expr::Number("3".into()),
+        };
+        let c3 = BoolExpr::Cmp {
+            lhs: Expr::Var("c".into()),
+            op: CmpOp::Gt,
+            rhs: Expr::Number("4".into()),
+        };
         let all = BoolExpr::And(
             Box::new(BoolExpr::And(Box::new(c1.clone()), Box::new(c2.clone()))),
             Box::new(c3.clone()),

@@ -213,26 +213,23 @@ fn is_predicate_hoist(f: &Flwor, _outer_var: &str) -> bool {
 
 fn norm_bool(b: BoolExpr, env: Env) -> BoolExpr {
     match b {
-        BoolExpr::Cmp { lhs, op, rhs } => BoolExpr::Cmp {
-            lhs: norm_expr(lhs, env),
-            op,
-            rhs: norm_expr(rhs, env),
-        },
-        BoolExpr::And(a, c) => BoolExpr::And(Box::new(norm_bool(*a, env)), Box::new(norm_bool(*c, env))),
+        BoolExpr::Cmp { lhs, op, rhs } => {
+            BoolExpr::Cmp { lhs: norm_expr(lhs, env), op, rhs: norm_expr(rhs, env) }
+        }
+        BoolExpr::And(a, c) => {
+            BoolExpr::And(Box::new(norm_bool(*a, env)), Box::new(norm_bool(*c, env)))
+        }
     }
 }
 
 fn rename_bool(b: BoolExpr, from: &str, to: &str) -> BoolExpr {
     match b {
-        BoolExpr::Cmp { lhs, op, rhs } => BoolExpr::Cmp {
-            lhs: rename_expr(lhs, from, to),
-            op,
-            rhs: rename_expr(rhs, from, to),
-        },
-        BoolExpr::And(a, c) => BoolExpr::And(
-            Box::new(rename_bool(*a, from, to)),
-            Box::new(rename_bool(*c, from, to)),
-        ),
+        BoolExpr::Cmp { lhs, op, rhs } => {
+            BoolExpr::Cmp { lhs: rename_expr(lhs, from, to), op, rhs: rename_expr(rhs, from, to) }
+        }
+        BoolExpr::And(a, c) => {
+            BoolExpr::And(Box::new(rename_bool(*a, from, to)), Box::new(rename_bool(*c, from, to)))
+        }
     }
 }
 

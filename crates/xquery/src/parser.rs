@@ -202,10 +202,7 @@ impl<'a> P<'a> {
             Some(b'"') | Some(b'\'') => Ok(Expr::Literal(self.string_lit()?)),
             Some(c) if c.is_ascii_digit() => {
                 let start = self.pos;
-                while self
-                    .peek()
-                    .is_some_and(|c| c.is_ascii_digit() || c == b'.')
-                {
+                while self.peek().is_some_and(|c| c.is_ascii_digit() || c == b'.') {
                     self.pos += 1;
                 }
                 let n = String::from_utf8_lossy(&self.b[start..self.pos]).into_owned();
@@ -287,11 +284,8 @@ impl<'a> P<'a> {
                     NodeTest::Name(n)
                 }
             };
-            let predicate = if self.peek() == Some(b'[') {
-                Some(self.step_predicate()?)
-            } else {
-                None
-            };
+            let predicate =
+                if self.peek() == Some(b'[') { Some(self.step_predicate()?) } else { None };
             steps.push(Step { axis, test, predicate });
         }
         self.ws();
@@ -499,7 +493,9 @@ impl<'a> P<'a> {
                         self.pos += 2;
                         let close = self.name()?;
                         if close != name {
-                            return Err(self.err(format!("mismatched </{close}>, expected </{name}>")));
+                            return Err(
+                                self.err(format!("mismatched </{close}>, expected </{name}>"))
+                            );
                         }
                         self.ws();
                         self.expect_raw(b'>')?;

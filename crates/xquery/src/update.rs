@@ -95,11 +95,7 @@ fn parse_one(p: &mut P) -> Result<UpdateStmt, QueryParseError> {
     };
     p.expect(")")?;
     let path = p.steps()?;
-    let where_ = if p.kw("where") {
-        Some(parse_where(p)?)
-    } else {
-        None
-    };
+    let where_ = if p.kw("where") { Some(parse_where(p)?) } else { None };
     if !p.kw("update") {
         return Err(p.err("expected 'update'"));
     }

@@ -38,7 +38,8 @@ fn main() {
         anchor = store.insert_fragment(&bib, InsertPos::After(anchor.clone()), &f).unwrap();
         println!("inserted between siblings → new key {anchor}");
     }
-    let after: Vec<String> = store.children_named(&bib, "book").iter().map(|k| k.to_string()).collect();
+    let after: Vec<String> =
+        store.children_named(&bib, "book").iter().map(|k| k.to_string()).collect();
     assert!(before.iter().all(|k| after.contains(k)), "no key was relabeled");
     println!("original keys untouched after skewed inserts  ✓\n");
 

@@ -43,9 +43,18 @@
 //! | XQuery + update parser | [`xquery_lang`] | 2, 5 |
 //! | XAT algebra + engine | [`xat`] | 2, 3, 4, 6 |
 //! | VPA maintenance framework | [`vpa_core`] | 5, 6, 7, 8 |
+//! | Multi-view catalog service | [`viewsrv`] | 5 (SAPT routing), beyond paper |
 //! | Synthetic data / workloads | [`datagen`] | 3.5, 9 |
+//!
+//! ## Many views, one store
+//!
+//! [`ViewCatalog`] maintains N registered views over one shared store:
+//! update batches are validated once, routed through a document→views
+//! relevancy index, and the per-view deltas are propagated and applied on
+//! parallel scoped threads.
 
 pub use flexkey;
+pub use viewsrv;
 pub use vpa_core;
 pub use xat;
 pub use xmlstore;
@@ -53,6 +62,7 @@ pub use xquery_lang;
 
 pub use datagen;
 pub use flexkey::{FlexKey, OrdKey, SemId};
-pub use vpa_core::{MaintStats, ResolvedUpdate, Sapt, ViewManager};
+pub use viewsrv::{CatalogError, ServiceStats, ViewCatalog};
+pub use vpa_core::{MaintStats, MaintView, ResolvedUpdate, Sapt, ViewManager};
 pub use xat::{ExecOptions, ExecStats, Executor, Plan, ViewExtent};
 pub use xmlstore::{Frag, InsertPos, Store};

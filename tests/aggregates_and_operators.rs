@@ -33,10 +33,7 @@ fn per_tuple_count_aggregate() {
                return <dept n="{$d/@name}" sales="{count($d/sale)}"/> }</r>"#,
     )
     .unwrap();
-    assert_eq!(
-        vm.extent_xml(),
-        r#"<r><dept n="books" sales="2"/><dept n="music" sales="3"/></r>"#
-    );
+    assert_eq!(vm.extent_xml(), r#"<r><dept n="books" sales="2"/><dept n="music" sales="3"/></r>"#);
 }
 
 #[test]
@@ -82,11 +79,8 @@ fn sum_min_max_avg_per_tuple() {
 
 #[test]
 fn top_level_aggregate_query() {
-    let vm = ViewManager::new(
-        store(),
-        r#"<total n="{count(doc("shop.xml")/shop/dept/sale)}"/>"#,
-    )
-    .unwrap();
+    let vm = ViewManager::new(store(), r#"<total n="{count(doc("shop.xml")/shop/dept/sale)}"/>"#)
+        .unwrap();
     assert_eq!(vm.extent_xml(), r#"<total n="5"/>"#);
 }
 
@@ -155,11 +149,8 @@ fn sequence_return_clause() {
 
 #[test]
 fn nested_uncorrelated_constructors() {
-    let vm = ViewManager::new(
-        store(),
-        r#"<r><one><two><three>deep</three></two></one></r>"#,
-    )
-    .unwrap();
+    let vm =
+        ViewManager::new(store(), r#"<r><one><two><three>deep</three></two></one></r>"#).unwrap();
     assert_eq!(vm.extent_xml(), "<r><one><two><three>deep</three></two></one></r>");
 }
 
@@ -201,10 +192,7 @@ fn doubly_nested_correlated_groups() {
     .unwrap();
     let xml = vm.extent_xml();
     assert_eq!(xml, vm.recompute_xml().unwrap());
-    assert!(
-        xml.contains(r#"<city id="boston"><shop id="s1"/><shop id="s3"/></city>"#),
-        "{xml}"
-    );
+    assert!(xml.contains(r#"<city id="boston"><shop id="s1"/><shop id="s3"/></city>"#), "{xml}");
     assert!(xml.contains(r#"<region id="west"><city id="denver"/></region>"#), "{xml}");
     // Maintain through an insert into a middle group…
     vm.apply_update_script(

@@ -51,10 +51,8 @@ fn join_multiplicities_survive_partial_delete() {
     // 2 Twin books × 2 Twin entries = 4 hits + 1 Solo hit.
     assert_eq!(vm.extent_xml().matches("<hit").count(), 5);
     // Delete ONE Twin book: 2 hits remain from the other Twin book.
-    vm.apply_update_script(
-        r#"for $b in document("bib.xml")/bib/book[1] update $b delete $b"#,
-    )
-    .unwrap();
+    vm.apply_update_script(r#"for $b in document("bib.xml")/bib/book[1] update $b delete $b"#)
+        .unwrap();
     assert_eq!(vm.extent_xml().matches("<hit").count(), 3);
     assert_eq!(vm.extent_xml(), vm.recompute_xml().unwrap());
     // Delete the second Twin book: only Solo remains.
@@ -72,10 +70,8 @@ fn distinct_value_survives_until_last_witness_gone() {
     let mut vm = ViewManager::new(dup_store(), GROUPED_VIEW).unwrap();
     assert!(vm.extent_xml().contains(r#"<g Y="1994">"#));
     // Two 1994 books: deleting one keeps the group.
-    vm.apply_update_script(
-        r#"for $b in document("bib.xml")/bib/book[1] update $b delete $b"#,
-    )
-    .unwrap();
+    vm.apply_update_script(r#"for $b in document("bib.xml")/bib/book[1] update $b delete $b"#)
+        .unwrap();
     assert!(vm.extent_xml().contains(r#"<g Y="1994">"#), "{}", vm.extent_xml());
     assert_eq!(vm.extent_xml(), vm.recompute_xml().unwrap());
     // Deleting the second removes the whole group fragment at once (§8.3.2).
@@ -147,16 +143,9 @@ fn update_inside_bound_fragment_adjusts_content_not_existence() {
     // §6.5 classification: inserting a node INSIDE a bound book fragment
     // re-derives the book's exposed copy without changing group counts.
     let mut s = Store::new();
-    s.load_doc(
-        "bib.xml",
-        r#"<bib><book year="1994"><title>Solo</title></book></bib>"#,
-    )
-    .unwrap();
-    let mut vm = ViewManager::new(
-        s,
-        r#"<r>{ for $b in doc("bib.xml")/bib/book return $b }</r>"#,
-    )
-    .unwrap();
+    s.load_doc("bib.xml", r#"<bib><book year="1994"><title>Solo</title></book></bib>"#).unwrap();
+    let mut vm =
+        ViewManager::new(s, r#"<r>{ for $b in doc("bib.xml")/bib/book return $b }</r>"#).unwrap();
     vm.apply_update_script(
         r#"for $b in document("bib.xml")/bib/book[1]
            update $b insert <note>annotated</note> into $b"#,
@@ -167,10 +156,8 @@ fn update_inside_bound_fragment_adjusts_content_not_existence() {
     assert!(xml.contains("<note>annotated</note>"));
     assert_eq!(xml, vm.recompute_xml().unwrap());
     // And deleting that inner node restores the original content.
-    vm.apply_update_script(
-        r#"for $b in document("bib.xml")/bib/book[1] update $b delete $b/note"#,
-    )
-    .unwrap();
+    vm.apply_update_script(r#"for $b in document("bib.xml")/bib/book[1] update $b delete $b/note"#)
+        .unwrap();
     assert!(!vm.extent_xml().contains("note"));
     assert_eq!(vm.extent_xml(), vm.recompute_xml().unwrap());
 }

@@ -20,15 +20,10 @@ fn store() -> Store {
 
 #[test]
 fn type1_document_order_is_default() {
-    let vm = ViewManager::new(
-        store(),
-        r#"<r>{ for $i in doc("lib.xml")/lib/item return $i/name }</r>"#,
-    )
-    .unwrap();
-    assert_eq!(
-        vm.extent_xml(),
-        "<r><name>gamma</name><name>alpha</name><name>beta</name></r>"
-    );
+    let vm =
+        ViewManager::new(store(), r#"<r>{ for $i in doc("lib.xml")/lib/item return $i/name }</r>"#)
+            .unwrap();
+    assert_eq!(vm.extent_xml(), "<r><name>gamma</name><name>alpha</name><name>beta</name></r>");
 }
 
 #[test]
@@ -38,10 +33,7 @@ fn type2_order_by_overrides_document_order() {
         r#"<r>{ for $i in doc("lib.xml")/lib/item order by $i/name return $i/name }</r>"#,
     )
     .unwrap();
-    assert_eq!(
-        vm.extent_xml(),
-        "<r><name>alpha</name><name>beta</name><name>gamma</name></r>"
-    );
+    assert_eq!(vm.extent_xml(), "<r><name>alpha</name><name>beta</name><name>gamma</name></r>");
 }
 
 #[test]
@@ -51,10 +43,7 @@ fn type2_numeric_order_by() {
         r#"<r>{ for $i in doc("lib.xml")/lib/item order by $i/@rank return $i/name }</r>"#,
     )
     .unwrap();
-    assert_eq!(
-        vm.extent_xml(),
-        "<r><name>alpha</name><name>beta</name><name>gamma</name></r>"
-    );
+    assert_eq!(vm.extent_xml(), "<r><name>alpha</name><name>beta</name><name>gamma</name></r>");
 }
 
 #[test]
@@ -68,10 +57,7 @@ fn type3_for_nesting_gives_major_minor_order() {
                return $t }</r>"#,
     )
     .unwrap();
-    assert_eq!(
-        vm.extent_xml(),
-        "<r><t>p</t><t>q</t><t>r</t><t>x</t><t>y</t></r>"
-    );
+    assert_eq!(vm.extent_xml(), "<r><t>p</t><t>q</t><t>r</t><t>x</t><t>y</t></r>");
 }
 
 #[test]
@@ -138,11 +124,9 @@ fn order_maintained_under_interleaving_inserts() {
 
 #[test]
 fn document_order_maintained_for_mid_document_insert() {
-    let mut vm = ViewManager::new(
-        store(),
-        r#"<r>{ for $i in doc("lib.xml")/lib/item return $i/name }</r>"#,
-    )
-    .unwrap();
+    let mut vm =
+        ViewManager::new(store(), r#"<r>{ for $i in doc("lib.xml")/lib/item return $i/name }</r>"#)
+            .unwrap();
     // Insert between gamma and alpha (document positions 1 and 2).
     vm.apply_update_script(
         r#"for $i in document("lib.xml")/lib/item[1]

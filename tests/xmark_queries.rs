@@ -68,11 +68,8 @@ fn q1_returns_profiles_in_document_order() {
 fn q2_cities_are_distinct_and_alphabetical() {
     let s = site(60);
     let xml = run(&s, Q2);
-    let cities: Vec<&str> = xml
-        .split("<city>")
-        .skip(1)
-        .map(|p| p.split("</city>").next().unwrap())
-        .collect();
+    let cities: Vec<&str> =
+        xml.split("<city>").skip(1).map(|p| p.split("</city>").next().unwrap()).collect();
     let mut sorted = cities.clone();
     sorted.sort();
     sorted.dedup();
