@@ -18,7 +18,7 @@ fn main() {
             (vm, script)
         },
         |(mut vm, script)| {
-            vm.apply_update_script(&script).unwrap();
+            let _ = vm.apply_update_script(&script).unwrap();
             vm
         },
     );
@@ -29,7 +29,8 @@ fn main() {
             let (store, cfg) = bib_store(books);
             let mut vm = ViewManager::new(store, GROUPED_BIB_VIEW).unwrap();
             // Apply to sources; timing covers only recomputation.
-            vm.apply_update_script(&datagen::insert_books_script(&cfg, books, 1, Some(1900)))
+            let _ = vm
+                .apply_update_script(&datagen::insert_books_script(&cfg, books, 1, Some(1900)))
                 .unwrap();
             vm
         },
@@ -47,7 +48,7 @@ fn main() {
             (vm, datagen::delete_books_script(0, 1))
         },
         |(mut vm, script)| {
-            vm.apply_update_script(&script).unwrap();
+            let _ = vm.apply_update_script(&script).unwrap();
             vm
         },
     );

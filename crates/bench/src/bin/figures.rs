@@ -52,6 +52,39 @@ fn main() {
     if run("fig_multiview") {
         fig_multiview();
     }
+    if run("fig_ingest") {
+        fig_ingest();
+    }
+}
+
+/// Ingestion-front sweep (beyond the paper): one `apply_update_script`
+/// call per unit update vs the typed/queued `CatalogSession` path, over
+/// growing coalescing windows. `window 1` isolates the typed-batch parse-
+/// once savings; larger windows add the amortized shared-validate and
+/// per-view refresh.
+fn fig_ingest() {
+    println!("\n== fig_ingest: per-call scripts vs coalesced session ==");
+    println!(
+        "{:>7} {:>13} {:>13} {:>9} {:>8}",
+        "window", "per-call(ms)", "session(ms)", "submits", "applies"
+    );
+    let books = 400usize;
+    let n_views = 8usize;
+    let n_units = 32usize;
+    let (store, cfg) = bib_store(books);
+    let queries = multiview_queries(n_views, cfg.years);
+    let units = ingest_units(&cfg, n_units);
+    for window_ops in [1usize, 4, 8, 16, 32] {
+        let p = measure_ingest(&store, &queries, &units, window_ops);
+        println!(
+            "{:>7} {} {} {:>9} {:>8}",
+            window_ops,
+            ms(p.per_call),
+            ms(p.session),
+            p.submissions,
+            p.applications,
+        );
+    }
 }
 
 /// Multi-view catalog sweep (beyond the paper): shared validation +
@@ -315,7 +348,7 @@ fn fig9_6_fragment_delete() {
         // and (d) recompute, for context.
         let script = datagen::delete_year_script(1900);
         let t0 = Instant::now();
-        vm.apply_update_script(&script).unwrap();
+        let _ = vm.apply_update_script(&script).unwrap();
         let full = t0.elapsed();
         let t1 = Instant::now();
         let oracle = vm.recompute_xml().unwrap();
@@ -325,7 +358,7 @@ fn fig9_6_fragment_delete() {
     }
 }
 
-/// The naive deletion Fig 9.6 compares against (the [LD00] strategy the
+/// The naive deletion Fig 9.6 compares against (the \[LD00\] strategy the
 /// paper criticizes): remove leaves first, walking the whole fragment.
 fn delete_node_by_node(roots: &mut Vec<xat::VNode>) -> usize {
     let mut removed = 0;

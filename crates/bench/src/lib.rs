@@ -223,7 +223,7 @@ pub fn measure_multiview(
     }
     let t0 = Instant::now();
     for s in scripts {
-        cat.apply_update_script(s).expect("catalog maintenance");
+        let _ = cat.apply_update_script(s).expect("catalog maintenance");
     }
     let catalog = t0.elapsed();
     let stats = cat.stats();
@@ -236,7 +236,7 @@ pub fn measure_multiview(
     }
     let t0 = Instant::now();
     for s in scripts {
-        seq.apply_update_script(s).expect("sequential maintenance");
+        let _ = seq.apply_update_script(s).expect("sequential maintenance");
     }
     let catalog_seq = t0.elapsed();
 
@@ -248,7 +248,7 @@ pub fn measure_multiview(
     let t0 = Instant::now();
     for s in scripts {
         for (_, vm) in &mut managers {
-            vm.apply_update_script(s).expect("naive maintenance");
+            let _ = vm.apply_update_script(s).expect("naive maintenance");
         }
     }
     let naive = t0.elapsed();
@@ -284,6 +284,81 @@ pub fn multiview_workload(cfg: &datagen::BibConfig, batches: usize) -> Vec<Strin
         out.push(datagen::delete_books_script(b * 2, 1));
     }
     out
+}
+
+/// Outcome of one ingestion-front measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct IngestPoint {
+    /// One `apply_update_script` call per unit script (parse + resolve +
+    /// shared validate + routed refresh, per call).
+    pub per_call: Duration,
+    /// The same units parsed once into typed batches and streamed through a
+    /// [`viewsrv::CatalogSession`] with a coalescing window.
+    pub session: Duration,
+    /// Submissions the session accepted.
+    pub submissions: usize,
+    /// Coalesced applications the session performed.
+    pub applications: usize,
+}
+
+/// Generated single-insert unit batches for the ingestion sweep: each unit
+/// is one writer's submission (independent of every other unit, so
+/// coalescing them is order-insensitive).
+pub fn ingest_units(cfg: &datagen::BibConfig, n: usize) -> Vec<String> {
+    (0..n).map(|i| datagen::insert_books_script(cfg, cfg.books + i, 1, Some(1900))).collect()
+}
+
+/// Maintain `queries` under `units` two ways — one script call per unit vs
+/// a session coalescing typed batches under `window_ops` — timing both and
+/// asserting identical extents plus the recompute oracle.
+pub fn measure_ingest(
+    store: &Store,
+    queries: &[(String, String)],
+    units: &[String],
+    window_ops: usize,
+) -> IngestPoint {
+    // Baseline: one synchronous script application per unit.
+    let mut per_call_cat = viewsrv::ViewCatalog::new(store.clone());
+    for (name, q) in queries {
+        per_call_cat.register(name, q).expect("view registers");
+    }
+    let t0 = Instant::now();
+    for u in units {
+        let _ = per_call_cat.apply_update_script(u).expect("per-call maintenance");
+    }
+    let per_call = t0.elapsed();
+
+    // Ingestion front: parse once, stream through a bounded session.
+    let mut session_cat = viewsrv::ViewCatalog::new(store.clone());
+    for (name, q) in queries {
+        session_cat.register(name, q).expect("view registers");
+    }
+    let batches: Vec<viewsrv::UpdateBatch> =
+        units.iter().map(|u| viewsrv::UpdateBatch::from_script(u).expect("unit parses")).collect();
+    let t0 = Instant::now();
+    let mut session = session_cat
+        .session(viewsrv::SessionConfig { queue_capacity: units.len().max(1), window_ops });
+    for b in batches {
+        session.try_submit(b).expect("capacity covers the workload");
+    }
+    let receipt = session.commit().expect("session maintenance");
+    let session_time = t0.elapsed();
+
+    for (name, _) in queries {
+        assert_eq!(
+            per_call_cat.extent_xml(name).unwrap(),
+            session_cat.extent_xml(name).unwrap(),
+            "per-call vs session divergence on {name}"
+        );
+    }
+    session_cat.verify_all().expect("session oracle");
+
+    IngestPoint {
+        per_call,
+        session: session_time,
+        submissions: receipt.batches_submitted,
+        applications: receipt.batches_applied,
+    }
 }
 
 pub mod harness {

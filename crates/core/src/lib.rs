@@ -39,7 +39,11 @@ pub mod view;
 pub use manager::{MaintError, MaintStats, ViewManager};
 pub use propagate::propagate_batch;
 pub use update::{
-    apply_to_store, resolve_update_script, resolve_updates, ResolvedUpdate, UpdateKind,
+    apply_to_store, resolve_batch, resolve_op, resolve_update_script, resolve_updates,
+    ResolvedUpdate, UpdateKind,
 };
 pub use validate::{Relevancy, Sapt};
 pub use view::MaintView;
+// The typed update contract flows through unchanged: re-exported so
+// maintenance callers need not depend on the language crate directly.
+pub use xquery_lang::{InsertPosition, OpAction, OpKind, UpdateBatch, UpdateOp};

@@ -36,9 +36,11 @@ use xat::plan::Plan;
 use xat::translate::TranslateError;
 use xat::ViewExtent;
 use xmlstore::Store;
+use xquery_lang::UpdateBatch;
 
 /// Per-maintenance-round statistics (the Chapter 9 cost breakdown:
 /// validate / propagate / apply).
+#[must_use = "maintenance statistics report the per-phase costs of the round"]
 #[derive(Clone, Copy, Debug, Default)]
 pub struct MaintStats {
     pub validate: Duration,
@@ -106,6 +108,12 @@ impl From<UpdateError> for MaintError {
     }
 }
 
+impl From<xquery_lang::QueryParseError> for MaintError {
+    fn from(e: xquery_lang::QueryParseError) -> Self {
+        MaintError::Update(e.into())
+    }
+}
+
 /// A materialized XQuery view with incremental maintenance.
 pub struct ViewManager {
     store: Store,
@@ -167,10 +175,19 @@ impl ViewManager {
         Ok(self.recompute()?.to_xml())
     }
 
-    /// Parse an XQuery-update script and maintain the view incrementally.
+    /// Parse an XQuery-update script and maintain the view incrementally —
+    /// thin legacy wrapper over [`UpdateBatch::from_script`] +
+    /// [`ViewManager::apply_batch`]; prefer constructing the batch once.
     pub fn apply_update_script(&mut self, script: &str) -> Result<MaintStats, MaintError> {
+        self.apply_batch(&UpdateBatch::from_script(script)?)
+    }
+
+    /// Maintain the view for a typed update batch: resolve every op against
+    /// the pre-update store (counted into the Validate phase), then run the
+    /// propagate/apply rounds.
+    pub fn apply_batch(&mut self, batch: &UpdateBatch) -> Result<MaintStats, MaintError> {
         let t0 = Instant::now();
-        let resolved = update::resolve_update_script(&self.store, script)?;
+        let resolved = update::resolve_batch(&self.store, batch)?;
         let mut stats = self.apply_resolved(resolved)?;
         stats.validate += t0.elapsed() - stats.total();
         Ok(stats)

@@ -13,8 +13,8 @@ use flexkey::FlexKey;
 use std::fmt;
 use xmlstore::{Frag, InsertPos, Store};
 use xquery_lang::{
-    parse_updates, BoolExpr, CmpOp, Expr, NodeTest, PathSource, Step, StepPredicate, UpdateAction,
-    UpdateStmt,
+    BoolExpr, CmpOp, Expr, InsertPosition, NodeTest, OpAction, PathSource, Step, StepPredicate,
+    UpdateAction, UpdateBatch, UpdateOp, UpdateStmt,
 };
 
 /// The kind of a resolved update primitive.
@@ -78,13 +78,41 @@ impl fmt::Display for UpdateError {
 
 impl std::error::Error for UpdateError {}
 
-/// Parse an update script and resolve every statement against `store`.
+impl From<xquery_lang::QueryParseError> for UpdateError {
+    fn from(e: xquery_lang::QueryParseError) -> Self {
+        UpdateError(e.to_string())
+    }
+}
+
+/// Parse an update script and resolve every statement against `store` —
+/// thin legacy wrapper over [`UpdateBatch::from_script`] + [`resolve_batch`];
+/// prefer constructing an [`UpdateBatch`] once and resolving it.
 pub fn resolve_update_script(
     store: &Store,
     script: &str,
 ) -> Result<Vec<ResolvedUpdate>, UpdateError> {
-    let stmts = parse_updates(script).map_err(|e| UpdateError(e.to_string()))?;
-    resolve_updates(store, &stmts)
+    resolve_batch(store, &UpdateBatch::from_script(script)?)
+}
+
+/// Resolve a typed update batch against the (pre-update) store: every op's
+/// target bindings are pinned to concrete node keys, with the §5.2.2
+/// sufficiency annotations extracted. This is the native entry point of the
+/// Validate phase; no script text is involved.
+pub fn resolve_batch(
+    store: &Store,
+    batch: &UpdateBatch,
+) -> Result<Vec<ResolvedUpdate>, UpdateError> {
+    let mut out = Vec::new();
+    for op in batch {
+        out.extend(resolve_op(store, op)?);
+    }
+    Ok(out)
+}
+
+/// Resolve one typed op against the (pre-update) store — borrows every
+/// part of the op directly; nothing is cloned until a primitive is built.
+pub fn resolve_op(store: &Store, op: &UpdateOp) -> Result<Vec<ResolvedUpdate>, UpdateError> {
+    resolve_parts(store, op.var(), op.doc(), op.path(), op.filter_expr(), op.action().into())
 }
 
 /// Resolve parsed update statements against the (pre-update) store.
@@ -99,55 +127,99 @@ pub fn resolve_updates(
     Ok(out)
 }
 
+/// A borrowed view of an update action, unifying the script-side
+/// [`UpdateAction`] and the typed [`OpAction`] so resolution never clones
+/// its input.
+enum ActionRef<'a> {
+    Insert { position: InsertPosition, fragment_xml: &'a str },
+    Delete { rel_path: &'a [Step] },
+    Replace { rel_path: &'a [Step], new_value: &'a str },
+}
+
+impl<'a> From<&'a UpdateAction> for ActionRef<'a> {
+    fn from(a: &'a UpdateAction) -> ActionRef<'a> {
+        match a {
+            UpdateAction::InsertAfter { fragment_xml } => {
+                ActionRef::Insert { position: InsertPosition::After, fragment_xml }
+            }
+            UpdateAction::InsertBefore { fragment_xml } => {
+                ActionRef::Insert { position: InsertPosition::Before, fragment_xml }
+            }
+            UpdateAction::InsertInto { fragment_xml } => {
+                ActionRef::Insert { position: InsertPosition::Into, fragment_xml }
+            }
+            UpdateAction::Delete { rel_path } => ActionRef::Delete { rel_path },
+            UpdateAction::ReplaceWith { rel_path, new_value } => {
+                ActionRef::Replace { rel_path, new_value }
+            }
+        }
+    }
+}
+
+impl<'a> From<&'a OpAction> for ActionRef<'a> {
+    fn from(a: &'a OpAction) -> ActionRef<'a> {
+        match a {
+            OpAction::Insert { position, fragment_xml } => {
+                ActionRef::Insert { position: *position, fragment_xml }
+            }
+            OpAction::Delete { rel_path } => ActionRef::Delete { rel_path },
+            OpAction::ReplaceText { rel_path, new_value } => {
+                ActionRef::Replace { rel_path, new_value }
+            }
+        }
+    }
+}
+
 fn resolve_one(store: &Store, stmt: &UpdateStmt) -> Result<Vec<ResolvedUpdate>, UpdateError> {
-    let handle = store
-        .doc_handle(&stmt.doc)
-        .ok_or_else(|| UpdateError(format!("unknown document {}", stmt.doc)))?;
+    resolve_parts(
+        store,
+        &stmt.var,
+        &stmt.doc,
+        &stmt.path,
+        stmt.where_.as_ref(),
+        (&stmt.action).into(),
+    )
+}
+
+fn resolve_parts(
+    store: &Store,
+    var: &str,
+    doc: &str,
+    path: &[Step],
+    where_: Option<&BoolExpr>,
+    action: ActionRef<'_>,
+) -> Result<Vec<ResolvedUpdate>, UpdateError> {
+    let handle =
+        store.doc_handle(doc).ok_or_else(|| UpdateError(format!("unknown document {doc}")))?;
     // Bind the target variable.
-    let mut bindings = eval_steps(store, &handle, &stmt.path)?;
-    if let Some(w) = &stmt.where_ {
-        bindings.retain(|k| eval_where(store, k, &stmt.var, w));
+    let mut bindings = eval_steps(store, &handle, path)?;
+    if let Some(w) = where_ {
+        bindings.retain(|k| eval_where(store, k, var, w));
     }
     let mut out = Vec::new();
     for target in bindings {
-        match &stmt.action {
-            UpdateAction::InsertAfter { fragment_xml } => {
+        match &action {
+            ActionRef::Insert { position, fragment_xml } => {
                 let frag = xmlstore::parse_document(fragment_xml)
                     .map_err(|e| UpdateError(e.to_string()))?;
-                let parent = target
-                    .parent()
-                    .ok_or_else(|| UpdateError("cannot insert beside a document root".into()))?;
-                out.push(ResolvedUpdate::Insert {
-                    doc: stmt.doc.clone(),
-                    parent,
-                    pos: InsertPos::After(target.clone()),
-                    frag,
-                });
+                let (parent, pos) = match position {
+                    InsertPosition::After => {
+                        let parent = target.parent().ok_or_else(|| {
+                            UpdateError("cannot insert beside a document root".into())
+                        })?;
+                        (parent, InsertPos::After(target.clone()))
+                    }
+                    InsertPosition::Before => {
+                        let parent = target.parent().ok_or_else(|| {
+                            UpdateError("cannot insert beside a document root".into())
+                        })?;
+                        (parent, InsertPos::Before(target.clone()))
+                    }
+                    InsertPosition::Into => (target.clone(), InsertPos::Last),
+                };
+                out.push(ResolvedUpdate::Insert { doc: doc.to_string(), parent, pos, frag });
             }
-            UpdateAction::InsertBefore { fragment_xml } => {
-                let frag = xmlstore::parse_document(fragment_xml)
-                    .map_err(|e| UpdateError(e.to_string()))?;
-                let parent = target
-                    .parent()
-                    .ok_or_else(|| UpdateError("cannot insert beside a document root".into()))?;
-                out.push(ResolvedUpdate::Insert {
-                    doc: stmt.doc.clone(),
-                    parent,
-                    pos: InsertPos::Before(target.clone()),
-                    frag,
-                });
-            }
-            UpdateAction::InsertInto { fragment_xml } => {
-                let frag = xmlstore::parse_document(fragment_xml)
-                    .map_err(|e| UpdateError(e.to_string()))?;
-                out.push(ResolvedUpdate::Insert {
-                    doc: stmt.doc.clone(),
-                    parent: target.clone(),
-                    pos: InsertPos::Last,
-                    frag,
-                });
-            }
-            UpdateAction::Delete { rel_path } => {
+            ActionRef::Delete { rel_path } => {
                 let victims = if rel_path.is_empty() {
                     vec![target.clone()]
                 } else {
@@ -159,10 +231,10 @@ fn resolve_one(store: &Store, stmt: &UpdateStmt) -> Result<Vec<ResolvedUpdate>, 
                     let frag = store
                         .extract_frag(&v)
                         .ok_or_else(|| UpdateError(format!("dangling delete target {v}")))?;
-                    out.push(ResolvedUpdate::Delete { doc: stmt.doc.clone(), target: v, frag });
+                    out.push(ResolvedUpdate::Delete { doc: doc.to_string(), target: v, frag });
                 }
             }
-            UpdateAction::ReplaceWith { rel_path, new_value } => {
+            ActionRef::Replace { rel_path, new_value } => {
                 let victims = if rel_path.is_empty() {
                     vec![target.clone()]
                 } else {
@@ -170,9 +242,9 @@ fn resolve_one(store: &Store, stmt: &UpdateStmt) -> Result<Vec<ResolvedUpdate>, 
                 };
                 for v in victims {
                     out.push(ResolvedUpdate::ReplaceText {
-                        doc: stmt.doc.clone(),
+                        doc: doc.to_string(),
                         target: v,
-                        new_value: new_value.clone(),
+                        new_value: (*new_value).to_string(),
                     });
                 }
             }

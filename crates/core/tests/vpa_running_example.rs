@@ -97,7 +97,7 @@ fn figure_1_3_batch_refreshes_to_figure_1_4() {
 fn updates_applied_one_at_a_time_match_recompute_at_each_step() {
     let mut vm = manager();
     for stmt in UPDATES.split(';').filter(|s| !s.trim().is_empty()) {
-        vm.apply_update_script(stmt).unwrap();
+        let _ = vm.apply_update_script(stmt).unwrap();
         assert_eq!(vm.extent_xml(), vm.recompute_xml().unwrap(), "after: {stmt}");
     }
 }
@@ -107,7 +107,7 @@ fn figure_1_3a_insert_places_new_entry_in_document_order() {
     // §4.1: the new entry must come *second* in the 1994 group, because the
     // inserted book comes second among 1994 books in the source.
     let mut vm = manager();
-    vm.apply_update_script(
+    let _ = vm.apply_update_script(
         r#"for $book in document("bib.xml")/bib/book[2]
            update $book
            insert <book year="1994"><title>Advanced Programming in the Unix environment</title></book> after $book"#,
@@ -125,12 +125,13 @@ fn figure_1_3b_delete_removes_entire_ygroup_fragment() {
     // §1.2: deleting the only 2000 book must delete the whole yGroup
     // fragment (root disconnect), not just the entry.
     let mut vm = manager();
-    vm.apply_update_script(
-        r#"for $book in document("bib.xml")/bib/book
+    let _ = vm
+        .apply_update_script(
+            r#"for $book in document("bib.xml")/bib/book
            where $book/title = "Data on the Web"
            update $book delete $book"#,
-    )
-    .unwrap();
+        )
+        .unwrap();
     let xml = vm.extent_xml();
     assert!(!xml.contains("2000"), "{xml}");
     assert!(xml.contains(r#"<yGroup Y="1994">"#));
@@ -142,7 +143,7 @@ fn delete_one_of_two_books_keeps_shared_group() {
     // Multiple derivations (§1.2): with two 1994 books, deleting one keeps
     // the group — the counting solution at work.
     let mut vm = manager();
-    vm.apply_update_script(
+    let _ = vm.apply_update_script(
         r#"for $book in document("bib.xml")/bib/book[1]
            update $book
            insert <book year="1994"><title>Advanced Programming in the Unix environment</title></book> after $book"#,
@@ -151,12 +152,13 @@ fn delete_one_of_two_books_keeps_shared_group() {
     assert_eq!(vm.extent_xml(), vm.recompute_xml().unwrap());
     // Now delete the original 1994 book; the group must survive with the
     // other book's entry.
-    vm.apply_update_script(
-        r#"for $book in document("bib.xml")/bib/book
+    let _ = vm
+        .apply_update_script(
+            r#"for $book in document("bib.xml")/bib/book
            where $book/title = "TCP/IP Illustrated"
            update $book delete $book"#,
-    )
-    .unwrap();
+        )
+        .unwrap();
     let xml = vm.extent_xml();
     assert!(xml.contains(r#"<yGroup Y="1994">"#), "{xml}");
     assert!(xml.contains("Advanced Programming"));
@@ -188,12 +190,13 @@ fn modify_of_predicate_path_regroups_correctly() {
     // Replacing a *join-relevant* value (b-title) must move entries between
     // groups — the slow (delete+insert of the bound fragment) path.
     let mut vm = manager();
-    vm.apply_update_script(
-        r#"for $entry in document("prices.xml")/prices/entry
+    let _ = vm
+        .apply_update_script(
+            r#"for $entry in document("prices.xml")/prices/entry
            where $entry/b-title = "TCP/IP Illustrated"
            update $entry replace $entry/b-title/text() with "Data on the Web""#,
-    )
-    .unwrap();
+        )
+        .unwrap();
     let xml = vm.extent_xml();
     assert_eq!(xml, vm.recompute_xml().unwrap());
     // The 65.95 entry now matches the 2000 book ("Data on the Web"), so the
@@ -241,7 +244,7 @@ fn mixed_large_batch_remains_consistent() {
       where $b/title = "TCP/IP Illustrated"
       update $b replace $b/title/text() with "TCP/IP Illustrated Vol 1"
     "#;
-    vm.apply_update_script(script).unwrap();
+    let _ = vm.apply_update_script(script).unwrap();
     assert_eq!(vm.extent_xml(), vm.recompute_xml().unwrap());
 }
 
@@ -250,19 +253,20 @@ fn repeated_insert_delete_cycles_stay_consistent() {
     let mut vm = manager();
     for i in 0..6 {
         let year = if i % 2 == 0 { "1994" } else { "2001" };
-        vm.apply_update_script(&format!(
+        let _ = vm.apply_update_script(&format!(
             r#"for $r in document("bib.xml")/bib
                update $r insert <book year="{year}"><title>Advanced Programming in the Unix environment</title></book> into $r"#,
         ))
         .unwrap();
         assert_eq!(vm.extent_xml(), vm.recompute_xml().unwrap(), "after insert {i}");
         if i % 3 == 2 {
-            vm.apply_update_script(
-                r#"for $b in document("bib.xml")/bib/book
+            let _ = vm
+                .apply_update_script(
+                    r#"for $b in document("bib.xml")/bib/book
                    where $b/@year = "2001"
                    update $b delete $b"#,
-            )
-            .unwrap();
+                )
+                .unwrap();
             assert_eq!(vm.extent_xml(), vm.recompute_xml().unwrap(), "after delete {i}");
         }
     }

@@ -4,7 +4,7 @@
 //! An [`OrdKey`] is a sequence of [`OrdAtom`]s compared left-to-right. Atoms
 //! are either FlexKeys (document/derivation order) or order-preserving byte
 //! encodings of query-computed values (strings, numbers — produced by the
-//! Order By operator, which "explicitly encodes [order] in a new column").
+//! Order By operator, which "explicitly encodes \[order\] in a new column").
 
 use crate::key::FlexKey;
 use std::cmp::Ordering;

@@ -34,22 +34,32 @@
 //! counters (updates seen, view propagations, views skipped by relevancy),
 //! and [`ViewCatalog::verify_all`] is the service-level §1.2 oracle: every
 //! extent must equal its from-scratch recomputation.
+//!
+//! Updates arrive as **typed** [`UpdateBatch`]es ([`ViewCatalog::apply_batch`]
+//! returns a structured [`BatchReceipt`]); the [`session`] module adds the
+//! queued ingestion front ([`CatalogSession`]) with a bounded queue,
+//! coalescing window, and explicit backpressure.
+
+pub mod session;
 
 use flexkey::FlexKey;
+pub use session::{CatalogSession, IngestError, SessionConfig, SessionReceipt};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::time::{Duration, Instant};
 use vpa_core::manager::{MaintError, MaintStats};
-use vpa_core::update::{self, ResolvedUpdate, UpdateKind};
+use vpa_core::update::{self, ResolvedUpdate, UpdateError, UpdateKind};
 use vpa_core::validate::Relevancy;
 use vpa_core::view::{text_node_key, widen_modify, MaintView};
 use xat::exec::ExecStats;
 use xat::VNode;
 use xmlstore::{Frag, Store};
+pub use xquery_lang::{InsertPosition, OpAction, OpKind, UpdateBatch, UpdateOp};
 
 /// Service-level statistics: the Chapter 9 per-phase breakdown lifted to
 /// the catalog, plus the relevancy-routing counters that only exist with
 /// multiple views.
+#[must_use = "service statistics report the per-phase costs and routing counters"]
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ServiceStats {
     /// Update batches processed.
@@ -82,7 +92,7 @@ impl ServiceStats {
         self.validate + self.propagate + self.apply
     }
 
-    fn merge(&mut self, o: &ServiceStats) {
+    pub(crate) fn merge(&mut self, o: &ServiceStats) {
         self.batches += o.batches;
         self.updates_seen += o.updates_seen;
         self.views_skipped += o.views_skipped;
@@ -134,6 +144,31 @@ impl From<vpa_core::update::UpdateError> for CatalogError {
     fn from(e: vpa_core::update::UpdateError) -> Self {
         CatalogError::Maint(MaintError::Update(e))
     }
+}
+
+impl From<xquery_lang::QueryParseError> for CatalogError {
+    fn from(e: xquery_lang::QueryParseError) -> Self {
+        CatalogError::from(UpdateError::from(e))
+    }
+}
+
+/// The structured result of one applied update batch: what was accepted,
+/// which views it reached, and the per-phase costs.
+#[must_use = "the receipt reports what the batch touched and what it cost"]
+#[derive(Clone, Debug)]
+pub struct BatchReceipt {
+    /// Typed ops in the submitted batch.
+    pub ops: usize,
+    /// Update primitives the ops resolved to (one op can bind many nodes).
+    pub resolved: usize,
+    /// Submitted batches coalesced into this application (1 for a direct
+    /// [`ViewCatalog::apply_batch`]; ≥ 1 through a [`CatalogSession`]).
+    pub coalesced_from: usize,
+    /// Names of the views the batch was routed to (relevancy-touched), in
+    /// registration order.
+    pub views_touched: Vec<String>,
+    /// The batch's per-phase wall times and routing counters.
+    pub stats: ServiceStats,
 }
 
 /// Worker-thread budget for the parallel rounds: `VIEWSRV_THREADS` when
@@ -235,9 +270,20 @@ impl ViewCatalog {
         &self.store
     }
 
-    /// The documents each view reads (the relevancy index, for inspection).
-    pub fn doc_index(&self) -> &BTreeMap<String, Vec<usize>> {
-        &self.doc_index
+    /// Names of the views whose definitions read `doc`, in registration
+    /// order — the relevancy index, exposed without leaking internal slot
+    /// indices. Unknown documents yield an empty list.
+    pub fn views_for_doc(&self, doc: &str) -> Vec<&str> {
+        self.doc_index
+            .get(doc)
+            .map(|ids| ids.iter().map(|&i| self.slots[i].name.as_str()).collect())
+            .unwrap_or_default()
+    }
+
+    /// The document names the relevancy index covers (every document some
+    /// registered view reads), sorted.
+    pub fn indexed_docs(&self) -> Vec<&str> {
+        self.doc_index.keys().map(String::as_str).collect()
     }
 
     /// Serialized extent of the view named `name`.
@@ -270,18 +316,35 @@ impl ViewCatalog {
         self.stats
     }
 
-    /// Parse an XQuery-update script, resolve it once against the shared
-    /// store, and maintain every registered view. Returns this batch's
-    /// service statistics.
+    /// Parse an XQuery-update script and maintain every registered view —
+    /// thin legacy wrapper over [`UpdateBatch::from_script`] +
+    /// [`ViewCatalog::apply_batch`]; prefer constructing the typed batch
+    /// once and keeping the receipt.
     pub fn apply_update_script(&mut self, script: &str) -> Result<ServiceStats, CatalogError> {
+        Ok(self.apply_batch(&UpdateBatch::from_script(script)?)?.stats)
+    }
+
+    /// Maintain every registered view for one typed update batch: resolve
+    /// the ops once against the shared store (counted into the shared
+    /// Validate phase), route them through the relevancy index, and run the
+    /// parallel propagate/apply rounds. Returns the structured
+    /// [`BatchReceipt`].
+    pub fn apply_batch(&mut self, batch: &UpdateBatch) -> Result<BatchReceipt, CatalogError> {
         let t0 = Instant::now();
-        let resolved = update::resolve_update_script(&self.store, script)?;
-        let mut batch = self.apply_resolved(resolved)?;
-        // Script parsing/resolution is part of the shared Validate phase.
-        let resolve_overhead = t0.elapsed() - batch.total();
-        batch.validate += resolve_overhead;
+        let resolved = update::resolve_batch(&self.store, batch)?;
+        let n_resolved = resolved.len();
+        let (mut stats, touched) = self.apply_traced(resolved)?;
+        // Op resolution is part of the shared Validate phase.
+        let resolve_overhead = t0.elapsed() - stats.total();
+        stats.validate += resolve_overhead;
         self.stats.validate += resolve_overhead;
-        Ok(batch)
+        Ok(BatchReceipt {
+            ops: batch.len(),
+            resolved: n_resolved,
+            coalesced_from: 1,
+            views_touched: touched.iter().map(|&i| self.slots[i].name.clone()).collect(),
+            stats,
+        })
     }
 
     /// Maintain every view for a batch of already-resolved updates.
@@ -289,6 +352,15 @@ impl ViewCatalog {
         &mut self,
         updates: Vec<ResolvedUpdate>,
     ) -> Result<ServiceStats, CatalogError> {
+        self.apply_traced(updates).map(|(stats, _)| stats)
+    }
+
+    /// The routed maintenance pipeline, additionally reporting which slots
+    /// the batch touched (for receipts).
+    fn apply_traced(
+        &mut self,
+        updates: Vec<ResolvedUpdate>,
+    ) -> Result<(ServiceStats, BTreeSet<usize>), CatalogError> {
         let mut batch =
             ServiceStats { batches: 1, updates_seen: updates.len(), ..Default::default() };
         let n_views = self.slots.len();
@@ -318,6 +390,8 @@ impl ViewCatalog {
             }
         }
         batch.validate += tv.elapsed();
+        let mut touched: BTreeSet<usize> =
+            routed.iter().flat_map(|(_, rel)| rel.iter().map(|(i, _)| *i)).collect();
 
         // ── Per document: deletes → modifies → inserts, mirroring the
         // single-view manager's batching discipline (§5.3).
@@ -339,11 +413,11 @@ impl ViewCatalog {
                 }
             }
             self.round_deletes(&doc, deletes, &mut batch)?;
-            self.round_modifies(&doc, modifies, &mut batch)?;
+            self.round_modifies(&doc, modifies, &mut batch, &mut touched)?;
             self.round_inserts(&doc, inserts, &mut batch)?;
         }
         self.stats.merge(&batch);
-        Ok(batch)
+        Ok((batch, touched))
     }
 
     /// Delete round: propagate every view's relevant roots against the
@@ -412,6 +486,7 @@ impl ViewCatalog {
         doc: &str,
         modifies: Vec<(ResolvedUpdate, Vec<(usize, Relevancy)>)>,
         batch: &mut ServiceStats,
+        touched: &mut BTreeSet<usize>,
     ) -> Result<(), CatalogError> {
         for (u, rel) in modifies {
             let ResolvedUpdate::ReplaceText { target, new_value, .. } = &u else { unreachable!() };
@@ -496,6 +571,7 @@ impl ViewCatalog {
                 }
             }
             affected.sort_unstable();
+            touched.extend(affected.iter().copied());
             // Views reached only through the widened fragment are extra
             // routings the initial Validate loop could not see.
             for &i in &affected {
@@ -690,8 +766,10 @@ mod tests {
         let cat = catalog();
         assert_eq!(cat.len(), 3);
         assert!(cat.extent_xml("flat").unwrap().contains("TCP/IP"));
-        assert_eq!(cat.doc_index()["bib.xml"], vec![0, 1]);
-        assert_eq!(cat.doc_index()["prices.xml"], vec![1, 2]);
+        assert_eq!(cat.views_for_doc("bib.xml"), vec!["flat", "join"]);
+        assert_eq!(cat.views_for_doc("prices.xml"), vec!["join", "prices_only"]);
+        assert_eq!(cat.indexed_docs(), vec!["bib.xml", "prices.xml"]);
+        assert!(cat.views_for_doc("nope.xml").is_empty());
         cat.verify_all().unwrap();
     }
 
@@ -702,7 +780,7 @@ mod tests {
         assert!(matches!(cat.drop_view("nope"), Err(CatalogError::UnknownView(_))));
         cat.drop_view("join").unwrap();
         assert_eq!(cat.len(), 2);
-        assert_eq!(cat.doc_index()["prices.xml"], vec![1]);
+        assert_eq!(cat.views_for_doc("prices.xml"), vec!["prices_only"]);
         cat.verify_all().unwrap();
     }
 
@@ -725,16 +803,17 @@ mod tests {
     #[test]
     fn mixed_batch_maintains_all_views() {
         let mut cat = catalog();
-        cat.apply_update_script(
-            r#"for $r in document("bib.xml")/bib update $r
+        let _ = cat
+            .apply_update_script(
+                r#"for $r in document("bib.xml")/bib update $r
                insert <book year="1994"><title>Advanced Programming</title></book> into $r ;
                for $b in document("bib.xml")/bib/book where $b/title = "Data on the Web"
                update $b delete $b ;
                for $e in document("prices.xml")/prices/entry
                where $e/b-title = "TCP/IP Illustrated"
                update $e replace $e/price/text() with "70.00""#,
-        )
-        .unwrap();
+            )
+            .unwrap();
         cat.verify_all().unwrap();
         assert!(cat.extent_xml("flat").unwrap().contains("Advanced Programming"));
         assert!(!cat.extent_xml("join").unwrap().contains("Data on the Web"));
@@ -750,8 +829,8 @@ mod tests {
         let mut a = catalog();
         let mut b = catalog();
         b.set_parallel(false);
-        a.apply_update_script(script).unwrap();
-        b.apply_update_script(script).unwrap();
+        let _ = a.apply_update_script(script).unwrap();
+        let _ = b.apply_update_script(script).unwrap();
         for name in ["flat", "join", "prices_only"] {
             assert_eq!(a.extent_xml(name).unwrap(), b.extent_xml(name).unwrap());
         }
@@ -778,27 +857,30 @@ mod tests {
         // The retitled book now joins with the other price entry.
         assert!(cat.extent_xml("join").unwrap().contains("39.95"));
         // And later maintenance over the re-keyed fragment still works.
-        cat.apply_update_script(
-            r#"for $b in document("bib.xml")/bib/book where $b/@year = "1994"
+        let _ = cat
+            .apply_update_script(
+                r#"for $b in document("bib.xml")/bib/book where $b/@year = "1994"
                update $b delete $b"#,
-        )
-        .unwrap();
+            )
+            .unwrap();
         cat.verify_all().unwrap();
     }
 
     #[test]
     fn stats_accumulate_across_batches() {
         let mut cat = catalog();
-        cat.apply_update_script(
-            r#"for $r in document("prices.xml")/prices update $r
+        let _ = cat
+            .apply_update_script(
+                r#"for $r in document("prices.xml")/prices update $r
                insert <entry><price>1.00</price><b-title>X</b-title></entry> into $r"#,
-        )
-        .unwrap();
-        cat.apply_update_script(
-            r#"for $e in document("prices.xml")/prices/entry where $e/b-title = "X"
+            )
+            .unwrap();
+        let _ = cat
+            .apply_update_script(
+                r#"for $e in document("prices.xml")/prices/entry where $e/b-title = "X"
                update $e delete $e"#,
-        )
-        .unwrap();
+            )
+            .unwrap();
         let s = cat.stats();
         assert_eq!(s.batches, 2);
         assert_eq!(s.updates_seen, 2);

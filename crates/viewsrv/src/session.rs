@@ -1,0 +1,297 @@
+//! The queued ingestion front: [`CatalogSession`].
+//!
+//! `ViewCatalog::apply_batch` is synchronous — one caller, one batch, one
+//! routed refresh. A production ingestion path instead has **many writers
+//! streaming small batches**, and wants them *coalesced*: every applied
+//! batch pays one shared Validate pass (script-free op resolution +
+//! relevancy routing) and one parallel per-view refresh, so merging K tiny
+//! submissions into one application amortizes that fixed cost K-fold.
+//!
+//! A [`CatalogSession`] borrows the catalog exclusively and adds exactly
+//! that front:
+//!
+//! * **Bounded queue** — [`CatalogSession::try_submit`] enqueues a typed
+//!   [`UpdateBatch`] or returns [`IngestError::QueueFull`] immediately.
+//!   Backpressure is explicit and observable: the session never blocks and
+//!   never buffers beyond `queue_capacity`, the producer decides whether to
+//!   retry, flush, or shed load.
+//! * **Coalescing window** — [`CatalogSession::flush`] drains the queue,
+//!   greedily merging consecutive submissions into chunks of at most
+//!   `window_ops` ops (a submission is never split), and applies each chunk
+//!   through the catalog's once-per-batch validation and parallel
+//!   propagate/apply rounds.
+//! * **Receipts** — every applied chunk yields a [`BatchReceipt`];
+//!   [`CatalogSession::commit`] flushes the remainder and folds all
+//!   receipts into one [`SessionReceipt`].
+//!
+//! Coalescing changes *when* ops are resolved: every op of a merged chunk
+//! binds against the store state before the chunk, not before its original
+//! submission. Submissions whose ops target nodes created by an earlier
+//! queued submission should be separated by an explicit [`flush`]
+//! (`flush` is the sequencing boundary, exactly like a barrier in a write
+//! pipeline).
+//!
+//! ```
+//! use viewsrv::{InsertPosition, SessionConfig, UpdateBatch, UpdateOp, ViewCatalog};
+//! use xmlstore::Store;
+//!
+//! let mut store = Store::new();
+//! store.load_doc("bib.xml", "<bib><book year=\"1994\"><title>T</title></book></bib>").unwrap();
+//! let mut cat = ViewCatalog::new(store);
+//! cat.register("all", r#"<r>{ for $b in doc("bib.xml")/bib/book return $b/title }</r>"#)
+//!     .unwrap();
+//!
+//! let mut session = cat.session(SessionConfig::default());
+//! for i in 0..3 {
+//!     let frag = format!("<book year=\"2001\"><title>B{i}</title></book>");
+//!     let op = UpdateOp::insert("bib.xml", "/bib", InsertPosition::Into, &frag).unwrap();
+//!     session.try_submit(UpdateBatch::new().with(op)).unwrap();
+//! }
+//! let receipt = session.commit().unwrap();
+//! assert_eq!(receipt.batches_submitted, 3);
+//! assert_eq!(receipt.batches_applied, 1, "three submissions coalesced into one");
+//! cat.verify_all().unwrap();
+//! ```
+//!
+//! [`flush`]: CatalogSession::flush
+
+use crate::{BatchReceipt, CatalogError, ServiceStats, UpdateBatch, ViewCatalog};
+use std::collections::{BTreeSet, VecDeque};
+use std::fmt;
+
+/// Tuning knobs of a [`CatalogSession`].
+#[derive(Clone, Copy, Debug)]
+pub struct SessionConfig {
+    /// Maximum number of queued (not yet flushed) submissions. Submitting
+    /// into a full queue fails with [`IngestError::QueueFull`] — the
+    /// session never blocks and never allocates past this bound.
+    pub queue_capacity: usize,
+    /// Coalescing window: maximum typed ops merged into one applied batch
+    /// at flush. A single submission larger than the window still applies
+    /// as one batch (submissions are never split).
+    pub window_ops: usize,
+}
+
+impl Default for SessionConfig {
+    fn default() -> SessionConfig {
+        SessionConfig { queue_capacity: 64, window_ops: 256 }
+    }
+}
+
+/// Ingestion-front failures.
+#[derive(Debug)]
+pub enum IngestError {
+    /// The bounded queue is at capacity; the submission was rejected
+    /// (backpressure). The rejected batch rides along so the producer can
+    /// retry it after a [`CatalogSession::flush`] without cloning.
+    QueueFull {
+        /// The rejected submission, handed back untouched.
+        batch: UpdateBatch,
+        /// The configured bound the queue is at.
+        capacity: usize,
+    },
+    /// Applying a drained batch failed in the catalog.
+    Catalog(CatalogError),
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::QueueFull { capacity, .. } => {
+                write!(f, "ingestion queue is full ({capacity} batches); flush before resubmitting")
+            }
+            IngestError::Catalog(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::QueueFull { .. } => None,
+            IngestError::Catalog(e) => Some(e),
+        }
+    }
+}
+
+impl From<CatalogError> for IngestError {
+    fn from(e: CatalogError) -> Self {
+        IngestError::Catalog(e)
+    }
+}
+
+impl From<xquery_lang::QueryParseError> for IngestError {
+    fn from(e: xquery_lang::QueryParseError) -> Self {
+        IngestError::Catalog(e.into())
+    }
+}
+
+/// Aggregate result of a whole session (all flushes up to and including
+/// [`CatalogSession::commit`]).
+#[must_use = "the session receipt reports what the whole session ingested"]
+#[derive(Clone, Debug, Default)]
+pub struct SessionReceipt {
+    /// Typed batches accepted by `try_submit` over the session's lifetime.
+    pub batches_submitted: usize,
+    /// Coalesced batches actually applied to the catalog.
+    pub batches_applied: usize,
+    /// Typed ops ingested.
+    pub ops: usize,
+    /// Update primitives the ops resolved to.
+    pub resolved: usize,
+    /// Union of the view names any applied batch touched, sorted.
+    pub views_touched: Vec<String>,
+    /// Merged per-phase statistics over every applied batch.
+    pub stats: ServiceStats,
+}
+
+/// An exclusive ingestion session over a [`ViewCatalog`] — see the
+/// [module docs](self) for the queue/window/backpressure contract.
+pub struct CatalogSession<'a> {
+    catalog: &'a mut ViewCatalog,
+    config: SessionConfig,
+    queue: VecDeque<UpdateBatch>,
+    queued_ops: usize,
+    submitted: usize,
+    receipts: Vec<BatchReceipt>,
+}
+
+impl ViewCatalog {
+    /// Open an ingestion session over this catalog. The session borrows the
+    /// catalog exclusively; drop or [`CatalogSession::commit`] it to get
+    /// the catalog back.
+    pub fn session(&mut self, config: SessionConfig) -> CatalogSession<'_> {
+        CatalogSession {
+            catalog: self,
+            config,
+            queue: VecDeque::new(),
+            queued_ops: 0,
+            submitted: 0,
+            receipts: Vec::new(),
+        }
+    }
+}
+
+impl CatalogSession<'_> {
+    /// Enqueue a typed batch without applying it. Fails fast with
+    /// [`IngestError::QueueFull`] when the bounded queue is at capacity —
+    /// the rejected batch is handed back inside the error untouched (and
+    /// the queue state is unchanged), so the producer can flush and
+    /// resubmit it without cloning.
+    pub fn try_submit(&mut self, batch: UpdateBatch) -> Result<(), IngestError> {
+        if self.queue.len() >= self.config.queue_capacity {
+            return Err(IngestError::QueueFull { batch, capacity: self.config.queue_capacity });
+        }
+        self.queued_ops += batch.len();
+        self.queue.push_back(batch);
+        self.submitted += 1;
+        Ok(())
+    }
+
+    /// Parse a script once into a typed batch and [`try_submit`] it.
+    ///
+    /// [`try_submit`]: CatalogSession::try_submit
+    pub fn try_submit_script(&mut self, script: &str) -> Result<(), IngestError> {
+        self.try_submit(UpdateBatch::from_script(script)?)
+    }
+
+    /// Submissions waiting in the queue.
+    pub fn queued_batches(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Typed ops waiting in the queue.
+    pub fn queued_ops(&self) -> usize {
+        self.queued_ops
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> SessionConfig {
+        self.config
+    }
+
+    /// Receipts of every batch this session has applied so far (all
+    /// flushes since the last [`commit`]).
+    ///
+    /// [`commit`]: CatalogSession::commit
+    pub fn receipts(&self) -> &[BatchReceipt] {
+        &self.receipts
+    }
+
+    /// Drop every queued (not yet flushed) submission, returning them —
+    /// the recovery escape hatch after a failed [`flush`] when the caller
+    /// decides not to retry.
+    ///
+    /// [`flush`]: CatalogSession::flush
+    pub fn discard_queued(&mut self) -> Vec<UpdateBatch> {
+        self.queued_ops = 0;
+        self.queue.drain(..).collect()
+    }
+
+    /// Drain the queue: merge consecutive submissions into chunks of at
+    /// most `window_ops` ops and apply each chunk as one catalog batch
+    /// (resolved and validated once, refreshed in parallel). Returns the
+    /// receipts of the batches applied by *this* flush, in order.
+    ///
+    /// Nothing is lost on failure: a chunk whose application errors is put
+    /// back at the front of the queue (still coalesced) before the error
+    /// returns, and receipts of chunks applied earlier in the flush remain
+    /// available via [`receipts`]. Retrying without removing the failing
+    /// ops will fail again — inspect and [`discard_queued`], or fix the
+    /// store, before the next flush.
+    ///
+    /// [`receipts`]: CatalogSession::receipts
+    /// [`discard_queued`]: CatalogSession::discard_queued
+    pub fn flush(&mut self) -> Result<Vec<BatchReceipt>, IngestError> {
+        let mut flushed = Vec::new();
+        while let Some(first) = self.queue.pop_front() {
+            self.queued_ops -= first.len();
+            let mut merged = first;
+            let mut coalesced_from = 1;
+            while let Some(next) = self.queue.front() {
+                if merged.len() + next.len() > self.config.window_ops {
+                    break;
+                }
+                let next = self.queue.pop_front().expect("front exists");
+                self.queued_ops -= next.len();
+                merged.extend(next);
+                coalesced_from += 1;
+            }
+            match self.catalog.apply_batch(&merged) {
+                Ok(mut receipt) => {
+                    receipt.coalesced_from = coalesced_from;
+                    self.receipts.push(receipt.clone());
+                    flushed.push(receipt);
+                }
+                Err(e) => {
+                    self.queued_ops += merged.len();
+                    self.queue.push_front(merged);
+                    return Err(e.into());
+                }
+            }
+        }
+        Ok(flushed)
+    }
+
+    /// Flush the remaining queue and fold every receipt accumulated since
+    /// the last commit into one aggregate [`SessionReceipt`], draining
+    /// them. On error the session stays usable: the failing chunk is back
+    /// in the queue and earlier receipts are still held (see
+    /// [`flush`](CatalogSession::flush)), so the caller can recover and
+    /// commit again.
+    pub fn commit(&mut self) -> Result<SessionReceipt, IngestError> {
+        self.flush()?;
+        let mut out = SessionReceipt { batches_submitted: self.submitted, ..Default::default() };
+        let mut touched: BTreeSet<String> = BTreeSet::new();
+        for r in self.receipts.drain(..) {
+            out.batches_applied += 1;
+            out.ops += r.ops;
+            out.resolved += r.resolved;
+            touched.extend(r.views_touched);
+            out.stats.merge(&r.stats);
+        }
+        self.submitted = 0;
+        out.views_touched = touched.into_iter().collect();
+        Ok(out)
+    }
+}

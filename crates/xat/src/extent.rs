@@ -8,7 +8,7 @@
 //!
 //! Building an extent from executor output *is* the identifier-based XML
 //! fusion of §4.4: per-tuple result fragments are deep-unioned by semantic
-//! id, counts summing. The same [`deep_union`] drives the Apply phase
+//! id, counts summing. The same [`deep_union_siblings`] drives the Apply phase
 //! (Ch. 8): delta trees produced by incremental maintenance plans carry
 //! signed counts, nodes vanish when their count reaches zero, and a whole
 //! fragment disappears by disconnecting its root (§8.3.2) — descendants are

@@ -1,6 +1,6 @@
 //! # xat — the XAT XML algebra and execution engine
 //!
-//! A from-scratch implementation of the XAT algebra [ZPR02] that the paper's
+//! A from-scratch implementation of the XAT algebra \[ZPR02\] that the paper's
 //! Rainbow engine uses (Ch. 2), extended with the dissertation's three core
 //! mechanisms:
 //!

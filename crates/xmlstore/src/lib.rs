@@ -1,7 +1,7 @@
 //! # xmlstore — XML node model, parser, serializer and storage manager
 //!
 //! This crate is the substrate the paper's Rainbow engine obtained from the
-//! *MASS* storage manager [DR03] (§3.3): scalable storage and indexing of XML
+//! *MASS* storage manager \[DR03\] (§3.3): scalable storage and indexing of XML
 //! nodes keyed by FlexKeys, with the guarantee that descendants of any node
 //! are retrieved **in document order** and that updates never force key
 //! reassignment.

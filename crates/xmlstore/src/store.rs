@@ -1,6 +1,6 @@
 //! The storage manager: FlexKey-ordered documents with update support.
 //!
-//! Plays the role of MASS [DR03] in the paper's architecture (§3.3): nodes
+//! Plays the role of MASS \[DR03\] in the paper's architecture (§3.3): nodes
 //! are stored keyed by FlexKey, descendants come back in document order, and
 //! all update primitives (insert fragment / delete subtree / replace text)
 //! allocate keys without relabeling existing nodes.

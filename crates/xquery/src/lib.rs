@@ -8,20 +8,25 @@
 //!   aggregate functions.
 //! * [`parser`] — a recursive-descent parser with modal lexing for element
 //!   constructors (text/`{expr}` content).
-//! * [`normalize`] — the source-level normalization of §2.3.1: let-variable
+//! * [`mod@normalize`] — the source-level normalization of §2.3.1: let-variable
 //!   inlining (Rule 1), splitting of multi-variable `for` clauses (Rule 2,
 //!   represented structurally), and hoisting of XPath predicates into `where`
 //!   clauses (Rule 3).
-//! * [`update`] — the XQuery update language of [TIHW01] used for source
+//! * [`update`] — the XQuery update language of \[TIHW01\] used for source
 //!   updates (Figure 1.3): `insert … before/after/into`, `delete`,
 //!   `replace … with`.
+//! * [`ops`] — typed update operations ([`UpdateOp`] / [`UpdateBatch`]):
+//!   the programmatic integration contract the maintenance stack consumes,
+//!   constructible via builders or parsed once from script text.
 
 pub mod ast;
 pub mod normalize;
+pub mod ops;
 pub mod parser;
 pub mod update;
 
 pub use ast::*;
 pub use normalize::normalize;
+pub use ops::{parse_path, InsertPosition, OpAction, OpKind, UpdateBatch, UpdateOp};
 pub use parser::{parse_query, QueryParseError};
 pub use update::{parse_updates, UpdateAction, UpdateStmt};

@@ -1,4 +1,4 @@
-//! The XQuery update language of [TIHW01], as used for source updates
+//! The XQuery update language of \[TIHW01\], as used for source updates
 //! (Figure 1.3):
 //!
 //! ```text

@@ -56,7 +56,10 @@ fn main() {
     )
     .unwrap();
     println!("registered views: {:?}", cat.view_names());
-    println!("relevancy index:  {:?}\n", cat.doc_index());
+    for doc in cat.indexed_docs() {
+        println!("relevancy index:  {doc} -> {:?}", cat.views_for_doc(doc));
+    }
+    println!();
 
     // Stream a generated workload: each batch is resolved and validated
     // once, then routed only to the views it can affect.

@@ -42,17 +42,18 @@ fn main() {
             r#"for $f in document("feed.xml")/feed update $f
                insert <reading city="{city}"><temp>{temp}</temp></reading> into $f"#
         );
-        view.apply_update_script(&unit).unwrap();
+        let _ = view.apply_update_script(&unit).unwrap();
         println!("unit {i}: {city} {temp}°\n  → {}", view.extent_xml());
         assert_eq!(view.extent_xml(), view.recompute_xml().unwrap());
     }
 
     // Late correction: a reading is retracted.
-    view.apply_update_script(
-        r#"for $r in document("feed.xml")/feed/reading where $r/temp = "17"
+    let _ = view
+        .apply_update_script(
+            r#"for $r in document("feed.xml")/feed/reading where $r/temp = "17"
            update $r delete $r"#,
-    )
-    .unwrap();
+        )
+        .unwrap();
     println!("\nretract Albany 17°\n  → {}", view.extent_xml());
     assert_eq!(view.extent_xml(), view.recompute_xml().unwrap());
     println!("\nall incremental states matched recomputation  ✓");

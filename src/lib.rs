@@ -40,10 +40,10 @@
 //! |---|---|---|
 //! | Order keys, semantic ids | [`flexkey`] | 3, 4 |
 //! | XML model + storage manager | [`xmlstore`] | 3 (MASS substrate) |
-//! | XQuery + update parser | [`xquery_lang`] | 2, 5 |
+//! | XQuery + update parser, typed update ops | [`xquery_lang`] | 2, 5 |
 //! | XAT algebra + engine | [`xat`] | 2, 3, 4, 6 |
 //! | VPA maintenance framework | [`vpa_core`] | 5, 6, 7, 8 |
-//! | Multi-view catalog service | [`viewsrv`] | 5 (SAPT routing), beyond paper |
+//! | Multi-view catalog + ingestion front | [`viewsrv`] | 5 (SAPT routing), beyond paper |
 //! | Synthetic data / workloads | [`datagen`] | 3.5, 9 |
 //!
 //! ## Many views, one store
@@ -52,6 +52,34 @@
 //! update batches are validated once, routed through a document→views
 //! relevancy index, and the per-view deltas are propagated and applied on
 //! parallel scoped threads.
+//!
+//! ## Typed updates and batched ingestion
+//!
+//! Updates are first-class values, not strings: an [`UpdateOp`] is a typed
+//! insert/delete/modify (built programmatically or parsed once from script
+//! text), an [`UpdateBatch`] is the unit the stack validates once and
+//! routes, and a [`CatalogSession`] queues batches behind a bounded queue
+//! with a coalescing window and explicit backpressure, emitting structured
+//! [`BatchReceipt`]s per applied window:
+//!
+//! ```
+//! use xqview::{CatalogSession, SessionConfig, Store, UpdateBatch, UpdateOp, ViewCatalog};
+//! use xqview::xquery_lang::InsertPosition;
+//!
+//! let mut store = Store::new();
+//! store.load_doc("bib.xml", r#"<bib><book year="1994"><title>T</title></book></bib>"#).unwrap();
+//! let mut cat = ViewCatalog::new(store);
+//! cat.register("titles", r#"<r>{ for $b in doc("bib.xml")/bib/book return $b/title }</r>"#)
+//!     .unwrap();
+//!
+//! let mut session = cat.session(SessionConfig::default());
+//! let op = UpdateOp::insert("bib.xml", "/bib", InsertPosition::Into,
+//!                           r#"<book year="2001"><title>U</title></book>"#).unwrap();
+//! session.try_submit(UpdateBatch::new().with(op)).unwrap();
+//! let receipt = session.commit().unwrap();
+//! assert_eq!(receipt.views_touched, vec!["titles"]);
+//! cat.verify_all().unwrap();
+//! ```
 
 pub use flexkey;
 pub use viewsrv;
@@ -62,7 +90,11 @@ pub use xquery_lang;
 
 pub use datagen;
 pub use flexkey::{FlexKey, OrdKey, SemId};
-pub use viewsrv::{CatalogError, ServiceStats, ViewCatalog};
+pub use viewsrv::{
+    BatchReceipt, CatalogError, CatalogSession, IngestError, ServiceStats, SessionConfig,
+    SessionReceipt, ViewCatalog,
+};
 pub use vpa_core::{MaintStats, MaintView, ResolvedUpdate, Sapt, ViewManager};
 pub use xat::{ExecOptions, ExecStats, Executor, Plan, ViewExtent};
 pub use xmlstore::{Frag, InsertPos, Store};
+pub use xquery_lang::{OpAction, OpKind, UpdateBatch, UpdateOp};

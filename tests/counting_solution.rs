@@ -51,15 +51,17 @@ fn join_multiplicities_survive_partial_delete() {
     // 2 Twin books × 2 Twin entries = 4 hits + 1 Solo hit.
     assert_eq!(vm.extent_xml().matches("<hit").count(), 5);
     // Delete ONE Twin book: 2 hits remain from the other Twin book.
-    vm.apply_update_script(r#"for $b in document("bib.xml")/bib/book[1] update $b delete $b"#)
+    let _ = vm
+        .apply_update_script(r#"for $b in document("bib.xml")/bib/book[1] update $b delete $b"#)
         .unwrap();
     assert_eq!(vm.extent_xml().matches("<hit").count(), 3);
     assert_eq!(vm.extent_xml(), vm.recompute_xml().unwrap());
     // Delete the second Twin book: only Solo remains.
-    vm.apply_update_script(
-        r#"for $b in document("bib.xml")/bib/book where $b/title = "Twin" update $b delete $b"#,
-    )
-    .unwrap();
+    let _ = vm
+        .apply_update_script(
+            r#"for $b in document("bib.xml")/bib/book where $b/title = "Twin" update $b delete $b"#,
+        )
+        .unwrap();
     assert_eq!(vm.extent_xml().matches("<hit").count(), 1);
     assert!(vm.extent_xml().contains("<price>30</price>"));
     assert_eq!(vm.extent_xml(), vm.recompute_xml().unwrap());
@@ -70,15 +72,17 @@ fn distinct_value_survives_until_last_witness_gone() {
     let mut vm = ViewManager::new(dup_store(), GROUPED_VIEW).unwrap();
     assert!(vm.extent_xml().contains(r#"<g Y="1994">"#));
     // Two 1994 books: deleting one keeps the group.
-    vm.apply_update_script(r#"for $b in document("bib.xml")/bib/book[1] update $b delete $b"#)
+    let _ = vm
+        .apply_update_script(r#"for $b in document("bib.xml")/bib/book[1] update $b delete $b"#)
         .unwrap();
     assert!(vm.extent_xml().contains(r#"<g Y="1994">"#), "{}", vm.extent_xml());
     assert_eq!(vm.extent_xml(), vm.recompute_xml().unwrap());
     // Deleting the second removes the whole group fragment at once (§8.3.2).
-    vm.apply_update_script(
-        r#"for $b in document("bib.xml")/bib/book where $b/@year = "1994" update $b delete $b"#,
-    )
-    .unwrap();
+    let _ = vm
+        .apply_update_script(
+            r#"for $b in document("bib.xml")/bib/book where $b/@year = "1994" update $b delete $b"#,
+        )
+        .unwrap();
     assert!(!vm.extent_xml().contains("1994"));
     assert_eq!(vm.extent_xml(), vm.recompute_xml().unwrap());
 }
@@ -87,11 +91,12 @@ fn distinct_value_survives_until_last_witness_gone() {
 fn entry_side_deletes_decrement_join_hits() {
     let mut vm = ViewManager::new(dup_store(), JOIN_VIEW).unwrap();
     // Delete one Twin entry: each Twin book loses one pairing (4 → 2).
-    vm.apply_update_script(
-        r#"for $e in document("prices.xml")/prices/entry where $e/price = "10"
+    let _ = vm
+        .apply_update_script(
+            r#"for $e in document("prices.xml")/prices/entry where $e/price = "10"
            update $e delete $e"#,
-    )
-    .unwrap();
+        )
+        .unwrap();
     assert_eq!(vm.extent_xml().matches("<hit").count(), 3);
     assert_eq!(vm.extent_xml(), vm.recompute_xml().unwrap());
 }
@@ -99,16 +104,18 @@ fn entry_side_deletes_decrement_join_hits() {
 #[test]
 fn reinsert_after_full_delete_recreates_nodes() {
     let mut vm = ViewManager::new(dup_store(), GROUPED_VIEW).unwrap();
-    vm.apply_update_script(
-        r#"for $b in document("bib.xml")/bib/book where $b/@year = "1994" update $b delete $b"#,
-    )
-    .unwrap();
+    let _ = vm
+        .apply_update_script(
+            r#"for $b in document("bib.xml")/bib/book where $b/@year = "1994" update $b delete $b"#,
+        )
+        .unwrap();
     assert!(!vm.extent_xml().contains("1994"));
-    vm.apply_update_script(
-        r#"for $r in document("bib.xml")/bib update $r
+    let _ = vm
+        .apply_update_script(
+            r#"for $r in document("bib.xml")/bib update $r
            insert <book year="1994"><title>Twin</title></book> into $r"#,
-    )
-    .unwrap();
+        )
+        .unwrap();
     // The group returns, with both Twin prices, count rebuilt from scratch.
     let xml = vm.extent_xml();
     assert!(xml.contains(r#"<g Y="1994">"#), "{xml}");
@@ -123,17 +130,19 @@ fn insert_then_delete_across_batches_nets_zero() {
     // a same-batch insert. Across batches, insert-then-delete nets zero.)
     let mut vm = ViewManager::new(dup_store(), GROUPED_VIEW).unwrap();
     let before = vm.extent_xml();
-    vm.apply_update_script(
-        r#"for $r in document("bib.xml")/bib update $r
+    let _ = vm
+        .apply_update_script(
+            r#"for $r in document("bib.xml")/bib update $r
            insert <book year="1977"><title>Ghost</title></book> into $r"#,
-    )
-    .unwrap();
+        )
+        .unwrap();
     assert!(vm.extent_xml().contains("1977"));
-    vm.apply_update_script(
-        r#"for $b in document("bib.xml")/bib/book where $b/@year = "1977"
+    let _ = vm
+        .apply_update_script(
+            r#"for $b in document("bib.xml")/bib/book where $b/@year = "1977"
            update $b delete $b"#,
-    )
-    .unwrap();
+        )
+        .unwrap();
     assert_eq!(vm.extent_xml(), before);
     assert_eq!(vm.extent_xml(), vm.recompute_xml().unwrap());
 }
@@ -146,17 +155,21 @@ fn update_inside_bound_fragment_adjusts_content_not_existence() {
     s.load_doc("bib.xml", r#"<bib><book year="1994"><title>Solo</title></book></bib>"#).unwrap();
     let mut vm =
         ViewManager::new(s, r#"<r>{ for $b in doc("bib.xml")/bib/book return $b }</r>"#).unwrap();
-    vm.apply_update_script(
-        r#"for $b in document("bib.xml")/bib/book[1]
+    let _ = vm
+        .apply_update_script(
+            r#"for $b in document("bib.xml")/bib/book[1]
            update $b insert <note>annotated</note> into $b"#,
-    )
-    .unwrap();
+        )
+        .unwrap();
     let xml = vm.extent_xml();
     assert_eq!(xml.matches("<book").count(), 1, "book still derived once: {xml}");
     assert!(xml.contains("<note>annotated</note>"));
     assert_eq!(xml, vm.recompute_xml().unwrap());
     // And deleting that inner node restores the original content.
-    vm.apply_update_script(r#"for $b in document("bib.xml")/bib/book[1] update $b delete $b/note"#)
+    let _ = vm
+        .apply_update_script(
+            r#"for $b in document("bib.xml")/bib/book[1] update $b delete $b/note"#,
+        )
         .unwrap();
     assert!(!vm.extent_xml().contains("note"));
     assert_eq!(vm.extent_xml(), vm.recompute_xml().unwrap());

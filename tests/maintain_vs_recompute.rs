@@ -155,7 +155,9 @@ fn check_sequence(view: &str, books: Vec<(u8, u16)>, entries: Vec<(u8, u16)>, op
     let mut vm = ViewManager::new(store, view).expect("view must translate");
     assert_eq!(vm.extent_xml(), vm.recompute_xml().unwrap(), "initial materialization");
     for (i, op) in ops.iter().enumerate() {
-        vm.apply_update_script(&op_script(op)).unwrap_or_else(|e| panic!("step {i} {op:?}: {e}"));
+        let _ = vm
+            .apply_update_script(&op_script(op))
+            .unwrap_or_else(|e| panic!("step {i} {op:?}: {e}"));
         let maintained = vm.extent_xml();
         let oracle = vm.recompute_xml().unwrap();
         assert_eq!(maintained, oracle, "divergence after step {i}: {op:?}");
@@ -239,10 +241,10 @@ fn scaled_datagen_documents_roundtrip() {
     let mut vm = ViewManager::new(s, GROUPED_VIEW).unwrap();
     assert_eq!(vm.extent_xml(), vm.recompute_xml().unwrap());
     // A generated mixed workload.
-    vm.apply_update_script(&datagen::insert_books_script(&cfg, 60, 4, Some(1903))).unwrap();
+    let _ = vm.apply_update_script(&datagen::insert_books_script(&cfg, 60, 4, Some(1903))).unwrap();
     assert_eq!(vm.extent_xml(), vm.recompute_xml().unwrap());
-    vm.apply_update_script(&datagen::delete_books_script(10, 5)).unwrap();
+    let _ = vm.apply_update_script(&datagen::delete_books_script(10, 5)).unwrap();
     assert_eq!(vm.extent_xml(), vm.recompute_xml().unwrap());
-    vm.apply_update_script(&datagen::modify_prices_script(2, 3, "11.11")).unwrap();
+    let _ = vm.apply_update_script(&datagen::modify_prices_script(2, 3, "11.11")).unwrap();
     assert_eq!(vm.extent_xml(), vm.recompute_xml().unwrap());
 }

@@ -105,7 +105,8 @@ fn every_extent_equals_recompute_after_every_script() {
     let mut cat = full_catalog();
     cat.verify_all().expect("initial materialization");
     for (i, script) in SCRIPTS.iter().enumerate() {
-        cat.apply_update_script(script).unwrap_or_else(|e| panic!("script {i} failed: {e}"));
+        let _ =
+            cat.apply_update_script(script).unwrap_or_else(|e| panic!("script {i} failed: {e}"));
         cat.verify_all().unwrap_or_else(|e| panic!("after script {i}: {e}"));
     }
     // Spot-check final content.
@@ -134,7 +135,7 @@ fn prices_update_never_propagates_to_bib_only_view() {
 fn skipping_shows_up_in_cumulative_stats() {
     let mut cat = full_catalog();
     for script in SCRIPTS {
-        cat.apply_update_script(script).unwrap();
+        let _ = cat.apply_update_script(script).unwrap();
     }
     let s = cat.stats();
     assert_eq!(s.batches, SCRIPTS.len());
@@ -157,9 +158,9 @@ fn catalog_agrees_with_independent_view_managers() {
         ("prices_only", ViewManager::new(shared_store(), PRICES_ONLY_VIEW).unwrap()),
     ];
     for script in SCRIPTS {
-        cat.apply_update_script(script).unwrap();
+        let _ = cat.apply_update_script(script).unwrap();
         for (name, vm) in &mut managers {
-            vm.apply_update_script(script).unwrap();
+            let _ = vm.apply_update_script(script).unwrap();
             assert_eq!(
                 cat.extent_xml(name).unwrap(),
                 vm.extent_xml(),
@@ -172,13 +173,13 @@ fn catalog_agrees_with_independent_view_managers() {
 #[test]
 fn register_and_drop_mid_stream() {
     let mut cat = full_catalog();
-    cat.apply_update_script(SCRIPTS[0]).unwrap();
+    let _ = cat.apply_update_script(SCRIPTS[0]).unwrap();
     cat.drop_view("grouped").unwrap();
-    cat.apply_update_script(SCRIPTS[1]).unwrap();
+    let _ = cat.apply_update_script(SCRIPTS[1]).unwrap();
     // A view registered mid-stream materializes over the *current* store.
     cat.register("grouped2", GROUPED_VIEW).unwrap();
     for script in &SCRIPTS[2..] {
-        cat.apply_update_script(script).unwrap();
+        let _ = cat.apply_update_script(script).unwrap();
         cat.verify_all().unwrap();
     }
     assert_eq!(cat.view_names(), vec!["flat", "join", "prices_only", "grouped2"]);

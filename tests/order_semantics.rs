@@ -106,11 +106,12 @@ fn order_maintained_under_interleaving_inserts() {
     )
     .unwrap();
     for name in ["aardvark", "delta", "alpaca", "zeta"] {
-        vm.apply_update_script(&format!(
-            r#"for $l in document("lib.xml")/lib update $l
+        let _ = vm
+            .apply_update_script(&format!(
+                r#"for $l in document("lib.xml")/lib update $l
                insert <item rank="9"><name>{name}</name></item> into $l"#
-        ))
-        .unwrap();
+            ))
+            .unwrap();
         assert_eq!(vm.extent_xml(), vm.recompute_xml().unwrap(), "after {name}");
     }
     let xml = vm.extent_xml();
@@ -128,11 +129,12 @@ fn document_order_maintained_for_mid_document_insert() {
         ViewManager::new(store(), r#"<r>{ for $i in doc("lib.xml")/lib/item return $i/name }</r>"#)
             .unwrap();
     // Insert between gamma and alpha (document positions 1 and 2).
-    vm.apply_update_script(
-        r#"for $i in document("lib.xml")/lib/item[1]
+    let _ = vm
+        .apply_update_script(
+            r#"for $i in document("lib.xml")/lib/item[1]
            update $i insert <item rank="7"><name>middle</name></item> after $i"#,
-    )
-    .unwrap();
+        )
+        .unwrap();
     assert_eq!(
         vm.extent_xml(),
         "<r><name>gamma</name><name>middle</name><name>alpha</name><name>beta</name></r>"
@@ -150,12 +152,13 @@ fn modify_of_order_key_repositions_fragment() {
         r#"<r>{ for $i in doc("lib.xml")/lib/item order by $i/name return <n>{$i/name}</n> }</r>"#,
     )
     .unwrap();
-    vm.apply_update_script(
-        r#"for $i in document("lib.xml")/lib/item
+    let _ = vm
+        .apply_update_script(
+            r#"for $i in document("lib.xml")/lib/item
            where $i/@rank = "3"
            update $i replace $i/name/text() with "aaa-first""#,
-    )
-    .unwrap();
+        )
+        .unwrap();
     let xml = vm.extent_xml();
     assert!(xml.starts_with("<r><n><name>aaa-first</name></n>"), "{xml}");
     assert_eq!(xml, vm.recompute_xml().unwrap());

@@ -107,7 +107,7 @@ fn q4_construction_heavy_result_shape() {
 fn q2_view_maintains_under_person_inserts() {
     let s = site(20);
     let mut vm = ViewManager::new(s, Q2).unwrap();
-    vm.apply_update_script(
+    let _ = vm.apply_update_script(
         r#"for $p in document("site.xml")/site/people
            update $p insert <person id="personX" income="1"><name>X</name>
            <address><street>1 A</street><city>AaNewCity</city><country>X</country></address>
@@ -125,23 +125,25 @@ fn q3_join_view_maintains_under_auction_updates() {
     let s = site(20);
     let mut vm = ViewManager::new(s, Q3).unwrap();
     let before_dates = vm.extent_xml().matches("<date>").count();
-    vm.apply_update_script(
-        r#"for $c in document("site.xml")/site/closed_auctions
+    let _ = vm
+        .apply_update_script(
+            r#"for $c in document("site.xml")/site/closed_auctions
            update $c insert <closed_auction><seller person="person0"/><buyer person="person1"/>
            <date>01/01/2099</date></closed_auction> into $c"#,
-    )
-    .unwrap();
+        )
+        .unwrap();
     let xml = vm.extent_xml();
     assert_eq!(xml.matches("<date>").count(), before_dates + 1);
     assert!(xml.contains("01/01/2099"));
     assert_eq!(xml, vm.recompute_xml().unwrap());
     // Self-join document (both sides read site.xml): delete the auction.
-    vm.apply_update_script(
-        r#"for $a in document("site.xml")/site/closed_auctions/closed_auction
+    let _ = vm
+        .apply_update_script(
+            r#"for $a in document("site.xml")/site/closed_auctions/closed_auction
            where $a/date = "01/01/2099"
            update $a delete $a"#,
-    )
-    .unwrap();
+        )
+        .unwrap();
     assert_eq!(vm.extent_xml().matches("<date>").count(), before_dates);
     assert_eq!(vm.extent_xml(), vm.recompute_xml().unwrap());
 }
@@ -150,11 +152,12 @@ fn q3_join_view_maintains_under_auction_updates() {
 fn q1_view_maintains_under_profile_modify() {
     let s = site(15);
     let mut vm = ViewManager::new(s, Q1).unwrap();
-    vm.apply_update_script(
-        r#"for $p in document("site.xml")/site/people/person[3]
+    let _ = vm
+        .apply_update_script(
+            r#"for $p in document("site.xml")/site/people/person[3]
            update $p replace $p/profile/age with "99""#,
-    )
-    .unwrap();
+        )
+        .unwrap();
     assert!(vm.extent_xml().contains("<age>99</age>"));
     assert_eq!(vm.extent_xml(), vm.recompute_xml().unwrap());
 }
