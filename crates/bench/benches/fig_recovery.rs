@@ -1,0 +1,26 @@
+//! `fig_recovery` — restart cost: cold open (snapshot load + N-record WAL
+//! replay) vs recomputing every extent from scratch, at representative
+//! log-tail sizes. The full sweep (and the `BENCH_recovery.json` series)
+//! lives in the `figures` binary; this target gives the statistical
+//! min/median points.
+//!
+//! ```sh
+//! cargo bench -p vpa-bench --bench fig_recovery
+//! ```
+
+use vpa_bench::{harness, measure_recovery};
+
+fn main() {
+    let books = 300;
+    let n_views = 8;
+    let dir = std::env::temp_dir().join(format!("xqview-bench-recovery-{}", std::process::id()));
+    for tail in [0usize, 8, 32] {
+        harness::bench(&format!("cold open, {tail}-record WAL tail"), 3, || {
+            measure_recovery(books, n_views, tail, &dir).cold_open
+        });
+    }
+    harness::bench("recompute-all baseline", 3, || {
+        measure_recovery(books, n_views, 0, &dir).recompute
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}

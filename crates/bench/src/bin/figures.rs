@@ -55,6 +55,55 @@ fn main() {
     if run("fig_ingest") {
         fig_ingest();
     }
+    if run("fig_recovery") {
+        fig_recovery();
+    }
+}
+
+/// Restart-cost sweep (beyond the paper): cold `DurableCatalog::open`
+/// (snapshot load + N-record WAL replay through the incremental
+/// maintenance path) vs rebuilding the catalog by recomputing every
+/// extent, across log-tail sizes. Also emits `BENCH_recovery.json` so the
+/// perf trajectory of restart cost is tracked from this PR onward.
+fn fig_recovery() {
+    println!("\n== fig_recovery: cold open (snapshot + replay) vs recompute-all ==");
+    println!(
+        "{:>6} {:>14} {:>14} {:>10} {:>9}",
+        "tail", "cold-open(ms)", "recompute(ms)", "wal(B)", "speedup"
+    );
+    let books = 300usize;
+    let n_views = 8usize;
+    let dir = std::env::temp_dir().join(format!("xqview-figrec-{}", std::process::id()));
+    let mut rows = Vec::new();
+    for tail in [0usize, 2, 4, 8, 16, 32] {
+        let p = measure_recovery(books, n_views, tail, &dir);
+        let speedup = p.recompute.as_secs_f64() / p.cold_open.as_secs_f64().max(1e-9);
+        println!(
+            "{:>6} {} {} {:>10} {:>8.2}x",
+            tail,
+            ms(p.cold_open),
+            ms(p.recompute),
+            p.wal_bytes,
+            speedup,
+        );
+        rows.push(format!(
+            "    {{\"tail\": {}, \"cold_open_ms\": {:.3}, \"recompute_ms\": {:.3}, \
+             \"wal_bytes\": {}}}",
+            tail,
+            p.cold_open.as_secs_f64() * 1e3,
+            p.recompute.as_secs_f64() * 1e3,
+            p.wal_bytes,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"figure\": \"recovery\",\n  \"books\": {books},\n  \"views\": {n_views},\n  \
+         \"series\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    match std::fs::write("BENCH_recovery.json", &json) {
+        Ok(()) => println!("wrote BENCH_recovery.json"),
+        Err(e) => println!("could not write BENCH_recovery.json: {e}"),
+    }
 }
 
 /// Ingestion-front sweep (beyond the paper): one `apply_update_script`

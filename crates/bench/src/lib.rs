@@ -88,15 +88,14 @@ pub fn site_store(mb: usize) -> Store {
     s
 }
 
+/// The canonical bench configuration for a `books`-book bib/prices pair.
+pub fn bib_config(books: usize) -> datagen::BibConfig {
+    datagen::BibConfig { books, years: 10, priced_ratio: 0.8, extra_entries: books / 10, seed: 9 }
+}
+
 /// Build a bib/prices store with `books` books.
 pub fn bib_store(books: usize) -> (Store, datagen::BibConfig) {
-    let cfg = datagen::BibConfig {
-        books,
-        years: 10,
-        priced_ratio: 0.8,
-        extra_entries: books / 10,
-        seed: 9,
-    };
+    let cfg = bib_config(books);
     let mut s = Store::new();
     s.load_doc("bib.xml", &datagen::bib_xml(&cfg)).unwrap();
     s.load_doc("prices.xml", &datagen::prices_xml(&cfg)).unwrap();
@@ -359,6 +358,74 @@ pub fn measure_ingest(
         submissions: receipt.batches_submitted,
         applications: receipt.batches_applied,
     }
+}
+
+/// Outcome of one restart-cost measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryPoint {
+    /// `DurableCatalog::open`: load the snapshot, reinstall extents, and
+    /// replay the WAL tail incrementally.
+    pub cold_open: Duration,
+    /// The no-persistence baseline: rebuild the same catalog over the
+    /// same final store by recomputing every extent from scratch.
+    pub recompute: Duration,
+    /// WAL records the cold open replayed.
+    pub replayed_batches: usize,
+    /// Bytes in the replayed log tail.
+    pub wal_bytes: u64,
+}
+
+/// Build a durable catalog of `n_views` views over a `books`-book store
+/// in `dir`, journal `tail` single-insert batches past the last
+/// checkpoint, then measure reopening it (snapshot + `tail`-record
+/// replay) against recomputing all extents from scratch. Asserts the
+/// recovered extents equal the recomputation (every bench doubles as a
+/// correctness check). The directory is created and removed.
+pub fn measure_recovery(
+    books: usize,
+    n_views: usize,
+    tail: usize,
+    dir: &std::path::Path,
+) -> RecoveryPoint {
+    let _ = std::fs::remove_dir_all(dir);
+    let cfg = bib_config(books);
+    let queries = multiview_queries(n_views, cfg.years);
+    let mut cat = viewsrv::DurableCatalog::open(dir).expect("open durable catalog");
+    cat.load_doc("bib.xml", &datagen::bib_xml(&cfg)).expect("load bib");
+    cat.load_doc("prices.xml", &datagen::prices_xml(&cfg)).expect("load prices");
+    for (name, q) in &queries {
+        cat.register(name, q).expect("register view");
+    }
+    for i in 0..tail {
+        let script = datagen::insert_books_script(&cfg, cfg.books + i, 1, Some(1900));
+        let batch = viewsrv::UpdateBatch::from_script(&script).expect("workload parses");
+        let _ = cat.apply_batch(&batch).expect("journaled apply");
+    }
+    let wal_bytes = cat.wal_bytes();
+    drop(cat);
+
+    let t0 = Instant::now();
+    let cat = viewsrv::DurableCatalog::open(dir).expect("recovery");
+    let cold_open = t0.elapsed();
+    assert_eq!(cat.recovery().replayed_batches, tail, "replayed the whole tail");
+
+    // Recompute-all baseline over the identical final store.
+    let store = cat.store().clone();
+    let t1 = Instant::now();
+    let mut naive = viewsrv::ViewCatalog::new(store);
+    for (name, q) in &queries {
+        naive.register(name, q).expect("register view");
+    }
+    let recompute = t1.elapsed();
+    for (name, _) in &queries {
+        assert_eq!(
+            cat.extent_xml(name).unwrap(),
+            naive.extent_xml(name).unwrap(),
+            "recovered extent diverged from recomputation on {name}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(dir);
+    RecoveryPoint { cold_open, recompute, replayed_batches: tail, wal_bytes }
 }
 
 pub mod harness {

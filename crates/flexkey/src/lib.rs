@@ -31,6 +31,7 @@ pub mod key;
 pub mod ordkey;
 pub mod seg;
 pub mod semid;
+pub mod wirecodec;
 
 pub use key::{FlexKey, Key};
 pub use ordkey::{OrdAtom, OrdKey};

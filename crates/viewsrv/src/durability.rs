@@ -1,0 +1,950 @@
+//! Durable catalogs: write-ahead journaled ingestion plus snapshot/replay
+//! recovery.
+//!
+//! The paper's VPA stack sits on a persistent storage manager (MASS
+//! \[DR03\], §3.3) precisely so views survive the process. This module
+//! gives [`crate::ViewCatalog`] the same property with the classic
+//! WAL + checkpoint design, reusing the stack's own abstractions:
+//!
+//! * the journal unit is the typed [`UpdateBatch`] — the exact ordered
+//!   record of everything that mutates store and extents — so recovery
+//!   replays through the *same* [`ViewCatalog::apply_batch`] path as live
+//!   ingestion (the "delta vs. recompute" argument of §1.2, applied to
+//!   restart: cost is proportional to the log tail, not to total data);
+//! * the checkpoint unit is a [`Snapshot`]: the whole [`Store`] plus
+//!   every registered view's definition and materialized extent, all
+//!   speaking the [`wire`] codec the storage layers implement natively.
+//!
+//! # WAL record format
+//!
+//! The log is a sequence of [`wire::frame`] records, one per applied
+//! batch:
+//!
+//! ```text
+//! ┌─────────┬──────────┬──────────────────────────────┬───────────┐
+//! │ version │ len      │ payload: wire-encoded        │ crc32     │
+//! │ 1 byte  │ u32 LE   │ UpdateBatch (ops in order)   │ u32 LE    │
+//! └─────────┴──────────┴──────────────────────────────┴───────────┘
+//! ```
+//!
+//! Appends are sequential and synced before the batch is applied
+//! (**append-then-apply**), so at any crash point the log holds every
+//! applied batch plus at most one torn record, which recovery discards
+//! ([`wire::frame::FrameRead::Torn`]). A batch whose application fails is
+//! rolled back out of the log, keeping the invariant *log contents ==
+//! applied batches*.
+//!
+//! # Files
+//!
+//! A catalog directory holds generation-numbered pairs:
+//!
+//! ```text
+//! dir/snap-0000000003.wire   one frame: wire-encoded Snapshot
+//! dir/wal-0000000003.wire    frames: batches applied since snap 3
+//! ```
+//!
+//! [`DurableCatalog::snapshot`] rotates to the next generation (write new
+//! snapshot atomically via tmp-file + rename, start an empty log, prune
+//! generations older than the previous one). [`DurableCatalog::open`]
+//! loads the newest decodable snapshot, replays its WAL tail, truncates
+//! any torn suffix, and reports what it did in a [`RecoveryReport`].
+//! Administrative mutations (loading documents, registering or dropping
+//! views) are not WAL-representable and checkpoint immediately.
+//!
+//! ```
+//! use viewsrv::{DurableCatalog, UpdateBatch, UpdateOp};
+//! use xquery_lang::InsertPosition;
+//!
+//! let dir = std::env::temp_dir().join(format!("viewsrv-doc-{}", std::process::id()));
+//! let _ = std::fs::remove_dir_all(&dir);
+//!
+//! let mut cat = DurableCatalog::open(&dir).unwrap();
+//! cat.load_doc("bib.xml", r#"<bib><book year="1994"><title>T</title></book></bib>"#).unwrap();
+//! cat.register("all", r#"<r>{ for $b in doc("bib.xml")/bib/book return $b/title }</r>"#)
+//!     .unwrap();
+//! let op = UpdateOp::insert("bib.xml", "/bib", InsertPosition::Into,
+//!                           r#"<book year="2001"><title>U</title></book>"#).unwrap();
+//! cat.apply_batch(&UpdateBatch::new().with(op)).unwrap();
+//! drop(cat);
+//!
+//! // A new process recovers snapshot + 1-record log tail, no recompute:
+//! let cat = DurableCatalog::open(&dir).unwrap();
+//! assert_eq!(cat.recovery().replayed_batches, 1);
+//! assert!(cat.extent_xml("all").unwrap().contains("U"));
+//! cat.verify_all().unwrap();
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+use crate::{BatchReceipt, CatalogError, CatalogSession, SessionConfig, UpdateBatch, ViewCatalog};
+use flexkey::FlexKey;
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use wire::frame::{self, FrameRead};
+use wire::{Decode, Encode, Reader, WireError};
+use xat::ViewExtent;
+use xmlstore::Store;
+
+/// Durability failures.
+#[derive(Debug)]
+pub enum DurabilityError {
+    /// A filesystem operation failed.
+    Io(std::io::Error),
+    /// Snapshot files exist but none of them decodes — recovery refuses
+    /// to silently come up empty on a directory that clearly held state.
+    Corrupt(String),
+    /// Loading a document into the durable store failed to parse.
+    Parse(xmlstore::ParseError),
+    /// The underlying catalog operation failed.
+    Catalog(CatalogError),
+}
+
+impl fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurabilityError::Io(e) => write!(f, "durability I/O failure: {e}"),
+            DurabilityError::Corrupt(msg) => write!(f, "catalog directory is corrupt: {msg}"),
+            DurabilityError::Parse(e) => write!(f, "{e}"),
+            DurabilityError::Catalog(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DurabilityError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DurabilityError::Io(e) => Some(e),
+            DurabilityError::Corrupt(_) => None,
+            DurabilityError::Parse(e) => Some(e),
+            DurabilityError::Catalog(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for DurabilityError {
+    fn from(e: std::io::Error) -> Self {
+        DurabilityError::Io(e)
+    }
+}
+
+impl From<CatalogError> for DurabilityError {
+    fn from(e: CatalogError) -> Self {
+        DurabilityError::Catalog(e)
+    }
+}
+
+impl From<xmlstore::ParseError> for DurabilityError {
+    fn from(e: xmlstore::ParseError) -> Self {
+        DurabilityError::Parse(e)
+    }
+}
+
+/// One registered view as persisted in a [`Snapshot`]: its name, its
+/// definition text, and its materialized extent (reinstalled verbatim at
+/// recovery — no recomputation).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SnapshotView {
+    pub name: String,
+    pub query: String,
+    pub extent: ViewExtent,
+}
+
+impl Encode for SnapshotView {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.name.encode(out);
+        self.query.encode(out);
+        self.extent.encode(out);
+    }
+}
+
+impl Decode for SnapshotView {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(SnapshotView {
+            name: String::decode(r)?,
+            query: String::decode(r)?,
+            extent: ViewExtent::decode(r)?,
+        })
+    }
+}
+
+/// A full checkpoint of a catalog: the shared store plus every registered
+/// view (in registration order).
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    pub store: Store,
+    pub views: Vec<SnapshotView>,
+}
+
+impl Encode for Snapshot {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.store.encode(out);
+        wire::put_slice(out, &self.views);
+    }
+}
+
+impl Decode for Snapshot {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Snapshot { store: Store::decode(r)?, views: Vec::<SnapshotView>::decode(r)? })
+    }
+}
+
+impl Snapshot {
+    /// Capture the current state of `catalog`.
+    pub fn capture(catalog: &ViewCatalog) -> Snapshot {
+        Snapshot {
+            store: catalog.store.clone(),
+            views: catalog
+                .slots
+                .iter()
+                .map(|s| SnapshotView {
+                    name: s.name.clone(),
+                    query: s.view.query().to_string(),
+                    extent: s.view.extent().clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuild a live catalog: re-define every view (translation + SAPT)
+    /// but install the persisted extent instead of recomputing it — the
+    /// whole point of checkpointing.
+    pub fn into_catalog(self) -> Result<ViewCatalog, CatalogError> {
+        let mut catalog = ViewCatalog::new(self.store);
+        for v in self.views {
+            catalog.install_view(&v.name, &v.query, v.extent)?;
+        }
+        Ok(catalog)
+    }
+}
+
+/// The write-ahead log: an append-only file of framed [`UpdateBatch`]
+/// records (see the [module docs](self) for the record format).
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    bytes: u64,
+    records: usize,
+}
+
+/// What [`Wal::recover`] found on disk.
+pub struct WalRecovery {
+    /// The log, opened for appending at the end of the valid prefix.
+    pub wal: Wal,
+    /// Every decodable record with the byte offset just past it, in log
+    /// order.
+    pub batches: Vec<(UpdateBatch, u64)>,
+    /// Bytes discarded past the valid prefix (a torn final record).
+    pub discarded_bytes: u64,
+}
+
+impl Wal {
+    /// Open (or create) the log at `path`, scan its frames, decode the
+    /// batches, and truncate any torn suffix so appends continue from a
+    /// clean tail.
+    pub fn recover(path: impl Into<PathBuf>) -> std::io::Result<WalRecovery> {
+        let path = path.into();
+        let raw = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        let (spans, mut valid) = frame::scan_frames(&raw);
+        let mut batches = Vec::with_capacity(spans.len());
+        for (start, end) in spans {
+            match wire::from_slice::<UpdateBatch>(&raw[start..end]) {
+                Ok(b) => batches.push((b, (end + frame::TRAILER) as u64)),
+                Err(_) => {
+                    // A checksum-valid frame that does not decode is a
+                    // format breach: treat everything from it on as torn.
+                    valid = start - frame::HEADER;
+                    break;
+                }
+            }
+        }
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(&path)?;
+        file.set_len(valid as u64)?;
+        file.seek(SeekFrom::Start(valid as u64))?;
+        let records = batches.len();
+        let discarded_bytes = raw.len() as u64 - valid as u64;
+        Ok(WalRecovery {
+            wal: Wal { file, path, bytes: valid as u64, records },
+            batches,
+            discarded_bytes,
+        })
+    }
+
+    /// Create an empty log at `path`, truncating any existing file.
+    pub fn create(path: impl Into<PathBuf>) -> std::io::Result<Wal> {
+        let path = path.into();
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(&path)?;
+        Ok(Wal { file, path, bytes: 0, records: 0 })
+    }
+
+    /// Append one framed batch record. Returns the log length *before*
+    /// the append — the offset to [`Wal::truncate_to`] if the batch
+    /// subsequently fails to apply.
+    pub fn append(&mut self, batch: &UpdateBatch) -> std::io::Result<u64> {
+        let before = self.bytes;
+        let mut buf = Vec::new();
+        frame::write_frame(&mut buf, &wire::to_vec(batch));
+        self.file.seek(SeekFrom::Start(self.bytes))?;
+        self.file.write_all(&buf)?;
+        self.bytes += buf.len() as u64;
+        self.records += 1;
+        Ok(before)
+    }
+
+    /// Force appended records to stable storage — the durability point.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.file.sync_data()
+    }
+
+    /// Discard everything past `offset` (which must be a record
+    /// boundary), leaving `records` records in the log.
+    pub fn truncate_to(&mut self, offset: u64, records: usize) -> std::io::Result<()> {
+        self.file.set_len(offset)?;
+        self.file.seek(SeekFrom::Start(offset))?;
+        self.bytes = offset;
+        self.records = records;
+        Ok(())
+    }
+
+    /// Empty the log (checkpoint rotation).
+    pub fn reset(&mut self) -> std::io::Result<()> {
+        self.truncate_to(0, 0)
+    }
+
+    /// Current log length in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Records currently in the log.
+    pub fn records(&self) -> usize {
+        self.records
+    }
+
+    /// The log file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The journaled commit sequence — the single implementation behind
+    /// both [`DurableCatalog::apply_batch`] and journaled
+    /// [`CatalogSession`] flushes: append + sync (the durability point),
+    /// then apply, rolling the record back out of the log if application
+    /// fails. Keeps the invariant *log contents == applied batches*.
+    pub(crate) fn commit_batch(
+        &mut self,
+        catalog: &mut ViewCatalog,
+        batch: &UpdateBatch,
+    ) -> Result<BatchReceipt, CommitError> {
+        let rollback = self.append(batch).map_err(CommitError::Journal)?;
+        self.sync().map_err(CommitError::Journal)?;
+        match catalog.apply_batch(batch) {
+            Ok(receipt) => Ok(receipt),
+            Err(e) => {
+                let records = self.records().saturating_sub(1);
+                if let Err(io) = self.truncate_to(rollback, records) {
+                    // The log now holds a record the catalog rejected and
+                    // we cannot remove: surface the I/O failure (recovery
+                    // will retry the record, fail again, and truncate it).
+                    return Err(CommitError::Journal(io));
+                }
+                Err(CommitError::Catalog(e))
+            }
+        }
+    }
+
+    /// Count the committed (decodable) records in the log at `path`
+    /// without opening it for writing or truncating anything — the
+    /// read-only probe [`DurableCatalog::open`] uses before deciding a
+    /// snapshot fallback is safe.
+    fn probe_records(path: &Path) -> std::io::Result<usize> {
+        let raw = match fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e),
+        };
+        let (spans, _) = frame::scan_frames(&raw);
+        Ok(spans
+            .into_iter()
+            .take_while(|&(s, e)| wire::from_slice::<UpdateBatch>(&raw[s..e]).is_ok())
+            .count())
+    }
+}
+
+/// Failure of one journaled commit ([`Wal::commit_batch`]).
+pub(crate) enum CommitError {
+    /// Journaling failed; nothing was applied.
+    Journal(std::io::Error),
+    /// The journaled batch failed to apply and was rolled back out of the
+    /// log.
+    Catalog(CatalogError),
+}
+
+/// What [`DurableCatalog::open`] did to come back up.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Generation of the snapshot that was loaded.
+    pub snapshot_seq: u64,
+    /// Views reinstalled from the snapshot (no recomputation).
+    pub snapshot_views: usize,
+    /// WAL records replayed through `apply_batch`.
+    pub replayed_batches: usize,
+    /// Typed ops inside the replayed records.
+    pub replayed_ops: usize,
+    /// Bytes discarded as a torn / unappliable log suffix.
+    pub discarded_bytes: u64,
+    /// True when the directory held no snapshot at all (fresh catalog).
+    pub fresh: bool,
+}
+
+/// A [`ViewCatalog`] whose every mutation flows through one journaled
+/// commit point — see the [module docs](self) for the on-disk layout and
+/// recovery contract.
+pub struct DurableCatalog {
+    catalog: ViewCatalog,
+    wal: Wal,
+    dir: PathBuf,
+    seq: u64,
+    report: RecoveryReport,
+}
+
+fn snap_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("snap-{seq:010}.wire"))
+}
+
+fn wal_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("wal-{seq:010}.wire"))
+}
+
+/// Generation numbers of all `<prefix>-NNNNNNNNNN.wire` files in `dir`,
+/// ascending.
+fn list_seqs(dir: &Path, prefix: &str) -> std::io::Result<Vec<u64>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(rest) = name.strip_prefix(prefix).and_then(|r| r.strip_prefix('-')) {
+            if let Some(seq) = rest.strip_suffix(".wire").and_then(|s| s.parse::<u64>().ok()) {
+                out.push(seq);
+            }
+        }
+    }
+    out.sort_unstable();
+    Ok(out)
+}
+
+/// Read and validate one snapshot file: exactly one intact frame spanning
+/// the whole file, whose payload decodes as a [`Snapshot`].
+fn read_snapshot(path: &Path) -> Result<Snapshot, DurabilityError> {
+    let raw = fs::read(path)?;
+    match frame::read_frame(&raw, 0) {
+        FrameRead::Frame { payload, end } if end == raw.len() => wire::from_slice(payload)
+            .map_err(|e| DurabilityError::Corrupt(format!("{}: {e}", path.display()))),
+        _ => Err(DurabilityError::Corrupt(format!("{}: torn snapshot frame", path.display()))),
+    }
+}
+
+/// Write a snapshot atomically: tmp file, sync, rename, best-effort
+/// directory sync.
+fn write_snapshot(dir: &Path, seq: u64, snap: &Snapshot) -> Result<(), DurabilityError> {
+    let tmp = dir.join(format!("snap-{seq:010}.wire.tmp"));
+    let mut buf = Vec::new();
+    frame::write_frame(&mut buf, &wire::to_vec(snap));
+    let mut f = File::create(&tmp)?;
+    f.write_all(&buf)?;
+    f.sync_all()?;
+    drop(f);
+    fs::rename(&tmp, snap_path(dir, seq))?;
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+impl DurableCatalog {
+    /// Open (or initialize) the catalog persisted in `dir`: load the
+    /// newest decodable snapshot, replay the WAL tail through
+    /// [`ViewCatalog::apply_batch`], discard a torn final record, and
+    /// leave the log open for appending. A fresh directory initializes an
+    /// empty generation-0 catalog.
+    pub fn open(dir: impl AsRef<Path>) -> Result<DurableCatalog, DurabilityError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        // Clear interrupted snapshot writes; they were never renamed into
+        // place, so they are invisible to recovery anyway.
+        for entry in fs::read_dir(&dir)? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "tmp") {
+                let _ = fs::remove_file(&path);
+            }
+        }
+        let snaps = list_seqs(&dir, "snap")?;
+        let mut chosen: Option<(u64, Snapshot)> = None;
+        for &seq in snaps.iter().rev() {
+            match read_snapshot(&snap_path(&dir, seq)) {
+                Ok(snap) => {
+                    chosen = Some((seq, snap));
+                    break;
+                }
+                Err(DurabilityError::Io(e)) => return Err(DurabilityError::Io(e)),
+                Err(_) => {
+                    // Corrupt generation. Falling back to an older
+                    // snapshot is only safe when this generation's WAL
+                    // holds no committed records: batches in it were
+                    // acknowledged as durable, and they cannot be
+                    // chain-replayed onto an older generation (the admin
+                    // mutation that rotated to this generation is in the
+                    // snapshot alone, not in any log). Refusing beats
+                    // silently dropping fsync-acknowledged commits.
+                    let committed = Wal::probe_records(&wal_path(&dir, seq))?;
+                    if committed > 0 {
+                        return Err(DurabilityError::Corrupt(format!(
+                            "{}: snapshot is corrupt but its WAL holds {committed} committed \
+                             batch(es); refusing to fall back past acknowledged commits",
+                            snap_path(&dir, seq).display(),
+                        )));
+                    }
+                }
+            }
+        }
+        let fresh = chosen.is_none();
+        if fresh && !snaps.is_empty() {
+            return Err(DurabilityError::Corrupt(format!(
+                "{}: {} snapshot file(s) present but none decodes",
+                dir.display(),
+                snaps.len()
+            )));
+        }
+        let (seq, snapshot) = chosen.unwrap_or_default();
+        let snapshot_views = snapshot.views.len();
+        let mut catalog = snapshot.into_catalog()?;
+
+        let recovered = Wal::recover(wal_path(&dir, seq))?;
+        let mut wal = recovered.wal;
+        let mut report = RecoveryReport {
+            snapshot_seq: seq,
+            snapshot_views,
+            discarded_bytes: recovered.discarded_bytes,
+            fresh,
+            ..RecoveryReport::default()
+        };
+        let mut applied_end = 0u64;
+        for (batch, end) in recovered.batches {
+            match catalog.apply_batch(&batch) {
+                Ok(_) => {
+                    report.replayed_batches += 1;
+                    report.replayed_ops += batch.len();
+                    applied_end = end;
+                }
+                Err(_) => {
+                    // A record that no longer applies cannot have committed
+                    // before the crash (append-then-apply rolls failures
+                    // back): discard it and everything after it.
+                    report.discarded_bytes += wal.bytes() - applied_end;
+                    wal.truncate_to(applied_end, report.replayed_batches)?;
+                    break;
+                }
+            }
+        }
+        let mut out = DurableCatalog { catalog, wal, dir, seq, report };
+        if fresh {
+            // Make the directory a recognizable generation-0 catalog so a
+            // later fallback can distinguish "fresh" from "lost".
+            write_snapshot(&out.dir, 0, &Snapshot::capture(&out.catalog))?;
+        }
+        out.wal.sync()?;
+        Ok(out)
+    }
+
+    /// What recovery found and did (stable for the catalog's lifetime).
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.report
+    }
+
+    /// Read access to the recovered live catalog.
+    pub fn catalog(&self) -> &ViewCatalog {
+        &self.catalog
+    }
+
+    /// Read access to the shared source store.
+    pub fn store(&self) -> &Store {
+        self.catalog.store()
+    }
+
+    /// Serialized extent of the view named `name`.
+    pub fn extent_xml(&self, name: &str) -> Result<String, CatalogError> {
+        self.catalog.extent_xml(name)
+    }
+
+    /// Registered view names, in registration order.
+    pub fn view_names(&self) -> Vec<&str> {
+        self.catalog.view_names()
+    }
+
+    /// The service-level §1.2 oracle over the recovered state: every
+    /// extent must equal its from-scratch recomputation.
+    pub fn verify_all(&self) -> Result<(), CatalogError> {
+        self.catalog.verify_all()
+    }
+
+    /// Current checkpoint generation.
+    pub fn generation(&self) -> u64 {
+        self.seq
+    }
+
+    /// Records currently in the WAL tail.
+    pub fn wal_records(&self) -> usize {
+        self.wal.records()
+    }
+
+    /// Bytes currently in the WAL tail.
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal.bytes()
+    }
+
+    /// The catalog directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Parse `xml` and register it as document `name` — an administrative
+    /// mutation, checkpointed immediately (not WAL-representable).
+    pub fn load_doc(&mut self, name: &str, xml: &str) -> Result<FlexKey, DurabilityError> {
+        let key = self.catalog.store.load_doc(name, xml)?;
+        self.snapshot()?;
+        Ok(key)
+    }
+
+    /// Define, materialize, register, and checkpoint a view.
+    pub fn register(&mut self, name: &str, query: &str) -> Result<(), DurabilityError> {
+        self.catalog.register(name, query)?;
+        self.snapshot()?;
+        Ok(())
+    }
+
+    /// Drop a view and checkpoint.
+    pub fn drop_view(&mut self, name: &str) -> Result<(), DurabilityError> {
+        self.catalog.drop_view(name)?;
+        self.snapshot()?;
+        Ok(())
+    }
+
+    /// Journal `batch` (append + sync), then apply it — the single
+    /// durable commit point for data updates. A batch that fails to
+    /// apply is rolled back out of the log.
+    pub fn apply_batch(&mut self, batch: &UpdateBatch) -> Result<BatchReceipt, DurabilityError> {
+        if batch.is_empty() {
+            return Ok(self.catalog.apply_batch(batch)?);
+        }
+        self.wal.commit_batch(&mut self.catalog, batch).map_err(|e| match e {
+            CommitError::Journal(io) => DurabilityError::Io(io),
+            CommitError::Catalog(c) => DurabilityError::Catalog(c),
+        })
+    }
+
+    /// Open a journaled ingestion session: every coalesced chunk a flush
+    /// applies is appended and synced first, making
+    /// [`CatalogSession::commit`] the durability boundary.
+    pub fn session(&mut self, config: SessionConfig) -> CatalogSession<'_> {
+        self.catalog.session_journaled(config, &mut self.wal)
+    }
+
+    /// Rotate to a new checkpoint generation: write a fresh snapshot
+    /// atomically, start an empty WAL, and prune generations older than
+    /// the previous one (kept as a fallback). Returns the new generation.
+    pub fn snapshot(&mut self) -> Result<u64, DurabilityError> {
+        let old = self.seq;
+        let new = old + 1;
+        // Create and sync the new (empty) log *before* the snapshot
+        // rename makes the new generation authoritative: if any step up
+        // to the rename fails, the old generation (snapshot + live WAL)
+        // stays the recovery source and no acknowledged commit is
+        // stranded in a log recovery would not read. A leftover empty
+        // `wal-<new>` from a failed attempt is harmless — recovery keys
+        // off the newest *snapshot*.
+        let mut wal = Wal::create(wal_path(&self.dir, new))?;
+        wal.sync()?;
+        write_snapshot(&self.dir, new, &Snapshot::capture(&self.catalog))?;
+        self.wal = wal;
+        self.seq = new;
+        for prefix in ["snap", "wal"] {
+            for seq in list_seqs(&self.dir, prefix)? {
+                if seq < old {
+                    let _ = fs::remove_file(self.dir.join(format!("{prefix}-{seq:010}.wire")));
+                }
+            }
+        }
+        Ok(new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{IngestError, UpdateOp};
+    use xquery_lang::InsertPosition;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("viewsrv-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    const BIB: &str = r#"<bib>
+        <book year="1994"><title>TCP/IP Illustrated</title></book>
+        <book year="2000"><title>Data on the Web</title></book>
+    </bib>"#;
+
+    const TITLES: &str = r#"<r>{ for $b in doc("bib.xml")/bib/book return $b/title }</r>"#;
+
+    const Y1994: &str = r#"<r>{
+        for $b in doc("bib.xml")/bib/book where $b/@year = "1994"
+        return <hit>{$b/title}</hit>
+    }</r>"#;
+
+    fn insert_op(i: usize) -> UpdateOp {
+        UpdateOp::insert(
+            "bib.xml",
+            "/bib",
+            InsertPosition::Into,
+            &format!("<book year=\"1994\"><title>B{i}</title></book>"),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fresh_open_reopen_empty() {
+        let dir = temp_dir("fresh");
+        let cat = DurableCatalog::open(&dir).unwrap();
+        assert!(cat.recovery().fresh);
+        assert_eq!(cat.generation(), 0);
+        drop(cat);
+        let cat = DurableCatalog::open(&dir).unwrap();
+        assert!(!cat.recovery().fresh, "generation 0 snapshot was written");
+        assert_eq!(cat.view_names().len(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_replays_wal_tail_without_recompute_divergence() {
+        let dir = temp_dir("replay");
+        let mut cat = DurableCatalog::open(&dir).unwrap();
+        cat.load_doc("bib.xml", BIB).unwrap();
+        cat.register("titles", TITLES).unwrap();
+        cat.register("y1994", Y1994).unwrap();
+        for i in 0..3 {
+            let _ = cat.apply_batch(&UpdateBatch::new().with(insert_op(i))).unwrap();
+        }
+        assert_eq!(cat.wal_records(), 3);
+        let want_titles = cat.extent_xml("titles").unwrap();
+        let want_y = cat.extent_xml("y1994").unwrap();
+        drop(cat);
+
+        let cat = DurableCatalog::open(&dir).unwrap();
+        let r = cat.recovery();
+        assert_eq!((r.replayed_batches, r.replayed_ops, r.snapshot_views), (3, 3, 2));
+        assert_eq!(r.discarded_bytes, 0);
+        assert_eq!(cat.extent_xml("titles").unwrap(), want_titles);
+        assert_eq!(cat.extent_xml("y1994").unwrap(), want_y);
+        cat.verify_all().unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_rotation_truncates_log_and_prunes() {
+        let dir = temp_dir("rotate");
+        let mut cat = DurableCatalog::open(&dir).unwrap();
+        cat.load_doc("bib.xml", BIB).unwrap();
+        cat.register("titles", TITLES).unwrap();
+        let gen_before = cat.generation();
+        let _ = cat.apply_batch(&UpdateBatch::new().with(insert_op(0))).unwrap();
+        let new = cat.snapshot().unwrap();
+        assert_eq!(new, gen_before + 1);
+        assert_eq!(cat.wal_records(), 0, "rotation starts an empty log");
+        let _ = cat.apply_batch(&UpdateBatch::new().with(insert_op(1))).unwrap();
+        let want = cat.extent_xml("titles").unwrap();
+        drop(cat);
+
+        let cat = DurableCatalog::open(&dir).unwrap();
+        assert_eq!(cat.recovery().snapshot_seq, new);
+        assert_eq!(cat.recovery().replayed_batches, 1, "only the tail after the checkpoint");
+        assert_eq!(cat.extent_xml("titles").unwrap(), want);
+        cat.verify_all().unwrap();
+        // Generations older than the previous one are pruned.
+        let old: Vec<u64> =
+            list_seqs(&dir, "snap").unwrap().into_iter().filter(|&s| s + 1 < new).collect();
+        assert!(old.is_empty(), "stale snapshots left: {old:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_final_record_is_discarded() {
+        let dir = temp_dir("torn");
+        let mut cat = DurableCatalog::open(&dir).unwrap();
+        cat.load_doc("bib.xml", BIB).unwrap();
+        cat.register("titles", TITLES).unwrap();
+        let _ = cat.apply_batch(&UpdateBatch::new().with(insert_op(0))).unwrap();
+        let after_one = cat.extent_xml("titles").unwrap();
+        let _ = cat.apply_batch(&UpdateBatch::new().with(insert_op(1))).unwrap();
+        let wal = wal_path(&dir, cat.generation());
+        drop(cat);
+
+        // Crash mid-append of the second record.
+        let raw = fs::read(&wal).unwrap();
+        let (spans, _) = frame::scan_frames(&raw);
+        assert_eq!(spans.len(), 2);
+        let first_end = spans[0].1 + frame::TRAILER;
+        fs::write(&wal, &raw[..first_end + 3]).unwrap();
+
+        let cat = DurableCatalog::open(&dir).unwrap();
+        assert_eq!(cat.recovery().replayed_batches, 1);
+        assert_eq!(cat.recovery().discarded_bytes, 3);
+        assert_eq!(cat.extent_xml("titles").unwrap(), after_one);
+        cat.verify_all().unwrap();
+        // The truncated log keeps accepting appends.
+        let mut cat = cat;
+        let _ = cat.apply_batch(&UpdateBatch::new().with(insert_op(9))).unwrap();
+        cat.verify_all().unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_latest_snapshot_falls_back_to_previous() {
+        let dir = temp_dir("fallback");
+        let mut cat = DurableCatalog::open(&dir).unwrap();
+        cat.load_doc("bib.xml", BIB).unwrap();
+        cat.register("titles", TITLES).unwrap();
+        let prev = cat.generation();
+        let _ = cat.apply_batch(&UpdateBatch::new().with(insert_op(0))).unwrap();
+        let want = cat.extent_xml("titles").unwrap();
+        let newest = cat.snapshot().unwrap();
+        drop(cat);
+
+        // Corrupt the newest snapshot: recovery must fall back to the
+        // previous generation and replay its WAL.
+        let snap = snap_path(&dir, newest);
+        let mut raw = fs::read(&snap).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0x5a;
+        fs::write(&snap, &raw).unwrap();
+
+        let cat = DurableCatalog::open(&dir).unwrap();
+        assert_eq!(cat.recovery().snapshot_seq, prev);
+        assert_eq!(cat.recovery().replayed_batches, 1);
+        assert_eq!(cat.extent_xml("titles").unwrap(), want);
+        cat.verify_all().unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fallback_refuses_to_drop_acknowledged_commits() {
+        let dir = temp_dir("fallback-refuse");
+        let mut cat = DurableCatalog::open(&dir).unwrap();
+        cat.load_doc("bib.xml", BIB).unwrap();
+        cat.register("titles", TITLES).unwrap();
+        // A batch committed (append + fsync acknowledged) *after* the
+        // newest checkpoint…
+        let _ = cat.apply_batch(&UpdateBatch::new().with(insert_op(0))).unwrap();
+        let newest = cat.generation();
+        drop(cat);
+        // …whose snapshot then rots on disk. Falling back a generation
+        // would silently lose the acknowledged batch (it cannot be
+        // chain-replayed onto the older snapshot), so open must refuse.
+        let snap = snap_path(&dir, newest);
+        let mut raw = fs::read(&snap).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0x5a;
+        fs::write(&snap, &raw).unwrap();
+        let Err(err) = DurableCatalog::open(&dir) else { panic!("open must refuse") };
+        assert!(
+            matches!(&err, DurabilityError::Corrupt(msg) if msg.contains("refusing to fall back")),
+            "{err}"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn all_snapshots_corrupt_is_an_error_not_empty() {
+        let dir = temp_dir("corrupt-all");
+        let mut cat = DurableCatalog::open(&dir).unwrap();
+        cat.load_doc("bib.xml", BIB).unwrap();
+        drop(cat);
+        for seq in list_seqs(&dir, "snap").unwrap() {
+            fs::write(snap_path(&dir, seq), b"garbage").unwrap();
+        }
+        let Err(err) = DurableCatalog::open(&dir) else { panic!("open must fail") };
+        assert!(matches!(err, DurabilityError::Corrupt(_)), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_apply_rolls_the_record_back_out() {
+        let dir = temp_dir("rollback");
+        let mut cat = DurableCatalog::open(&dir).unwrap();
+        cat.load_doc("bib.xml", BIB).unwrap();
+        cat.register("titles", TITLES).unwrap();
+        // An insert whose fragment XML does not parse fails at resolution.
+        let bad = UpdateOp::insert("bib.xml", "/bib", InsertPosition::Into, "<unclosed").unwrap();
+        let records_before = cat.wal_records();
+        assert!(cat.apply_batch(&UpdateBatch::new().with(bad)).is_err());
+        assert_eq!(cat.wal_records(), records_before, "failed batch not journaled");
+        let _ = cat.apply_batch(&UpdateBatch::new().with(insert_op(0))).unwrap();
+        let want = cat.extent_xml("titles").unwrap();
+        drop(cat);
+        let cat = DurableCatalog::open(&dir).unwrap();
+        assert_eq!(cat.recovery().replayed_batches, 1);
+        assert_eq!(cat.extent_xml("titles").unwrap(), want);
+        cat.verify_all().unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn journaled_session_commit_is_durable() {
+        let dir = temp_dir("session");
+        let mut cat = DurableCatalog::open(&dir).unwrap();
+        cat.load_doc("bib.xml", BIB).unwrap();
+        cat.register("titles", TITLES).unwrap();
+        let mut session = cat.session(SessionConfig { queue_capacity: 8, window_ops: 4 });
+        for i in 0..6 {
+            session.try_submit(UpdateBatch::new().with(insert_op(i))).unwrap();
+        }
+        let receipt = session.commit().unwrap();
+        assert_eq!(receipt.batches_submitted, 6);
+        assert!(receipt.batches_applied < 6, "windows coalesced");
+        // The WAL holds the *applied* chunks, not the submissions.
+        assert_eq!(cat.wal_records(), receipt.batches_applied);
+        let want = cat.extent_xml("titles").unwrap();
+        drop(cat);
+        let cat = DurableCatalog::open(&dir).unwrap();
+        assert_eq!(cat.recovery().replayed_batches, 2);
+        assert_eq!(cat.extent_xml("titles").unwrap(), want);
+        cat.verify_all().unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn session_failed_chunk_rolls_back_and_requeues() {
+        let dir = temp_dir("session-fail");
+        let mut cat = DurableCatalog::open(&dir).unwrap();
+        cat.load_doc("bib.xml", BIB).unwrap();
+        cat.register("titles", TITLES).unwrap();
+        let mut session = cat.session(SessionConfig { queue_capacity: 8, window_ops: 16 });
+        let bad = UpdateOp::insert("bib.xml", "/bib", InsertPosition::Into, "<unclosed").unwrap();
+        session.try_submit(UpdateBatch::new().with(insert_op(0))).unwrap();
+        session.try_submit(UpdateBatch::new().with(bad)).unwrap();
+        let err = session.commit().unwrap_err();
+        assert!(matches!(err, IngestError::Catalog(_)));
+        assert_eq!(session.queued_batches(), 1, "failing chunk requeued");
+        session.discard_queued();
+        drop(session);
+        assert_eq!(cat.wal_records(), 0, "failed chunk rolled back out of the log");
+        cat.verify_all().unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

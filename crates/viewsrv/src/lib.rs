@@ -40,8 +40,12 @@
 //! queued ingestion front ([`CatalogSession`]) with a bounded queue,
 //! coalescing window, and explicit backpressure.
 
+pub mod durability;
 pub mod session;
 
+pub use durability::{
+    DurabilityError, DurableCatalog, RecoveryReport, Snapshot, SnapshotView, Wal,
+};
 use flexkey::FlexKey;
 pub use session::{CatalogSession, IngestError, SessionConfig, SessionReceipt};
 use std::collections::{BTreeMap, BTreeSet};
@@ -219,15 +223,46 @@ impl ViewCatalog {
     }
 
     /// Define, materialize, and register a view under `name`.
+    ///
+    /// Everything that can fail (duplicate name, translation,
+    /// materialization) is checked **before** the first catalog mutation:
+    /// a failed register leaves both the slot list and the doc→views
+    /// relevancy index exactly as they were — recovery depends on this,
+    /// since it re-registers views one by one from a snapshot.
     pub fn register(&mut self, name: &str, query: &str) -> Result<(), CatalogError> {
         if self.slots.iter().any(|s| s.name == name) {
             return Err(CatalogError::DuplicateView(name.to_string()));
         }
         let mut view = MaintView::define(query)?;
         view.materialize(&self.store)?;
+        self.commit_slot(name, view);
+        Ok(())
+    }
+
+    /// Define `query` and install `extent` as its materialized state
+    /// without recomputation — the snapshot-recovery path. Same
+    /// validate-then-commit contract as [`ViewCatalog::register`].
+    pub(crate) fn install_view(
+        &mut self,
+        name: &str,
+        query: &str,
+        extent: xat::ViewExtent,
+    ) -> Result<(), CatalogError> {
+        if self.slots.iter().any(|s| s.name == name) {
+            return Err(CatalogError::DuplicateView(name.to_string()));
+        }
+        let mut view = MaintView::define(query)?;
+        view.set_extent(extent);
+        self.commit_slot(name, view);
+        Ok(())
+    }
+
+    /// The single mutation point shared by every registration path: push
+    /// the slot and rebuild the relevancy index together, so the two can
+    /// never diverge.
+    fn commit_slot(&mut self, name: &str, view: MaintView) {
         self.slots.push(Slot { name: name.to_string(), view, stats: MaintStats::default() });
         self.rebuild_index();
-        Ok(())
     }
 
     /// Drop the view named `name`.
@@ -781,6 +816,63 @@ mod tests {
         cat.drop_view("join").unwrap();
         assert_eq!(cat.len(), 2);
         assert_eq!(cat.views_for_doc("prices.xml"), vec!["prices_only"]);
+        cat.verify_all().unwrap();
+    }
+
+    /// Regression (surfaced by recovery, which re-registers views one by
+    /// one from snapshots): any failed `register` — duplicate name or
+    /// invalid definition — and any `drop_view` must leave the doc→views
+    /// relevancy index exactly consistent with the slot list.
+    #[test]
+    fn failed_register_and_last_view_drop_keep_index_consistent() {
+        let mut cat = catalog();
+        let docs_before = cat.indexed_docs().join(",");
+
+        // Duplicate name: no slot, no index change.
+        assert!(cat.register("flat", JOIN).is_err());
+        assert_eq!(cat.len(), 3);
+        assert_eq!(cat.indexed_docs().join(","), docs_before);
+        assert_eq!(cat.views_for_doc("bib.xml"), vec!["flat", "join"]);
+
+        // Invalid definition (parse failure): same guarantee.
+        assert!(cat.register("broken", "<r>{ for $b in }</r>").is_err());
+        assert_eq!(cat.len(), 3);
+        assert_eq!(cat.indexed_docs().join(","), docs_before);
+
+        // Failed materialization (unknown document): the definition is
+        // valid but computing the extent errors — still no slot, and the
+        // index must not have picked up "ghost.xml".
+        assert!(cat
+            .register("ghost", r#"<r>{ for $g in doc("ghost.xml")/g return $g }</r>"#)
+            .is_err());
+        assert_eq!(cat.len(), 3);
+        assert_eq!(cat.indexed_docs().join(","), docs_before);
+        assert!(cat.views_for_doc("ghost.xml").is_empty());
+
+        // Dropping the last view reading a document removes the document
+        // from the relevancy index entirely…
+        cat.drop_view("join").unwrap();
+        cat.drop_view("prices_only").unwrap();
+        assert_eq!(cat.indexed_docs(), vec!["bib.xml"], "prices.xml has no readers left");
+        assert!(cat.views_for_doc("prices.xml").is_empty());
+
+        // …and updates to it now route nowhere but still hit the store.
+        let receipt = cat
+            .apply_batch(
+                &UpdateBatch::from_script(
+                    r#"for $r in document("prices.xml")/prices update $r
+                       insert <entry><price>1.00</price><b-title>Z</b-title></entry> into $r"#,
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        assert!(receipt.views_touched.is_empty());
+        assert!(cat.store().serialize_doc("prices.xml").unwrap().contains("1.00"));
+        cat.verify_all().unwrap();
+
+        // Re-registering a dropped name works and re-indexes.
+        cat.register("join", JOIN).unwrap();
+        assert_eq!(cat.views_for_doc("prices.xml"), vec!["join"]);
         cat.verify_all().unwrap();
     }
 

@@ -55,6 +55,7 @@
 //!
 //! [`flush`]: CatalogSession::flush
 
+use crate::durability::Wal;
 use crate::{BatchReceipt, CatalogError, ServiceStats, UpdateBatch, ViewCatalog};
 use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
@@ -92,6 +93,9 @@ pub enum IngestError {
     },
     /// Applying a drained batch failed in the catalog.
     Catalog(CatalogError),
+    /// Journaling a drained batch failed (durable sessions only); the
+    /// chunk was requeued and nothing was applied.
+    Journal(std::io::Error),
 }
 
 impl fmt::Display for IngestError {
@@ -101,6 +105,7 @@ impl fmt::Display for IngestError {
                 write!(f, "ingestion queue is full ({capacity} batches); flush before resubmitting")
             }
             IngestError::Catalog(e) => write!(f, "{e}"),
+            IngestError::Journal(e) => write!(f, "journaling the batch failed: {e}"),
         }
     }
 }
@@ -110,6 +115,7 @@ impl std::error::Error for IngestError {
         match self {
             IngestError::QueueFull { .. } => None,
             IngestError::Catalog(e) => Some(e),
+            IngestError::Journal(e) => Some(e),
         }
     }
 }
@@ -149,6 +155,10 @@ pub struct SessionReceipt {
 /// [module docs](self) for the queue/window/backpressure contract.
 pub struct CatalogSession<'a> {
     catalog: &'a mut ViewCatalog,
+    /// When set, every coalesced chunk is appended and synced to this
+    /// write-ahead log *before* it is applied — the durable-session path
+    /// opened by [`crate::DurableCatalog::session`].
+    journal: Option<&'a mut Wal>,
     config: SessionConfig,
     queue: VecDeque<UpdateBatch>,
     queued_ops: usize,
@@ -163,12 +173,25 @@ impl ViewCatalog {
     pub fn session(&mut self, config: SessionConfig) -> CatalogSession<'_> {
         CatalogSession {
             catalog: self,
+            journal: None,
             config,
             queue: VecDeque::new(),
             queued_ops: 0,
             submitted: 0,
             receipts: Vec::new(),
         }
+    }
+
+    /// Open a session whose flushed chunks are journaled append-then-apply
+    /// (see [`crate::DurableCatalog::session`]).
+    pub(crate) fn session_journaled<'a>(
+        &'a mut self,
+        config: SessionConfig,
+        wal: &'a mut Wal,
+    ) -> CatalogSession<'a> {
+        let mut s = self.session(config);
+        s.journal = Some(wal);
+        s
     }
 }
 
@@ -257,7 +280,7 @@ impl CatalogSession<'_> {
                 merged.extend(next);
                 coalesced_from += 1;
             }
-            match self.catalog.apply_batch(&merged) {
+            match self.apply_chunk(&merged) {
                 Ok(mut receipt) => {
                     receipt.coalesced_from = coalesced_from;
                     self.receipts.push(receipt.clone());
@@ -266,11 +289,24 @@ impl CatalogSession<'_> {
                 Err(e) => {
                     self.queued_ops += merged.len();
                     self.queue.push_front(merged);
-                    return Err(e.into());
+                    return Err(e);
                 }
             }
         }
         Ok(flushed)
+    }
+
+    /// Apply one coalesced chunk, journaling it first when the session is
+    /// durable ([`Wal::commit_batch`] — append + sync, then apply,
+    /// rolling the record back out of the log if application fails).
+    fn apply_chunk(&mut self, merged: &UpdateBatch) -> Result<BatchReceipt, IngestError> {
+        let Some(wal) = self.journal.as_deref_mut().filter(|_| !merged.is_empty()) else {
+            return Ok(self.catalog.apply_batch(merged)?);
+        };
+        wal.commit_batch(self.catalog, merged).map_err(|e| match e {
+            crate::durability::CommitError::Journal(io) => IngestError::Journal(io),
+            crate::durability::CommitError::Catalog(c) => IngestError::Catalog(c),
+        })
     }
 
     /// Flush the remaining queue and fold every receipt accumulated since

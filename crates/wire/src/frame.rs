@@ -1,0 +1,217 @@
+//! Framed records: the durable on-disk unit.
+//!
+//! A frame wraps an opaque payload so that a reader can always tell a
+//! complete record from an interrupted one:
+//!
+//! ```text
+//! ┌─────────┬────────────┬───────────────┬──────────────┐
+//! │ version │ len        │ payload       │ crc32        │
+//! │ 1 byte  │ u32 LE     │ `len` bytes   │ u32 LE       │
+//! └─────────┴────────────┴───────────────┴──────────────┘
+//! ```
+//!
+//! * `version` — the frame-format version ([`VERSION`]); a reader that
+//!   sees any other value refuses the frame (forward compatibility).
+//! * `len` — payload length in bytes.
+//! * `crc32` — CRC-32 (IEEE, reflected) of the payload bytes.
+//!
+//! [`read_frame`] classifies the bytes at an offset into exactly three
+//! outcomes: a complete valid [`FrameRead::Frame`], the clean
+//! [`FrameRead::End`] of the buffer, or [`FrameRead::Torn`] — anything
+//! else (short header, short payload, checksum mismatch, unknown
+//! version). Write-ahead logging leans on that trichotomy: a crash while
+//! appending leaves a torn final frame, which recovery discards; every
+//! frame before it is intact by construction (appends are sequential).
+
+/// Current frame-format version byte.
+pub const VERSION: u8 = 1;
+
+/// Frame header size: version byte + `u32` length.
+pub const HEADER: usize = 5;
+
+/// Frame trailer size: the `u32` CRC.
+pub const TRAILER: usize = 4;
+
+const CRC_TABLE: [u32; 256] = crc_table();
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 (IEEE 802.3, reflected) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = u32::MAX;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Total on-disk size of a frame carrying `payload_len` bytes.
+pub fn frame_len(payload_len: usize) -> usize {
+    HEADER + payload_len + TRAILER
+}
+
+/// Append one frame wrapping `payload` to `out`.
+///
+/// # Panics
+/// If `payload` exceeds `u32::MAX` bytes (a single WAL record or snapshot
+/// payload of 4 GiB indicates a bug, not a workload).
+pub fn write_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    let len = u32::try_from(payload.len()).expect("frame payload exceeds u32::MAX bytes");
+    out.reserve(frame_len(payload.len()));
+    out.push(VERSION);
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+}
+
+/// Outcome of reading the bytes at one offset.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameRead<'a> {
+    /// A complete, checksum-valid frame; `end` is the offset just past it.
+    Frame {
+        /// The framed payload bytes.
+        payload: &'a [u8],
+        /// Offset of the byte after this frame.
+        end: usize,
+    },
+    /// `pos` is exactly the end of the buffer — a clean end of log.
+    End,
+    /// The bytes at `pos` are not a complete valid frame: short header,
+    /// short payload, unknown version, or checksum mismatch. In an
+    /// append-only log this means a write was interrupted here; everything
+    /// from this offset on should be discarded.
+    Torn,
+}
+
+/// Classify the bytes of `buf` starting at `pos` (see [`FrameRead`]).
+pub fn read_frame(buf: &[u8], pos: usize) -> FrameRead<'_> {
+    if pos >= buf.len() {
+        return if pos == buf.len() { FrameRead::End } else { FrameRead::Torn };
+    }
+    let b = &buf[pos..];
+    if b.len() < HEADER || b[0] != VERSION {
+        return FrameRead::Torn;
+    }
+    let len = u32::from_le_bytes([b[1], b[2], b[3], b[4]]) as usize;
+    let Some(total) = len.checked_add(HEADER + TRAILER) else { return FrameRead::Torn };
+    if b.len() < total {
+        return FrameRead::Torn;
+    }
+    let payload = &b[HEADER..HEADER + len];
+    let stored = u32::from_le_bytes([b[total - 4], b[total - 3], b[total - 2], b[total - 1]]);
+    if crc32(payload) != stored {
+        return FrameRead::Torn;
+    }
+    FrameRead::Frame { payload, end: pos + total }
+}
+
+/// Walk a buffer of consecutive frames, returning the payload spans and
+/// the offset of the first byte that is not part of a complete valid
+/// frame (`== buf.len()` for a clean log). The scan stops at the first
+/// torn frame.
+pub fn scan_frames(buf: &[u8]) -> (Vec<(usize, usize)>, usize) {
+    let mut spans = Vec::new();
+    let mut pos = 0;
+    loop {
+        match read_frame(buf, pos) {
+            FrameRead::Frame { end, .. } => {
+                spans.push((pos + HEADER, end - TRAILER));
+                pos = end;
+            }
+            FrameRead::End | FrameRead::Torn => return (spans, pos),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello");
+        write_frame(&mut buf, b"");
+        write_frame(&mut buf, b"world!");
+        let FrameRead::Frame { payload, end } = read_frame(&buf, 0) else { panic!() };
+        assert_eq!(payload, b"hello");
+        let FrameRead::Frame { payload, end } = read_frame(&buf, end) else { panic!() };
+        assert_eq!(payload, b"");
+        let FrameRead::Frame { payload, end } = read_frame(&buf, end) else { panic!() };
+        assert_eq!(payload, b"world!");
+        assert_eq!(read_frame(&buf, end), FrameRead::End);
+    }
+
+    #[test]
+    fn every_truncation_is_torn() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload bytes");
+        assert_eq!(read_frame(&buf[..0], 0), FrameRead::End, "empty log is clean, not torn");
+        for cut in 1..buf.len() {
+            assert_eq!(read_frame(&buf[..cut], 0), FrameRead::Torn, "cut at {cut}");
+        }
+        assert!(matches!(read_frame(&buf, 0), FrameRead::Frame { .. }));
+    }
+
+    #[test]
+    fn corruption_is_torn() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload bytes");
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x40;
+            assert_eq!(read_frame(&bad, 0), FrameRead::Torn, "flip at {i}");
+        }
+    }
+
+    #[test]
+    fn unknown_version_is_torn() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"x");
+        buf[0] = VERSION + 1;
+        assert_eq!(read_frame(&buf, 0), FrameRead::Torn);
+    }
+
+    #[test]
+    fn scan_stops_at_torn_tail() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"one");
+        write_frame(&mut buf, b"two");
+        let valid = buf.len();
+        write_frame(&mut buf, b"interrupted");
+        buf.truncate(valid + 7); // mid-record
+        let (spans, end) = scan_frames(&buf);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(end, valid);
+        assert_eq!(&buf[spans[0].0..spans[0].1], b"one");
+        assert_eq!(&buf[spans[1].0..spans[1].1], b"two");
+    }
+
+    #[test]
+    fn empty_log_scans_clean() {
+        let (spans, end) = scan_frames(&[]);
+        assert!(spans.is_empty());
+        assert_eq!(end, 0);
+    }
+}

@@ -22,6 +22,7 @@ pub mod plan;
 pub mod table;
 pub mod translate;
 pub mod value;
+pub mod wirecodec;
 
 pub use context::{ContextSchema, LngCol, LngSpec, OrdSpec};
 pub use exec::{ConsNode, ExecError, ExecOptions, ExecStats, Executor};

@@ -23,6 +23,7 @@
 pub mod frag;
 pub mod parse;
 pub mod store;
+pub mod wirecodec;
 
 pub use frag::{Frag, NodeData};
 pub use parse::{parse_document, ParseError};

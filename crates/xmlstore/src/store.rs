@@ -318,9 +318,47 @@ impl Store {
     pub fn total_nodes(&self) -> usize {
         self.docs.values().map(|d| d.nodes.len()).sum()
     }
+
+    /// Deep content equality: every document (name, root, node keys, node
+    /// data **and** count annotations) and the root-segment allocation
+    /// cursor must match. Used by snapshot round-trip tests and exposed
+    /// for debugging — unlike XML serialization it also compares the key
+    /// assignment, so two stores that serialize identically but would
+    /// allocate different keys for the next insert compare unequal.
+    pub fn same_content(&self, other: &Store) -> bool {
+        self.next_root == other.next_root
+            && self.docs.len() == other.docs.len()
+            && self.docs.iter().zip(other.docs.iter()).all(|((an, a), (bn, b))| {
+                an == bn
+                    && a.name == b.name
+                    && a.root == b.root
+                    && a.nodes.len() == b.nodes.len()
+                    && a.nodes.iter().zip(b.nodes.iter()).all(|(x, y)| x == y)
+            })
+    }
+
+    /// Reassemble a store from decoded parts (wire codec only).
+    pub(crate) fn from_parts(docs: BTreeMap<String, Doc>, next_root: usize) -> Store {
+        Store { docs, next_root }
+    }
+
+    /// The root-segment allocation cursor (wire codec only).
+    pub(crate) fn next_root(&self) -> usize {
+        self.next_root
+    }
+
+    /// The documents, in name order (wire codec only).
+    pub(crate) fn docs(&self) -> &BTreeMap<String, Doc> {
+        &self.docs
+    }
 }
 
 impl Doc {
+    /// Reassemble a document from decoded parts (wire codec only).
+    pub(crate) fn from_parts(name: String, root: FlexKey, nodes: BTreeMap<FlexKey, Node>) -> Doc {
+        Doc { name, root, nodes }
+    }
+
     /// Iterate nodes strictly after `key` in document order.
     fn range_after(&self, key: &FlexKey) -> impl Iterator<Item = (&FlexKey, &Node)> {
         self.nodes.range((Bound::Excluded(key.clone()), Bound::Unbounded))

@@ -24,6 +24,7 @@ pub mod normalize;
 pub mod ops;
 pub mod parser;
 pub mod update;
+pub mod wirecodec;
 
 pub use ast::*;
 pub use normalize::normalize;

@@ -212,6 +212,17 @@ impl UpdateOp {
         }
     }
 
+    /// Reassemble an op from decoded parts (wire codec only).
+    pub(crate) fn from_parts(
+        var: String,
+        doc: String,
+        path: Vec<Step>,
+        filter: Option<BoolExpr>,
+        action: OpAction,
+    ) -> UpdateOp {
+        UpdateOp { var, doc, path, filter, action }
+    }
+
     /// Lift a parsed script statement into a typed op (lossless).
     pub fn from_stmt(stmt: UpdateStmt) -> UpdateOp {
         let action = match stmt.action {

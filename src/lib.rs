@@ -38,13 +38,21 @@
 //!
 //! | Layer | Crate | Paper chapter |
 //! |---|---|---|
+//! | Binary codec (WAL records, snapshots) | [`wire`] | — (persistence substrate) |
 //! | Order keys, semantic ids | [`flexkey`] | 3, 4 |
 //! | XML model + storage manager | [`xmlstore`] | 3 (MASS substrate) |
 //! | XQuery + update parser, typed update ops | [`xquery_lang`] | 2, 5 |
 //! | XAT algebra + engine | [`xat`] | 2, 3, 4, 6 |
 //! | VPA maintenance framework | [`vpa_core`] | 5, 6, 7, 8 |
 //! | Multi-view catalog + ingestion front | [`viewsrv`] | 5 (SAPT routing), beyond paper |
+//! | Durability (WAL + snapshots) | [`viewsrv::durability`] | 3.3 (MASS persistence), beyond paper |
 //! | Synthetic data / workloads | [`datagen`] | 3.5, 9 |
+//!
+//! Every storage layer implements the [`wire`] `Encode`/`Decode` codec for
+//! its own types (`flexkey` keys and semantic ids, `xmlstore`
+//! nodes/documents/stores, `xat` view extents, `xquery_lang` typed update
+//! batches) — serialization lives with the types, journaling lives with
+//! the service.
 //!
 //! ## Many views, one store
 //!
@@ -80,10 +88,47 @@
 //! assert_eq!(receipt.views_touched, vec!["titles"]);
 //! cat.verify_all().unwrap();
 //! ```
+//!
+//! ## Durability: views survive the process
+//!
+//! A [`DurableCatalog`] is a [`ViewCatalog`] whose every mutation flows
+//! through one journaled commit point: data batches are appended and
+//! synced to a write-ahead log of [`wire`]-framed [`UpdateBatch`] records
+//! *before* they apply (and through a journaled [`CatalogSession`],
+//! `commit()` is the durability boundary), while administrative mutations
+//! checkpoint a full [`viewsrv::Snapshot`] — store, view definitions, and
+//! materialized extents. `DurableCatalog::open` recovers by loading the
+//! newest valid snapshot, reinstalling extents **without recomputation**,
+//! replaying the WAL tail through the ordinary `apply_batch` path, and
+//! discarding a torn final record; restart cost is proportional to the
+//! log tail, not to total data (see the `fig_recovery` bench):
+//!
+//! ```
+//! use xqview::viewsrv::DurableCatalog;
+//! use xqview::xquery_lang::InsertPosition;
+//! use xqview::{UpdateBatch, UpdateOp};
+//!
+//! let dir = std::env::temp_dir().join(format!("xqview-lib-doc-{}", std::process::id()));
+//! let _ = std::fs::remove_dir_all(&dir);
+//! let mut cat = DurableCatalog::open(&dir).unwrap();
+//! cat.load_doc("bib.xml", r#"<bib><book year="1994"><title>T</title></book></bib>"#).unwrap();
+//! cat.register("titles", r#"<r>{ for $b in doc("bib.xml")/bib/book return $b/title }</r>"#)
+//!     .unwrap();
+//! let op = UpdateOp::insert("bib.xml", "/bib", InsertPosition::Into,
+//!                           r#"<book year="2001"><title>U</title></book>"#).unwrap();
+//! cat.apply_batch(&UpdateBatch::new().with(op)).unwrap();
+//! drop(cat); // "crash": the batch lives only in the WAL
+//!
+//! let cat = DurableCatalog::open(&dir).unwrap();
+//! assert_eq!(cat.recovery().replayed_batches, 1);
+//! cat.verify_all().unwrap();
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! ```
 
 pub use flexkey;
 pub use viewsrv;
 pub use vpa_core;
+pub use wire;
 pub use xat;
 pub use xmlstore;
 pub use xquery_lang;
@@ -91,8 +136,8 @@ pub use xquery_lang;
 pub use datagen;
 pub use flexkey::{FlexKey, OrdKey, SemId};
 pub use viewsrv::{
-    BatchReceipt, CatalogError, CatalogSession, IngestError, ServiceStats, SessionConfig,
-    SessionReceipt, ViewCatalog,
+    BatchReceipt, CatalogError, CatalogSession, DurabilityError, DurableCatalog, IngestError,
+    RecoveryReport, ServiceStats, SessionConfig, SessionReceipt, ViewCatalog,
 };
 pub use vpa_core::{MaintStats, MaintView, ResolvedUpdate, Sapt, ViewManager};
 pub use xat::{ExecOptions, ExecStats, Executor, Plan, ViewExtent};

@@ -1,0 +1,301 @@
+//! Crash-recovery acceptance tests: kill/reopen equivalence over a seeded
+//! `datagen` workload.
+//!
+//! The contract under test (ISSUE 3): for any crash point — every WAL
+//! record boundary *and* mid-record torn writes — reopening with
+//! `DurableCatalog::open` must reproduce extents **byte-identical** to an
+//! uninterrupted run up to the last durable batch, `verify_all()` (the
+//! §1.2 recompute oracle lifted to the service) must pass, and the
+//! `RecoveryReport` must account for exactly the replayed records/ops and
+//! the discarded torn suffix.
+
+use viewsrv::{DurableCatalog, UpdateBatch, ViewCatalog};
+use wire::frame;
+use xmlstore::Store;
+
+const N_BATCHES: usize = 6;
+
+fn bib_cfg() -> datagen::BibConfig {
+    datagen::BibConfig { books: 40, years: 5, priced_ratio: 0.8, extra_entries: 4, seed: 7 }
+}
+
+/// (name, query) pairs covering the shapes the catalog routes differently:
+/// bib-only selection, prices-only projection, the two-document join, and
+/// the grouped/ordered running-example view.
+fn view_defs() -> Vec<(&'static str, String)> {
+    vec![
+        (
+            "y1900",
+            r#"<result>{
+  for $b in doc("bib.xml")/bib/book
+  where $b/@year = "1900"
+  return <hit>{$b/title}</hit>
+}</result>"#
+                .to_string(),
+        ),
+        (
+            "prices",
+            r#"<result>{
+  for $e in doc("prices.xml")/prices/entry
+  return <p>{$e/price}</p>
+}</result>"#
+                .to_string(),
+        ),
+        (
+            "join",
+            r#"<result>{
+  for $b in doc("bib.xml")/bib/book, $e in doc("prices.xml")/prices/entry
+  where $b/title = $e/b-title
+  return <pair>{$b/title}{$e/price}</pair>
+}</result>"#
+                .to_string(),
+        ),
+        (
+            "grouped",
+            r#"<result>{
+  for $y in distinct-values(doc("bib.xml")/bib/book/@year)
+  order by $y
+  return <yGroup Y="{$y}">{
+    for $b in doc("bib.xml")/bib/book
+    where $y = $b/@year
+    return $b/title
+  }</yGroup>
+}</result>"#
+                .to_string(),
+        ),
+    ]
+}
+
+/// The seeded mixed workload: inserts, deletes, and price modifies, as
+/// typed batches (parsed once — the same values the WAL journals).
+fn workload(cfg: &datagen::BibConfig) -> Vec<UpdateBatch> {
+    let mut scripts = Vec::new();
+    for b in 0..N_BATCHES / 3 {
+        scripts.push(datagen::insert_books_script(cfg, cfg.books + b * 2, 2, Some(1900)));
+        scripts.push(datagen::modify_prices_script(b * 3, 2, "33.33"));
+        scripts.push(datagen::delete_books_script(b * 2, 1));
+    }
+    scripts.iter().map(|s| UpdateBatch::from_script(s).expect("workload parses")).collect()
+}
+
+fn fresh_store(cfg: &datagen::BibConfig) -> Store {
+    let mut s = Store::new();
+    s.load_doc("bib.xml", &datagen::bib_xml(cfg)).unwrap();
+    s.load_doc("prices.xml", &datagen::prices_xml(cfg)).unwrap();
+    s
+}
+
+/// Extents of every view, in registration order.
+fn extents(cat: &ViewCatalog, views: &[(&str, String)]) -> Vec<String> {
+    views.iter().map(|(n, _)| cat.extent_xml(n).unwrap()).collect()
+}
+
+struct Reference {
+    /// `extents[i]` = every view's XML after the first `i` batches.
+    extents: Vec<Vec<String>>,
+    /// Matching store states (for `same_content` checks).
+    stores: Vec<Store>,
+    /// `ops[i]` = typed ops in batch `i`.
+    ops: Vec<usize>,
+}
+
+/// The uninterrupted oracle run: a plain in-memory catalog seeded exactly
+/// like the durable one, capturing state after every batch prefix.
+fn reference_run(cfg: &datagen::BibConfig, views: &[(&str, String)]) -> Reference {
+    let mut cat = ViewCatalog::new(fresh_store(cfg));
+    for (name, q) in views {
+        cat.register(name, q).unwrap();
+    }
+    let batches = workload(cfg);
+    let mut out = Reference {
+        extents: vec![extents(&cat, views)],
+        stores: vec![cat.store().clone()],
+        ops: batches.iter().map(UpdateBatch::len).collect(),
+    };
+    for b in &batches {
+        let _ = cat.apply_batch(b).unwrap();
+        out.extents.push(extents(&cat, views));
+        out.stores.push(cat.store().clone());
+    }
+    cat.verify_all().unwrap();
+    out
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("xqview-recovery-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Build the durable catalog in `dir`, run the full workload, and return
+/// the WAL path of the final generation.
+fn durable_run(dir: &std::path::Path, cfg: &datagen::BibConfig) -> std::path::PathBuf {
+    let views = view_defs();
+    let mut cat = DurableCatalog::open(dir).unwrap();
+    cat.load_doc("bib.xml", &datagen::bib_xml(cfg)).unwrap();
+    cat.load_doc("prices.xml", &datagen::prices_xml(cfg)).unwrap();
+    for (name, q) in &views {
+        cat.register(name, q).unwrap();
+    }
+    for b in workload(cfg) {
+        let _ = cat.apply_batch(&b).unwrap();
+    }
+    assert_eq!(cat.wal_records(), N_BATCHES);
+    cat.verify_all().unwrap();
+    let wal = dir.join(format!("wal-{:010}.wire", cat.generation()));
+    assert!(wal.exists());
+    wal
+}
+
+/// Copy the snapshot files of `src` into a fresh `dst`, installing `wal`
+/// bytes truncated to `cut` — a simulated crash image.
+fn crash_image(src: &std::path::Path, dst: &std::path::Path, wal: &std::path::Path, cut: usize) {
+    let _ = std::fs::remove_dir_all(dst);
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let path = entry.unwrap().path();
+        let name = path.file_name().unwrap().to_str().unwrap().to_string();
+        if name.starts_with("snap-") {
+            std::fs::copy(&path, dst.join(&name)).unwrap();
+        }
+    }
+    let raw = std::fs::read(wal).unwrap();
+    std::fs::write(dst.join(wal.file_name().unwrap()), &raw[..cut]).unwrap();
+}
+
+/// The crash matrix: every record boundary, plus torn mid-record images
+/// just after and just before each boundary.
+#[test]
+fn crash_at_every_wal_boundary_recovers_byte_identical() {
+    let cfg = bib_cfg();
+    let views = view_defs();
+    let reference = reference_run(&cfg, &views);
+
+    let dir_a = temp_dir("matrix-src");
+    let wal = durable_run(&dir_a, &cfg);
+    let raw = std::fs::read(&wal).unwrap();
+    let (spans, clean_end) = frame::scan_frames(&raw);
+    assert_eq!(spans.len(), N_BATCHES);
+    assert_eq!(clean_end, raw.len(), "the source log must be clean");
+    // boundaries[i] = byte length of a log holding exactly i records.
+    let mut boundaries = vec![0usize];
+    boundaries.extend(spans.iter().map(|&(_, payload_end)| payload_end + frame::TRAILER));
+
+    let dir_b = temp_dir("matrix-img");
+    for (i, &cut) in boundaries.iter().enumerate() {
+        // Clean crash exactly at a record boundary.
+        crash_image(&dir_a, &dir_b, &wal, cut);
+        let cat = DurableCatalog::open(&dir_b).unwrap();
+        let r = cat.recovery();
+        assert_eq!(r.replayed_batches, i, "boundary {i}");
+        assert_eq!(
+            r.replayed_ops,
+            reference.ops[..i].iter().sum::<usize>(),
+            "ops accounting at boundary {i}"
+        );
+        assert_eq!(r.discarded_bytes, 0, "boundary {i} is not torn");
+        assert_eq!(extents(cat.catalog(), &views), reference.extents[i], "boundary {i}");
+        assert!(cat.store().same_content(&reference.stores[i]), "store at boundary {i}");
+        cat.verify_all().unwrap();
+
+        // Torn crashes strictly inside the next record.
+        if i < N_BATCHES {
+            let next = boundaries[i + 1];
+            for torn_cut in [cut + 1, cut + (next - cut) / 2, next - 1] {
+                crash_image(&dir_a, &dir_b, &wal, torn_cut);
+                let cat = DurableCatalog::open(&dir_b).unwrap();
+                let r = cat.recovery();
+                assert_eq!(r.replayed_batches, i, "torn after boundary {i} (cut {torn_cut})");
+                assert_eq!(r.discarded_bytes, (torn_cut - cut) as u64, "torn bytes discarded");
+                assert_eq!(extents(cat.catalog(), &views), reference.extents[i]);
+                cat.verify_all().unwrap();
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir_a).unwrap();
+    std::fs::remove_dir_all(&dir_b).unwrap();
+}
+
+/// A reopened catalog is not a dead end: it keeps ingesting, checkpoints,
+/// and recovers again — and a checkpoint resets the replay cost to zero.
+#[test]
+fn recovered_catalog_continues_and_checkpoints() {
+    let cfg = bib_cfg();
+    let views = view_defs();
+    let dir = temp_dir("continue");
+
+    let _ = durable_run(&dir, &cfg);
+    let mut cat = DurableCatalog::open(&dir).unwrap();
+    assert_eq!(cat.recovery().replayed_batches, N_BATCHES);
+
+    // Keep writing after recovery.
+    let extra =
+        UpdateBatch::from_script(&datagen::insert_books_script(&cfg, 900, 2, Some(1901))).unwrap();
+    let _ = cat.apply_batch(&extra).unwrap();
+    assert_eq!(cat.wal_records(), N_BATCHES + 1);
+
+    // Checkpoint: replay cost drops to zero, state is preserved.
+    cat.snapshot().unwrap();
+    assert_eq!(cat.wal_records(), 0);
+    let want = extents(cat.catalog(), &views);
+    let want_store = cat.store().clone();
+    drop(cat);
+
+    let cat = DurableCatalog::open(&dir).unwrap();
+    assert_eq!(cat.recovery().replayed_batches, 0, "checkpoint absorbed the tail");
+    assert_eq!(cat.recovery().snapshot_views, views.len());
+    assert_eq!(extents(cat.catalog(), &views), want);
+    assert!(cat.store().same_content(&want_store));
+    cat.verify_all().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Journaled sessions crash-recover like direct applies: the WAL holds
+/// the coalesced chunks a flush applied, and a torn tail never loses a
+/// committed chunk.
+#[test]
+fn journaled_session_crash_matrix() {
+    let cfg = bib_cfg();
+    let views = view_defs();
+    let dir = temp_dir("session");
+
+    let mut cat = DurableCatalog::open(&dir).unwrap();
+    cat.load_doc("bib.xml", &datagen::bib_xml(&cfg)).unwrap();
+    cat.load_doc("prices.xml", &datagen::prices_xml(&cfg)).unwrap();
+    for (name, q) in &views {
+        cat.register(name, q).unwrap();
+    }
+    let mut session = cat.session(viewsrv::SessionConfig { queue_capacity: 16, window_ops: 4 });
+    for b in workload(&cfg) {
+        session.try_submit(b).unwrap();
+    }
+    let receipt = session.commit().unwrap();
+    assert!(receipt.batches_applied < receipt.batches_submitted, "windows coalesced");
+    let applied = receipt.batches_applied;
+    assert_eq!(cat.wal_records(), applied);
+    let want = extents(cat.catalog(), &views);
+    let gen = cat.generation();
+    drop(cat);
+
+    let wal = dir.join(format!("wal-{gen:010}.wire"));
+    let raw = std::fs::read(&wal).unwrap();
+    // Tear the last chunk mid-record: recovery must come back at the
+    // previous commit, not lose everything.
+    let (spans, _) = frame::scan_frames(&raw);
+    assert_eq!(spans.len(), applied);
+    let prev_end = spans[applied - 2].1 + frame::TRAILER;
+    let dir_img = temp_dir("session-img");
+    crash_image(&dir, &dir_img, &wal, prev_end + 2);
+    let cat = DurableCatalog::open(&dir_img).unwrap();
+    assert_eq!(cat.recovery().replayed_batches, applied - 1);
+    assert!(cat.recovery().discarded_bytes > 0);
+    cat.verify_all().unwrap();
+
+    // And the untorn image reproduces the session's final state exactly.
+    let cat = DurableCatalog::open(&dir).unwrap();
+    assert_eq!(cat.recovery().replayed_batches, applied);
+    assert_eq!(extents(cat.catalog(), &views), want);
+    cat.verify_all().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_dir_all(&dir_img).unwrap();
+}
