@@ -1,0 +1,26 @@
+//! Bench for per-term IMP parallelism on the shared pool: an 8-view
+//! self-join catalog (each propagation telescopes into two IMP terms per
+//! view) maintained with a 1-lane vs a hardware-wide pool. The `figures`
+//! binary sweeps view and thread counts into `BENCH_parallel.json`.
+
+use vpa_bench::harness::timed;
+use vpa_bench::*;
+
+fn main() {
+    let books = 400usize;
+    let n_views = 8usize;
+    let (store, cfg) = bib_store(books);
+    let queries = selfjoin_queries(n_views, cfg.years);
+    let batches: Vec<viewsrv::UpdateBatch> = (0..3)
+        .map(|i| {
+            let s = datagen::insert_books_script(&cfg, cfg.books + i * 2, 2, Some(1900));
+            viewsrv::UpdateBatch::from_script(&s).expect("workload parses")
+        })
+        .collect();
+    let wide = std::thread::available_parallelism().map_or(4, |n| n.get());
+    println!("== fig_parallel ({n_views} self-join views, {books} books, {wide} lanes) ==");
+    timed("terms_serial_pool_1", 5, || measure_parallel(&store, &queries, &batches, 1));
+    timed(&format!("terms_pooled_{wide}"), 5, || {
+        measure_parallel(&store, &queries, &batches, wide)
+    });
+}

@@ -58,6 +58,76 @@ fn main() {
     if run("fig_recovery") {
         fig_recovery();
     }
+    if run("fig_parallel") {
+        fig_parallel();
+    }
+}
+
+/// Term-parallelism sweep (beyond the paper): self-join views (two IMP
+/// terms per propagation) maintained across view counts × pool sizes.
+/// Emits `BENCH_parallel.json`; the headline point is the 8-view row at
+/// 4 threads beating the 1-thread pool by >1.5× on the Propagate phase —
+/// **on a ≥4-core machine**. On fewer cores the sweep degenerates to ≈1×
+/// plus scheduling overhead (`cores` is recorded in the JSON so a reader
+/// can tell which regime a run measured). Every cell asserts
+/// byte-identical extents against the 1-thread run — the determinism
+/// contract, measured.
+fn fig_parallel() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("\n== fig_parallel: per-term IMP parallelism (self-join views, {cores} cores) ==");
+    println!(
+        "{:>6} {:>8} {:>14} {:>11} {:>9}",
+        "views", "threads", "propagate(ms)", "total(ms)", "speedup"
+    );
+    let books = 400usize;
+    let (store, cfg) = bib_store(books);
+    let batches: Vec<viewsrv::UpdateBatch> = (0..3)
+        .map(|i| {
+            let s = datagen::insert_books_script(&cfg, cfg.books + i * 2, 2, Some(1900));
+            viewsrv::UpdateBatch::from_script(&s).expect("workload parses")
+        })
+        .collect();
+    let mut rows = Vec::new();
+    for n_views in [1usize, 2, 4, 8] {
+        let queries = selfjoin_queries(n_views, cfg.years);
+        let (serial, reference) = measure_parallel(&store, &queries, &batches, 1);
+        for threads in [1usize, 2, 4] {
+            let (p, extents) = if threads == 1 {
+                (serial, reference.clone())
+            } else {
+                measure_parallel(&store, &queries, &batches, threads)
+            };
+            assert_eq!(extents, reference, "pool size must not change the extents");
+            let speedup = serial.propagate.as_secs_f64() / p.propagate.as_secs_f64().max(1e-9);
+            println!(
+                "{:>6} {:>8} {} {} {:>8.2}x",
+                n_views,
+                threads,
+                ms(p.propagate),
+                ms(p.total),
+                speedup,
+            );
+            rows.push(format!(
+                "    {{\"views\": {}, \"threads\": {}, \"propagate_ms\": {:.3}, \
+                 \"total_ms\": {:.3}, \"speedup\": {:.3}}}",
+                n_views,
+                threads,
+                p.propagate.as_secs_f64() * 1e3,
+                p.total.as_secs_f64() * 1e3,
+                speedup,
+            ));
+        }
+    }
+    let json = format!(
+        "{{\n  \"figure\": \"parallel\",\n  \"books\": {books},\n  \"cores\": {cores},\n  \
+         \"workload_batches\": {},\n  \"series\": [\n{}\n  ]\n}}\n",
+        batches.len(),
+        rows.join(",\n")
+    );
+    match std::fs::write("BENCH_parallel.json", &json) {
+        Ok(()) => println!("wrote BENCH_parallel.json"),
+        Err(e) => println!("could not write BENCH_parallel.json: {e}"),
+    }
 }
 
 /// Restart-cost sweep (beyond the paper): cold `DurableCatalog::open`

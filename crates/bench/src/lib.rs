@@ -428,6 +428,64 @@ pub fn measure_recovery(
     RecoveryPoint { cold_open, recompute, replayed_batches: tail, wal_bytes }
 }
 
+/// A family of `n` **self-join** views (bib.xml occurs twice, so every
+/// propagation telescopes into two IMP terms — the per-term parallelism
+/// workload). Year filters keep the quadratic join bounded and make the
+/// views distinct.
+pub fn selfjoin_queries(n: usize, years: usize) -> Vec<(String, String)> {
+    (0..n)
+        .map(|i| {
+            let year = 1900 + i % years.max(1);
+            (
+                format!("selfjoin_y{year}_{i}"),
+                format!(
+                    r#"<result>{{
+  for $a in doc("bib.xml")/bib/book, $b in doc("bib.xml")/bib/book
+  where $a/@year = $b/@year and $a/@year = "{year}"
+  return <pair>{{$a/title}}{{$b/title}}</pair>
+}}</result>"#
+                ),
+            )
+        })
+        .collect()
+}
+
+/// Outcome of one term-parallelism measurement at a fixed pool size.
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelPoint {
+    /// Summed Propagate-phase wall time over the workload's batches.
+    pub propagate: Duration,
+    /// Total wall time of applying the workload.
+    pub total: Duration,
+}
+
+/// Maintain `queries` under `batches` on a catalog pinned to a private
+/// `threads`-lane pool, reporting propagate/total wall time. Returns the
+/// point plus the final extents so the caller can assert byte-equality
+/// across pool sizes (every bench doubles as a correctness check).
+pub fn measure_parallel(
+    store: &Store,
+    queries: &[(String, String)],
+    batches: &[viewsrv::UpdateBatch],
+    threads: usize,
+) -> (ParallelPoint, Vec<String>) {
+    let mut cat = viewsrv::ViewCatalog::new(store.clone());
+    cat.set_pool(exec::Executor::new(threads));
+    for (name, q) in queries {
+        cat.register(name, q).expect("view registers");
+    }
+    let t0 = Instant::now();
+    let mut propagate = Duration::ZERO;
+    for b in batches {
+        let receipt = cat.apply_batch(b).expect("parallel maintenance");
+        propagate += receipt.stats.propagate;
+    }
+    let total = t0.elapsed();
+    cat.verify_all().expect("parallel oracle");
+    let extents = queries.iter().map(|(n, _)| cat.extent_xml(n).unwrap()).collect();
+    (ParallelPoint { propagate, total }, extents)
+}
+
 pub mod harness {
     //! Minimal statistical bench harness (the environment has no registry
     //! access, so Criterion is unavailable): fixed sample count, median +

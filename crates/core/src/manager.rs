@@ -40,8 +40,15 @@ use xquery_lang::UpdateBatch;
 
 /// Per-maintenance-round statistics (the Chapter 9 cost breakdown:
 /// validate / propagate / apply).
+///
+/// The phase fields are wall times of the (possibly pool-parallel)
+/// sections; `exec` is *summed* over every IMP execution, so it reads as
+/// CPU time and can exceed the wall total. [`MaintStats::merge`] is
+/// associative and commutative (plain `+` on every field), so aggregating
+/// rounds in any order — including pooled completion order — yields the
+/// same totals.
 #[must_use = "maintenance statistics report the per-phase costs of the round"]
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MaintStats {
     pub validate: Duration,
     pub propagate: Duration,
@@ -59,7 +66,9 @@ impl MaintStats {
         self.validate + self.propagate + self.apply
     }
 
-    pub(crate) fn merge(&mut self, o: MaintStats) {
+    /// Fold another round in. Field-wise `+`: associative, commutative,
+    /// and order-independent by construction (asserted by unit test).
+    pub fn merge(&mut self, o: MaintStats) {
         self.validate += o.validate;
         self.propagate += o.propagate;
         self.apply += o.apply;
@@ -154,6 +163,12 @@ impl ViewManager {
         &self.view
     }
 
+    /// Override the worker pool IMP terms fan out on (defaults to the
+    /// shared [`exec::Executor::global`] pool).
+    pub fn set_pool(&mut self, pool: exec::Executor) {
+        self.view.set_pool(pool);
+    }
+
     /// The current materialized extent.
     pub fn extent(&self) -> &ViewExtent {
         self.view.extent()
@@ -189,7 +204,9 @@ impl ViewManager {
         let t0 = Instant::now();
         let resolved = update::resolve_batch(&self.store, batch)?;
         let mut stats = self.apply_resolved(resolved)?;
-        stats.validate += t0.elapsed() - stats.total();
+        // Saturating: the phases are disjoint sub-intervals of `t0..now`,
+        // but a coarse clock must never be able to panic the accounting.
+        stats.validate += t0.elapsed().saturating_sub(stats.total());
         Ok(stats)
     }
 
@@ -358,5 +375,51 @@ impl ViewManager {
             stats.apply += ta.elapsed();
         }
         Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(seed: u64) -> MaintStats {
+        let d = |k: u64| Duration::from_nanos(seed * 1_000 + k);
+        let exec = ExecStats {
+            total: d(1),
+            order_schema: d(2),
+            overriding: d(3),
+            semid: d(4),
+            final_sort: d(5),
+        };
+        MaintStats {
+            validate: d(6),
+            propagate: d(7),
+            apply: d(8),
+            exec,
+            relevant: seed as usize,
+            irrelevant: seed as usize * 3,
+            fast_modifies: seed as usize * 7,
+        }
+    }
+
+    /// Pooled rounds settle in nondeterministic order; the aggregation
+    /// must not care. `merge` is field-wise `+`, so associativity and
+    /// commutativity hold exactly (no floats involved).
+    #[test]
+    fn maint_stats_merge_is_associative_and_commutative() {
+        let (a, b, c) = (sample(3), sample(11), sample(40));
+        let mut ab_c = a;
+        ab_c.merge(b);
+        ab_c.merge(c);
+        let mut bc = b;
+        bc.merge(c);
+        let mut a_bc = a;
+        a_bc.merge(bc);
+        assert_eq!(ab_c, a_bc, "associativity");
+        let mut ab = a;
+        ab.merge(b);
+        let mut ba = b;
+        ba.merge(a);
+        assert_eq!(ab, ba, "commutativity");
     }
 }

@@ -21,6 +21,13 @@
 //! supported algebra are linear in each input under count semantics —
 //! except the Left Outer Join's right input, which the executor handles
 //! with the §7.4 null-row transition corrections.
+//!
+//! Because the terms only *read* the store (the delta is injected as a
+//! [`xat::plan::OpKind::DeltaSource`]), they are embarrassingly parallel:
+//! [`propagate_batch`] resolves every term of a multi-occurrence (self-join)
+//! view as one job on the shared [`exec::Executor`] pool, then merges the
+//! signed delta trees **in term order** — so the merged delta is
+//! byte-identical to the sequential telescoping regardless of pool size.
 
 use flexkey::FlexKey;
 use xat::exec::{ExecError, ExecOptions, ExecStats, Executor};
@@ -32,7 +39,17 @@ use xmlstore::Store;
 /// view. `sign` is +1 for inserts (the store must already be post-update)
 /// and −1 for deletes (the store must still be pre-update). Returns the
 /// delta update tree roots and the accumulated execution statistics.
+///
+/// When the view reads `doc` more than once, the telescoped IMP terms run
+/// in parallel on `pool` (one engine run per term); the reported
+/// [`ExecStats`] are therefore *summed across terms* — CPU-time-like, and
+/// possibly larger than the wall time of the call.
+// One parameter per VPA ingredient (pool, store, plan, output, delta
+// spec, options); bundling them into a struct would just rename the
+// argument list at the single internal call site.
+#[allow(clippy::too_many_arguments)]
 pub fn propagate_batch(
+    pool: &exec::Executor,
     store: &Store,
     plan: &Plan,
     out_col: &str,
@@ -48,22 +65,32 @@ pub fn propagate_batch(
     }
     let k = plan.count_sources(doc);
     let store_is_post = sign > 0;
-    for term in 0..k {
+    let run_term = |term: usize| -> Result<(Vec<VNode>, ExecStats), ExecError> {
         let imp = plan.imp_term(doc, term, store_is_post);
         let mut ex = Executor::with_options(store, opts);
         ex.set_delta(doc, frag_roots.to_vec(), sign);
         let table = ex.eval(&imp)?;
         if table.n_rows() == 0 {
-            stats.merge(&ex.stats);
-            continue;
+            return Ok((Vec::new(), ex.stats));
         }
         let ci = table
             .col_idx(out_col)
             .ok_or_else(|| ExecError(format!("IMP output lacks column ${out_col}")))?;
         let items = table.rows[0].cells[ci].items().to_vec();
         let extent = ex.materialize_signed(&items)?;
-        xat::extent::union_many(&mut delta_roots, extent.roots, true);
-        stats.merge(&ex.stats);
+        Ok((extent.roots, ex.stats))
+    };
+    let terms: Vec<Result<(Vec<VNode>, ExecStats), ExecError>> = if k > 1 && pool.threads() > 1 {
+        pool.map((0..k).collect(), run_term)
+    } else {
+        (0..k).map(run_term).collect()
+    };
+    // Merge in term order: the telescoping sum is order-sensitive in its
+    // intermediate shapes, and determinism across pool sizes depends on it.
+    for t in terms {
+        let (roots, exec_stats) = t?;
+        xat::extent::union_many(&mut delta_roots, roots, true);
+        stats.merge(&exec_stats);
     }
     Ok((delta_roots, stats))
 }
@@ -102,8 +129,17 @@ mod tests {
             Frag::elem("book").attr("year", "1997").child(Frag::elem("title").text_child("C"));
         let new = s.insert_fragment(&bib, InsertPos::Last, &frag).unwrap();
 
-        let (delta, _) =
-            propagate_batch(&s, &plan, &col, "bib.xml", &[new], 1, ExecOptions::default()).unwrap();
+        let (delta, _) = propagate_batch(
+            exec::Executor::global(),
+            &s,
+            &plan,
+            &col,
+            "bib.xml",
+            &[new],
+            1,
+            ExecOptions::default(),
+        )
+        .unwrap();
         let mut roots = before.roots;
         for d in delta {
             deep_union_siblings(&mut roots, d);
@@ -124,6 +160,7 @@ mod tests {
         let victim = s.children_named(&bib, "book")[0].clone();
         // Propagate first (store is pre-state for deletes), then apply.
         let (delta, _) = propagate_batch(
+            exec::Executor::global(),
             &s,
             &plan,
             &col,
@@ -159,9 +196,17 @@ mod tests {
                 .child(Frag::elem("title").text_child(format!("N{i}")));
             roots_new.push(s.insert_fragment(&bib, InsertPos::Last, &f).unwrap());
         }
-        let (delta, _) =
-            propagate_batch(&s, &plan, &col, "bib.xml", &roots_new, 1, ExecOptions::default())
-                .unwrap();
+        let (delta, _) = propagate_batch(
+            exec::Executor::global(),
+            &s,
+            &plan,
+            &col,
+            "bib.xml",
+            &roots_new,
+            1,
+            ExecOptions::default(),
+        )
+        .unwrap();
         let mut roots = before.roots;
         for d in delta {
             deep_union_siblings(&mut roots, d);
@@ -174,8 +219,17 @@ mod tests {
         let mut s = Store::new();
         s.load_doc("bib.xml", BIB).unwrap();
         let (plan, col) = translate_query(VIEW).unwrap();
-        let (delta, _) =
-            propagate_batch(&s, &plan, &col, "bib.xml", &[], 1, ExecOptions::default()).unwrap();
+        let (delta, _) = propagate_batch(
+            exec::Executor::global(),
+            &s,
+            &plan,
+            &col,
+            "bib.xml",
+            &[],
+            1,
+            ExecOptions::default(),
+        )
+        .unwrap();
         assert!(delta.is_empty());
     }
 }

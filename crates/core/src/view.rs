@@ -29,6 +29,9 @@ pub struct MaintView {
     sapt: Sapt,
     extent: ViewExtent,
     opts: ExecOptions,
+    /// Worker pool the telescoped IMP terms fan out on (the shared global
+    /// pool unless overridden — tests and benches pin private pools).
+    pool: exec::Executor,
 }
 
 impl MaintView {
@@ -44,7 +47,19 @@ impl MaintView {
             sapt,
             extent: ViewExtent::default(),
             opts: ExecOptions::default(),
+            pool: exec::Executor::global().clone(),
         })
+    }
+
+    /// Override the worker pool used for per-term propagation
+    /// (`exec::Executor::new(1)` forces fully serial execution).
+    pub fn set_pool(&mut self, pool: exec::Executor) {
+        self.pool = pool;
+    }
+
+    /// The worker pool this view propagates on.
+    pub fn pool(&self) -> &exec::Executor {
+        &self.pool
     }
 
     /// Compute the extent from scratch and install it.
@@ -113,6 +128,8 @@ impl MaintView {
 
     /// Propagate one same-signed batch of update fragments of `doc` through
     /// this view's IMPs (read-only on the store): the Propagate phase.
+    /// Multi-occurrence (self-join) views resolve their telescoped terms in
+    /// parallel on the view's pool.
     pub fn propagate(
         &self,
         store: &Store,
@@ -120,7 +137,16 @@ impl MaintView {
         frag_roots: &[FlexKey],
         sign: i64,
     ) -> Result<(Vec<VNode>, ExecStats), MaintError> {
-        Ok(propagate_batch(store, &self.plan, &self.out_col, doc, frag_roots, sign, self.opts)?)
+        Ok(propagate_batch(
+            &self.pool,
+            store,
+            &self.plan,
+            &self.out_col,
+            doc,
+            frag_roots,
+            sign,
+            self.opts,
+        )?)
     }
 
     /// Merge a delta update tree into the extent (count-aware deep union):

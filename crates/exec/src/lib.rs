@@ -1,0 +1,463 @@
+//! # exec — the workspace's shared worker pool
+//!
+//! Every parallel section of the stack used to spin up its own
+//! `thread::scope` round: the catalog for per-view propagation, again for
+//! per-view apply, and nothing at all for the IMP terms *within* one view.
+//! This crate replaces those hand-rolled rounds with one **fixed shared
+//! pool** and a structured fan-out primitive:
+//!
+//! * [`Executor::global()`] — the process-wide pool, sized by
+//!   `XQVIEW_POOL_THREADS` when set (deployment knob; `1` forces fully
+//!   serial, deterministic execution) and the hardware parallelism
+//!   otherwise. Threads are spawned once, not per round.
+//! * [`Executor::new`] — private pools of an exact size, for tests and
+//!   benches that compare thread counts inside one process.
+//! * [`Executor::map`] — run one closure over a batch of items on the
+//!   pool and return the results **in item order**. The calling thread
+//!   participates (it is one of the `threads()` lanes), a panic in any
+//!   job is propagated to the caller after the whole batch settles, and
+//!   nested `map` calls from inside pool jobs are safe: a nested caller
+//!   only ever claims jobs of *its own* batch, so the fan-out degrades to
+//!   sequential execution instead of deadlocking when every worker is
+//!   busy.
+//! * [`Executor::join`] — the two-sided special case.
+//!
+//! Determinism contract: for a fixed input, `map` returns the same
+//! `Vec<T>` regardless of the pool size, because results are slotted by
+//! item index and merged in that order — `XQVIEW_POOL_THREADS=1` and the
+//! default pool are byte-equivalent for any order-insensitive job body.
+//! (Wall-clock-derived *statistics* naturally differ; values must not.)
+//!
+//! ## How the fan-out works
+//!
+//! `map` builds a batch ledger on the caller's stack (items, result
+//! slots, a claim cursor, completion counters, the first panic payload),
+//! enqueues up to `min(n - 1, workers)` type-erased *help requests* on
+//! the pool, and then works the ledger itself. Workers popping a help
+//! request claim items from the ledger until the cursor runs out. The
+//! caller returns only after (1) every claimed item has settled, (2) its
+//! leftover help requests are swept back off the queue, and (3) every
+//! worker that did pop one has checked out — which is what makes the
+//! borrowed, stack-allocated ledger sound to share.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// One type-erased help request: "come claim jobs from the batch ledger
+/// at `data`". `run` is the monomorphized claim loop; it must not touch
+/// `data` after checking out (decrementing the ledger's helper count).
+#[derive(Clone, Copy)]
+struct Task {
+    data: *const (),
+    run: unsafe fn(*const ()),
+}
+
+// SAFETY: a `Task` only travels from the thread that built the ledger to
+// a pool worker; the ledger it points to is kept alive (and its interior
+// synchronized by its own mutex) until every helper has checked out.
+unsafe impl Send for Task {}
+
+/// Queue + lifecycle shared by the workers and every `Executor` handle.
+struct PoolCore {
+    queue: Mutex<PoolQueue>,
+    available: Condvar,
+}
+
+struct PoolQueue {
+    tasks: VecDeque<Task>,
+    shutdown: bool,
+}
+
+impl PoolCore {
+    fn push_help(&self, n: usize, task: Task) {
+        if n == 0 {
+            return;
+        }
+        let mut q = self.queue.lock().expect("pool queue");
+        for _ in 0..n {
+            q.tasks.push_back(task);
+        }
+        drop(q);
+        self.available.notify_all();
+    }
+
+    /// Remove every not-yet-popped help request pointing at `data`,
+    /// returning how many were removed.
+    fn sweep(&self, data: *const ()) -> usize {
+        let mut q = self.queue.lock().expect("pool queue");
+        let before = q.tasks.len();
+        q.tasks.retain(|t| !std::ptr::eq(t.data, data));
+        before - q.tasks.len()
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let task = {
+                let mut q = self.queue.lock().expect("pool queue");
+                loop {
+                    if let Some(t) = q.tasks.pop_front() {
+                        break t;
+                    }
+                    if q.shutdown {
+                        return;
+                    }
+                    q = self.available.wait(q).expect("pool queue");
+                }
+            };
+            // SAFETY: the ledger behind `data` outlives this call — the
+            // `map` that pushed the request waits for our check-out.
+            unsafe { (task.run)(task.data) };
+        }
+    }
+}
+
+/// Owns the worker handles; dropped only when the last `Executor` clone
+/// goes (never, for the global pool).
+struct PoolGuard {
+    core: Arc<PoolCore>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Drop for PoolGuard {
+    fn drop(&mut self) {
+        self.core.queue.lock().expect("pool queue").shutdown = true;
+        self.core.available.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A fixed-size worker pool with structured fan-out. Cheap to clone
+/// (handles share the pool); see the [module docs](self) for the
+/// execution and determinism contract.
+#[derive(Clone)]
+pub struct Executor {
+    core: Arc<PoolCore>,
+    _guard: Arc<PoolGuard>,
+    threads: usize,
+}
+
+/// Pool size for [`Executor::global`]: `XQVIEW_POOL_THREADS` when set to
+/// a positive integer, otherwise the hardware parallelism.
+fn global_threads() -> usize {
+    std::env::var("XQVIEW_POOL_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+static GLOBAL: OnceLock<Executor> = OnceLock::new();
+
+impl Executor {
+    /// A private pool of exactly `threads` concurrent lanes (the calling
+    /// thread counts as one, so `threads - 1` workers are spawned;
+    /// `threads == 1` spawns none and runs everything inline, serially).
+    pub fn new(threads: usize) -> Executor {
+        let threads = threads.max(1);
+        let core = Arc::new(PoolCore {
+            queue: Mutex::new(PoolQueue { tasks: VecDeque::new(), shutdown: false }),
+            available: Condvar::new(),
+        });
+        let workers = (0..threads - 1)
+            .map(|i| {
+                let core = Arc::clone(&core);
+                std::thread::Builder::new()
+                    .name(format!("xqview-pool-{i}"))
+                    .spawn(move || core.worker_loop())
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        let guard = Arc::new(PoolGuard { core: Arc::clone(&core), workers });
+        Executor { core, _guard: guard, threads }
+    }
+
+    /// The process-wide shared pool (spawned on first use, never torn
+    /// down). Sized by `XQVIEW_POOL_THREADS`, read once.
+    pub fn global() -> &'static Executor {
+        GLOBAL.get_or_init(|| Executor::new(global_threads()))
+    }
+
+    /// Concurrent lanes this pool can run (callers included).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f` over every item, on the pool, returning results **in item
+    /// order**. The caller participates; if any job panics, the panic is
+    /// re-raised here after the batch settles. Safe to call from inside
+    /// a pool job (nested fan-out cannot deadlock).
+    pub fn map<I, T, F>(&self, items: Vec<I>, f: F) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(I) -> T + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if self.threads == 1 || n == 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let fan = Fanout {
+            f: &f,
+            n,
+            m: Mutex::new(FanInner {
+                items: items.into_iter().map(Some).collect(),
+                results: (0..n).map(|_| None).collect(),
+                next: 0,
+                done: 0,
+                helpers: 0,
+                panic: None,
+            }),
+            cv: Condvar::new(),
+        };
+        let help = (n - 1).min(self.threads - 1);
+        fan.m.lock().expect("fanout lock").helpers = help;
+        let data = &fan as *const Fanout<'_, I, T, F> as *const ();
+        self.core.push_help(help, Task { data, run: run_helper::<I, T, F> });
+
+        // The caller is a lane too: claim and run jobs until none remain.
+        work(&fan);
+
+        // Settle phase 1: every claimed job finished, no more claimable.
+        let mut g = fan.m.lock().expect("fanout lock");
+        while !(g.done == g.next && (g.next >= n || g.panic.is_some())) {
+            g = fan.cv.wait(g).expect("fanout lock");
+        }
+        drop(g);
+        // Settle phase 2: no helper may still hold a pointer to `fan` —
+        // sweep unpopped help requests, then wait for popped ones to
+        // check out (they find nothing to claim and leave quickly).
+        let swept = self.core.sweep(data);
+        let mut g = fan.m.lock().expect("fanout lock");
+        g.helpers -= swept;
+        while g.helpers > 0 {
+            g = fan.cv.wait(g).expect("fanout lock");
+        }
+        if let Some(payload) = g.panic.take() {
+            drop(g);
+            resume_unwind(payload);
+        }
+        let results = std::mem::take(&mut g.results);
+        drop(g);
+        results.into_iter().map(|r| r.expect("every job settled")).collect()
+    }
+
+    /// Run `a` and `b`, potentially in parallel, returning both results.
+    pub fn join<RA, RB>(
+        &self,
+        a: impl FnOnce() -> RA + Send,
+        b: impl FnOnce() -> RB + Send,
+    ) -> (RA, RB)
+    where
+        RA: Send,
+        RB: Send,
+    {
+        enum Side<A, B> {
+            A(A),
+            B(B),
+        }
+        let mut out = self
+            .map(vec![Side::A(a), Side::B(b)], |side| match side {
+                Side::A(f) => Side::A(f()),
+                Side::B(g) => Side::B(g()),
+            })
+            .into_iter();
+        match (out.next(), out.next()) {
+            (Some(Side::A(ra)), Some(Side::B(rb))) => (ra, rb),
+            _ => unreachable!("map preserves item order"),
+        }
+    }
+}
+
+/// The per-batch ledger `map` shares with its helpers (on the caller's
+/// stack; see the lifecycle walkthrough in the [module docs](self)).
+struct Fanout<'f, I, T, F> {
+    f: &'f F,
+    n: usize,
+    m: Mutex<FanInner<I, T>>,
+    cv: Condvar,
+}
+
+struct FanInner<I, T> {
+    items: Vec<Option<I>>,
+    results: Vec<Option<T>>,
+    /// Claim cursor: jobs `< next` are claimed.
+    next: usize,
+    /// Claimed jobs that have settled (result stored or panic recorded).
+    done: usize,
+    /// Help requests not yet checked out (queued or running).
+    helpers: usize,
+    /// First panic payload; once set, claiming stops.
+    panic: Option<Box<dyn std::any::Any + Send + 'static>>,
+}
+
+/// Claim-and-run loop shared by the caller and every helper.
+fn work<I, T, F: Fn(I) -> T>(fan: &Fanout<'_, I, T, F>) {
+    let mut g = fan.m.lock().expect("fanout lock");
+    loop {
+        if g.panic.is_some() || g.next >= fan.n {
+            break;
+        }
+        let i = g.next;
+        g.next += 1;
+        let item = g.items[i].take().expect("unclaimed item present");
+        drop(g);
+        let out = catch_unwind(AssertUnwindSafe(|| (fan.f)(item)));
+        g = fan.m.lock().expect("fanout lock");
+        match out {
+            Ok(v) => g.results[i] = Some(v),
+            Err(p) => {
+                if g.panic.is_none() {
+                    g.panic = Some(p);
+                }
+            }
+        }
+        g.done += 1;
+        fan.cv.notify_all();
+    }
+    drop(g);
+}
+
+/// The monomorphized entry a worker runs for one help request.
+///
+/// SAFETY (caller side): `data` must point at a live `Fanout<I, T, F>`
+/// that stays alive until this function returns — `map` guarantees it by
+/// waiting for `helpers == 0`.
+unsafe fn run_helper<I, T, F: Fn(I) -> T>(data: *const ()) {
+    let fan = unsafe { &*(data as *const Fanout<'_, I, T, F>) };
+    work(fan);
+    let mut g = fan.m.lock().expect("fanout lock");
+    g.helpers -= 1;
+    fan.cv.notify_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_preserves_item_order() {
+        for threads in [1, 2, 4, 8] {
+            let pool = Executor::new(threads);
+            let out = pool.map((0..100).collect(), |i: i32| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn serial_and_pooled_results_identical() {
+        let serial = Executor::new(1);
+        let pooled = Executor::new(4);
+        let items: Vec<String> = (0..64).map(|i| format!("item-{i}")).collect();
+        let f = |s: String| format!("<{s}>");
+        assert_eq!(serial.map(items.clone(), f), pooled.map(items, f));
+    }
+
+    #[test]
+    fn caller_participates_even_with_busy_workers() {
+        // A 2-lane pool (1 worker) mapping 8 jobs: the caller must claim
+        // jobs itself or this would stall behind the single worker.
+        let pool = Executor::new(2);
+        let ran = AtomicUsize::new(0);
+        let out = pool.map((0..8).collect(), |i: usize| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            i + 1
+        });
+        assert_eq!(out, (1..9).collect::<Vec<_>>());
+        assert_eq!(ran.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn borrowed_state_is_shared_read_only() {
+        let pool = Executor::new(4);
+        let base: Vec<usize> = (0..1000).collect();
+        let sums = pool.map(vec![0usize, 250, 500, 750], |start| {
+            base[start..start + 250].iter().sum::<usize>()
+        });
+        assert_eq!(sums.iter().sum::<usize>(), base.iter().sum::<usize>());
+    }
+
+    #[test]
+    fn nested_map_from_pool_jobs_completes() {
+        // More outer jobs than lanes, each fanning out again: nested
+        // callers claim their own batches, so this must terminate.
+        let pool = Executor::new(3);
+        let out = pool.map((0..6).collect::<Vec<usize>>(), |i| {
+            pool.map((0..5).collect::<Vec<usize>>(), move |j| i * 10 + j).iter().sum::<usize>()
+        });
+        let want: Vec<usize> = (0..6).map(|i| (0..5).map(|j| i * 10 + j).sum::<usize>()).collect();
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn panics_propagate_after_the_batch_settles() {
+        let pool = Executor::new(4);
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.map((0..16).collect::<Vec<usize>>(), |i| {
+                if i == 7 {
+                    panic!("job 7 exploded");
+                }
+                i
+            })
+        }))
+        .expect_err("the job panic must surface");
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "job 7 exploded");
+        // The pool survives the panicked batch.
+        assert_eq!(pool.map(vec![1, 2, 3], |i: i32| i * 2), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn join_runs_both_sides() {
+        let pool = Executor::new(2);
+        let (a, b) = pool.join(|| 2 + 2, || "ok".to_string());
+        assert_eq!((a, b.as_str()), (4, "ok"));
+        let serial = Executor::new(1);
+        let (a, b) = serial.join(|| 1, || 2);
+        assert_eq!((a, b), (1, 2));
+    }
+
+    #[test]
+    fn empty_and_singleton_batches() {
+        let pool = Executor::new(4);
+        assert!(pool.map(Vec::<u8>::new(), |b| b).is_empty());
+        assert_eq!(pool.map(vec![41], |i: i32| i + 1), vec![42]);
+    }
+
+    #[test]
+    fn local_pool_shuts_down_cleanly() {
+        for _ in 0..20 {
+            let pool = Executor::new(4);
+            let _ = pool.map((0..32).collect::<Vec<usize>>(), |i| i);
+            drop(pool);
+        }
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_positive() {
+        let a = Executor::global();
+        let b = Executor::global();
+        assert!(a.threads() >= 1);
+        assert_eq!(a.threads(), b.threads());
+        assert!(Arc::ptr_eq(&a.core, &b.core));
+    }
+
+    #[test]
+    fn mutable_items_move_through_the_pool() {
+        let pool = Executor::new(4);
+        let mut slots: Vec<Vec<usize>> = (0..8).map(|_| Vec::new()).collect();
+        let work: Vec<(&mut Vec<usize>, usize)> =
+            slots.iter_mut().enumerate().map(|(i, s)| (s, i)).collect();
+        pool.map(work, |(slot, i)| slot.push(i * 3));
+        for (i, s) in slots.iter().enumerate() {
+            assert_eq!(s, &vec![i * 3]);
+        }
+    }
+}

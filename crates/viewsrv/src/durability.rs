@@ -81,6 +81,8 @@ use std::fmt;
 use std::fs::{self, File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use wire::frame::{self, FrameRead};
 use wire::{Decode, Encode, Reader, WireError};
 use xat::ViewExtent;
@@ -332,6 +334,12 @@ impl Wal {
         &self.path
     }
 
+    /// A second handle onto the log file, for the group committer: fsync
+    /// on the clone syncs the same inode, without sharing `&mut Wal`.
+    fn file_clone(&self) -> std::io::Result<File> {
+        self.file.try_clone()
+    }
+
     /// The journaled commit sequence — the single implementation behind
     /// both [`DurableCatalog::apply_batch`] and journaled
     /// [`CatalogSession`] flushes: append + sync (the durability point),
@@ -386,6 +394,172 @@ pub(crate) enum CommitError {
     Catalog(CatalogError),
 }
 
+/// Cumulative fsync accounting, carried across WAL rotations (each
+/// generation gets a fresh [`GroupCommit`], the counters persist).
+#[derive(Debug, Default)]
+struct SyncCounters {
+    fsyncs: AtomicU64,
+    commits: AtomicU64,
+}
+
+/// A snapshot of the group-commit accounting: how many commits reached
+/// their durability point, and how many fsyncs it took. With concurrent
+/// committers `fsyncs < synced_commits` — the whole point of group
+/// commit; serially the two advance in lockstep.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WalSyncStats {
+    /// `fsync` calls actually issued against the log.
+    pub fsyncs: u64,
+    /// Commits acknowledged durable (leaders *and* followers).
+    pub synced_commits: u64,
+}
+
+/// The group committer: makes "everything appended up to offset L" durable
+/// with a classic leader/follower protocol. Concurrent committers each
+/// call [`GroupCommit::sync_upto`] with their own append offset; the first
+/// one in becomes the **leader** and fsyncs once at the current append
+/// high-water mark, every **follower** whose offset that covers returns
+/// without touching the disk. Appends themselves stay serialized by the
+/// caller (the catalog/hub lock); only the slow fsync is shared.
+pub(crate) struct GroupCommit {
+    /// A cloned handle of the live WAL file (`sync_data` takes `&self`).
+    file: File,
+    m: Mutex<GcInner>,
+    cv: Condvar,
+    counters: Arc<SyncCounters>,
+}
+
+struct GcInner {
+    /// Append high-water mark (bytes), maintained via [`GroupCommit::note_append`].
+    appended: u64,
+    /// Bytes known to be on stable storage.
+    durable: u64,
+    /// A leader's fsync is in flight.
+    syncing: bool,
+    /// Bumped by every [`GroupCommit::clamp`]: a leader whose fsync
+    /// overlapped a truncation must not advance the durable watermark
+    /// (its captured target may exceed the truncated log, and bytes
+    /// appended after its fsync began are not covered by it).
+    truncations: u64,
+}
+
+impl GroupCommit {
+    fn new(file: File, durable: u64, counters: Arc<SyncCounters>) -> GroupCommit {
+        GroupCommit {
+            file,
+            m: Mutex::new(GcInner { appended: durable, durable, syncing: false, truncations: 0 }),
+            cv: Condvar::new(),
+            counters,
+        }
+    }
+
+    /// Record that the log now extends to `upto` bytes (call under the
+    /// same lock that serializes the appends).
+    pub(crate) fn note_append(&self, upto: u64) {
+        let mut g = self.m.lock().expect("group-commit lock");
+        g.appended = g.appended.max(upto);
+    }
+
+    /// The log was truncated to `len` (failed-apply rollback): both
+    /// watermarks must shrink, or a later append at a recycled offset
+    /// would be reported durable without an fsync. The truncation epoch
+    /// invalidates any fsync currently in flight.
+    pub(crate) fn clamp(&self, len: u64) {
+        let mut g = self.m.lock().expect("group-commit lock");
+        g.appended = g.appended.min(len);
+        g.durable = g.durable.min(len);
+        g.truncations += 1;
+    }
+
+    /// Block until every byte up to `lsn` is on stable storage — the
+    /// durability point of a commit. Leader/follower: at most one fsync is
+    /// in flight, and one fsync acknowledges every commit it covers.
+    pub(crate) fn sync_upto(&self, lsn: u64) -> std::io::Result<()> {
+        let mut g = self.m.lock().expect("group-commit lock");
+        loop {
+            if g.durable >= lsn {
+                self.counters.commits.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+            if g.syncing {
+                // Follower: a leader's fsync is in flight; wait for its
+                // result and re-check.
+                g = self.cv.wait(g).expect("group-commit lock");
+                continue;
+            }
+            // Leader: sync the current high-water mark, covering every
+            // committer that appended before this point.
+            g.syncing = true;
+            let target = g.appended;
+            let epoch = g.truncations;
+            drop(g);
+            let res = self.file.sync_data();
+            g = self.m.lock().expect("group-commit lock");
+            g.syncing = false;
+            if res.is_ok() {
+                self.counters.fsyncs.fetch_add(1, Ordering::Relaxed);
+                // A truncation that raced this fsync invalidates the
+                // captured target: it may exceed the shortened log, and
+                // bytes appended since the truncation were written after
+                // this fsync began. Don't advance; the loop re-syncs.
+                if g.truncations == epoch {
+                    g.durable = g.durable.max(target);
+                }
+            }
+            self.cv.notify_all();
+            res?;
+        }
+    }
+
+    fn stats(&self) -> WalSyncStats {
+        WalSyncStats {
+            fsyncs: self.counters.fsyncs.load(Ordering::Relaxed),
+            synced_commits: self.counters.commits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// When [`DurableCatalog`] checkpoints on its own: once the WAL tail
+/// reaches either bound, the next rotation point triggers
+/// [`DurableCatalog::snapshot`] automatically — closing the "unbounded
+/// replay after a long uptime" hole without the operator scheduling
+/// checkpoints. Rotation points: every direct
+/// [`DurableCatalog::apply_batch`] commit, every hub drain round's
+/// durability point, every [`DurableCatalog::session`] opening (the
+/// borrowed session itself cannot rotate while it holds the log), and
+/// [`DurableCatalog::open`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RotatePolicy {
+    /// Rotate once the tail holds this many records.
+    pub max_records: Option<usize>,
+    /// Rotate once the tail is this many bytes.
+    pub max_bytes: Option<u64>,
+}
+
+impl Default for RotatePolicy {
+    /// Production-sane bounds: 1024 records or 16 MiB, whichever first.
+    fn default() -> RotatePolicy {
+        RotatePolicy { max_records: Some(1024), max_bytes: Some(16 << 20) }
+    }
+}
+
+impl RotatePolicy {
+    /// Never rotate automatically (explicit [`DurableCatalog::snapshot`]
+    /// calls only).
+    pub fn disabled() -> RotatePolicy {
+        RotatePolicy { max_records: None, max_bytes: None }
+    }
+
+    /// Rotate every `n` records (bytes unbounded).
+    pub fn records(n: usize) -> RotatePolicy {
+        RotatePolicy { max_records: Some(n), max_bytes: None }
+    }
+
+    fn reached(&self, records: usize, bytes: u64) -> bool {
+        self.max_records.is_some_and(|m| records >= m) || self.max_bytes.is_some_and(|m| bytes >= m)
+    }
+}
+
 /// What [`DurableCatalog::open`] did to come back up.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RecoveryReport {
@@ -409,6 +583,11 @@ pub struct RecoveryReport {
 pub struct DurableCatalog {
     catalog: ViewCatalog,
     wal: Wal,
+    /// Group committer over the current generation's log (rebuilt on
+    /// rotation; the counters persist across generations).
+    gc: Arc<GroupCommit>,
+    sync_counters: Arc<SyncCounters>,
+    rotate: RotatePolicy,
     dir: PathBuf,
     seq: u64,
     report: RecoveryReport,
@@ -552,13 +731,28 @@ impl DurableCatalog {
                 }
             }
         }
-        let mut out = DurableCatalog { catalog, wal, dir, seq, report };
+        let sync_counters = Arc::new(SyncCounters::default());
+        let gc =
+            Arc::new(GroupCommit::new(wal.file_clone()?, wal.bytes(), Arc::clone(&sync_counters)));
+        let mut out = DurableCatalog {
+            catalog,
+            wal,
+            gc,
+            sync_counters,
+            rotate: RotatePolicy::default(),
+            dir,
+            seq,
+            report,
+        };
         if fresh {
             // Make the directory a recognizable generation-0 catalog so a
             // later fallback can distinguish "fresh" from "lost".
             write_snapshot(&out.dir, 0, &Snapshot::capture(&out.catalog))?;
         }
         out.wal.sync()?;
+        // A recovered tail can already be past the rotation bounds (e.g.
+        // the process died right before its checkpoint): absorb it now.
+        out.maybe_rotate()?;
         Ok(out)
     }
 
@@ -635,23 +829,102 @@ impl DurableCatalog {
         Ok(())
     }
 
-    /// Journal `batch` (append + sync), then apply it — the single
-    /// durable commit point for data updates. A batch that fails to
-    /// apply is rolled back out of the log.
+    /// The durable commit point for data updates: **append, apply, then
+    /// group-synced fsync** — `Ok` is returned only after the record is
+    /// on stable storage. A batch that fails to *apply* is rolled back
+    /// out of the log (nothing happened). A batch whose *fsync* fails
+    /// returns `Err(Io)` with the batch already applied in memory and
+    /// present in the log — the same ambiguity a crash leaves: do not
+    /// blindly retry the batch; recover (reopen) or re-establish
+    /// durability with [`DurableCatalog::snapshot`]. Once the WAL tail
+    /// reaches the [`RotatePolicy`] bounds, the commit also checkpoints.
     pub fn apply_batch(&mut self, batch: &UpdateBatch) -> Result<BatchReceipt, DurabilityError> {
         if batch.is_empty() {
             return Ok(self.catalog.apply_batch(batch)?);
         }
-        self.wal.commit_batch(&mut self.catalog, batch).map_err(|e| match e {
-            CommitError::Journal(io) => DurabilityError::Io(io),
-            CommitError::Catalog(c) => DurabilityError::Catalog(c),
-        })
+        let (receipt, lsn) = self.apply_batch_nosync(batch)?;
+        self.gc.sync_upto(lsn)?;
+        // The commit is durable from here: a failed auto-rotation must
+        // not masquerade as a commit failure (the old generation stays
+        // authoritative and the next commit retries — the tail is still
+        // over the bound).
+        let _ = self.maybe_rotate();
+        Ok(receipt)
+    }
+
+    /// Append + apply without waiting for the fsync: the first half of a
+    /// commit. Returns the receipt and the log offset whose durability
+    /// ([`GroupCommit::sync_upto`] on [`DurableCatalog::group`]) is this
+    /// batch's durability point. A failed apply is rolled back out of the
+    /// log (and the group watermarks clamped) before the error returns.
+    ///
+    /// Callers must serialize `apply_batch_nosync` invocations (the hub
+    /// holds its state lock across the call): log order is apply order,
+    /// and rollback relies on the failed record being the last one.
+    pub(crate) fn apply_batch_nosync(
+        &mut self,
+        batch: &UpdateBatch,
+    ) -> Result<(BatchReceipt, u64), DurabilityError> {
+        let rollback = self.wal.append(batch)?;
+        let lsn = self.wal.bytes();
+        self.gc.note_append(lsn);
+        match self.catalog.apply_batch(batch) {
+            Ok(receipt) => Ok((receipt, lsn)),
+            Err(e) => {
+                let records = self.wal.records().saturating_sub(1);
+                self.wal.truncate_to(rollback, records)?;
+                self.gc.clamp(rollback);
+                Err(DurabilityError::Catalog(e))
+            }
+        }
+    }
+
+    /// The group committer for the current WAL generation (shared with
+    /// the ingest hub's drain paths).
+    pub(crate) fn group(&self) -> Arc<GroupCommit> {
+        Arc::clone(&self.gc)
+    }
+
+    /// Cumulative group-commit accounting: fsyncs issued vs commits
+    /// acknowledged, across every generation of this catalog instance.
+    pub fn wal_sync_stats(&self) -> WalSyncStats {
+        self.gc.stats()
+    }
+
+    /// Replace the auto-checkpoint policy (see [`RotatePolicy`];
+    /// [`RotatePolicy::disabled`] restores the pre-policy behavior).
+    pub fn set_rotate_policy(&mut self, policy: RotatePolicy) {
+        self.rotate = policy;
+    }
+
+    /// The active auto-checkpoint policy.
+    pub fn rotate_policy(&self) -> RotatePolicy {
+        self.rotate
+    }
+
+    /// Checkpoint now if the WAL tail has reached the rotation bounds.
+    /// Returns the new generation when a rotation happened.
+    pub(crate) fn maybe_rotate(&mut self) -> Result<Option<u64>, DurabilityError> {
+        if self.rotate.reached(self.wal.records(), self.wal.bytes()) {
+            return Ok(Some(self.snapshot()?));
+        }
+        Ok(None)
     }
 
     /// Open a journaled ingestion session: every coalesced chunk a flush
     /// applies is appended and synced first, making
     /// [`CatalogSession::commit`] the durability boundary.
+    ///
+    /// The borrowed session journals directly (its fsyncs are per-chunk,
+    /// not group-coalesced, and invisible to
+    /// [`DurableCatalog::wal_sync_stats`]) and cannot checkpoint while it
+    /// holds the log — the [`RotatePolicy`] is instead enforced *here*,
+    /// at the session boundary, so session-driven ingestion re-bounds the
+    /// tail every time a session is opened. Multi-writer services should
+    /// prefer [`DurableCatalog::into_hub`], which rotates at every
+    /// durability point.
     pub fn session(&mut self, config: SessionConfig) -> CatalogSession<'_> {
+        let _ = self.maybe_rotate();
         self.catalog.session_journaled(config, &mut self.wal)
     }
 
@@ -671,6 +944,15 @@ impl DurableCatalog {
         let mut wal = Wal::create(wal_path(&self.dir, new))?;
         wal.sync()?;
         write_snapshot(&self.dir, new, &Snapshot::capture(&self.catalog))?;
+        // Rebind the group committer to the new generation's file; the
+        // cumulative counters carry over. A committer still waiting on the
+        // old generation's `GroupCommit` keeps a handle to the old file —
+        // its fsync stays valid (the fd outlives any pruning).
+        self.gc = Arc::new(GroupCommit::new(
+            wal.file_clone()?,
+            wal.bytes(),
+            Arc::clone(&self.sync_counters),
+        ));
         self.wal = wal;
         self.seq = new;
         for prefix in ["snap", "wal"] {
@@ -900,6 +1182,87 @@ mod tests {
         let cat = DurableCatalog::open(&dir).unwrap();
         assert_eq!(cat.recovery().replayed_batches, 1);
         assert_eq!(cat.extent_xml("titles").unwrap(), want);
+        cat.verify_all().unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// ISSUE 4 satellite: the catalog checkpoints on its own once the WAL
+    /// tail reaches the rotation bounds — replay cost stays bounded no
+    /// matter how long the process runs between explicit snapshots.
+    #[test]
+    fn wal_auto_rotation_bounds_the_tail() {
+        let dir = temp_dir("auto-rotate");
+        let mut cat = DurableCatalog::open(&dir).unwrap();
+        cat.load_doc("bib.xml", BIB).unwrap();
+        cat.register("titles", TITLES).unwrap();
+        cat.set_rotate_policy(RotatePolicy::records(3));
+        let gen0 = cat.generation();
+        for i in 0..10 {
+            let _ = cat.apply_batch(&UpdateBatch::new().with(insert_op(i))).unwrap();
+            assert!(cat.wal_records() < 3, "the tail never outlives the bound");
+        }
+        assert!(cat.generation() > gen0, "commits crossed the bound and rotated");
+        let want = cat.extent_xml("titles").unwrap();
+        drop(cat);
+        // Recovery replays only the short post-rotation tail.
+        let cat = DurableCatalog::open(&dir).unwrap();
+        assert!(cat.recovery().replayed_batches < 3);
+        assert_eq!(cat.extent_xml("titles").unwrap(), want);
+        cat.verify_all().unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A byte bound works too, and a recovered over-bound tail is
+    /// absorbed by the checkpoint `open` performs.
+    #[test]
+    fn wal_auto_rotation_byte_bound_and_open_absorb() {
+        let dir = temp_dir("auto-rotate-bytes");
+        let mut cat = DurableCatalog::open(&dir).unwrap();
+        cat.load_doc("bib.xml", BIB).unwrap();
+        cat.register("titles", TITLES).unwrap();
+        cat.set_rotate_policy(RotatePolicy::disabled());
+        for i in 0..4 {
+            let _ = cat.apply_batch(&UpdateBatch::new().with(insert_op(i))).unwrap();
+        }
+        assert_eq!(cat.wal_records(), 4, "disabled policy never rotates");
+        let bytes = cat.wal_bytes();
+        assert!(bytes > 0);
+        let one_record = bytes / 4;
+        cat.set_rotate_policy(RotatePolicy { max_records: None, max_bytes: Some(one_record) });
+        let gen_before = cat.generation();
+        let _ = cat.apply_batch(&UpdateBatch::new().with(insert_op(9))).unwrap();
+        assert!(cat.generation() > gen_before, "byte bound triggered rotation");
+        assert_eq!(cat.wal_records(), 0);
+        cat.verify_all().unwrap();
+        drop(cat);
+        // `open` itself absorbs a tail already past the (default) bounds:
+        // simulate by reopening — the default policy is far above one
+        // record, so nothing rotates and the state is intact.
+        let cat = DurableCatalog::open(&dir).unwrap();
+        assert_eq!(cat.rotate_policy(), RotatePolicy::default());
+        cat.verify_all().unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Serial commits sync in lockstep: one fsync per acknowledged
+    /// commit, and the counters survive a rotation.
+    #[test]
+    fn group_commit_accounting_is_per_commit_when_serial() {
+        let dir = temp_dir("gc-serial");
+        let mut cat = DurableCatalog::open(&dir).unwrap();
+        cat.load_doc("bib.xml", BIB).unwrap();
+        cat.register("titles", TITLES).unwrap();
+        let base = cat.wal_sync_stats();
+        for i in 0..5 {
+            let _ = cat.apply_batch(&UpdateBatch::new().with(insert_op(i))).unwrap();
+        }
+        let s = cat.wal_sync_stats();
+        assert_eq!(s.synced_commits - base.synced_commits, 5);
+        assert_eq!(s.fsyncs - base.fsyncs, 5, "no concurrency, no sharing");
+        cat.snapshot().unwrap();
+        let _ = cat.apply_batch(&UpdateBatch::new().with(insert_op(9))).unwrap();
+        let s2 = cat.wal_sync_stats();
+        assert_eq!(s2.synced_commits - s.synced_commits, 1, "counters survive rotation");
         cat.verify_all().unwrap();
         fs::remove_dir_all(&dir).unwrap();
     }

@@ -16,12 +16,13 @@
 //!    only views whose access paths intersect the update receive it.
 //! 2. **Propagate (routed, parallel)** — per document and update kind, each
 //!    relevant view derives its delta with its own IMPs. Views are
-//!    independent, and propagation is read-only on the store, so the IMP
-//!    executions run on scoped threads, chunked to the hardware
-//!    parallelism.
+//!    independent, and propagation is read-only on the store, so each view
+//!    is one job on the shared [`exec::Executor`] worker pool — and a
+//!    self-join view's telescoped IMP terms fan out *again* on the same
+//!    pool (nested, deadlock-free by construction).
 //! 3. **Apply (parallel)** — the source update is applied to the shared
 //!    store **once**; each view's delta then merges into its own extent
-//!    (count-aware deep union), again in parallel.
+//!    (count-aware deep union), again pooled.
 //!
 //! Modifies keep the paper's classification (§6.5): if *every* relevant
 //! view sees a content-only change, the text is patched in place
@@ -44,10 +45,14 @@ pub mod durability;
 pub mod session;
 
 pub use durability::{
-    DurabilityError, DurableCatalog, RecoveryReport, Snapshot, SnapshotView, Wal,
+    DurabilityError, DurableCatalog, RecoveryReport, RotatePolicy, Snapshot, SnapshotView, Wal,
+    WalSyncStats,
 };
 use flexkey::FlexKey;
-pub use session::{CatalogSession, IngestError, SessionConfig, SessionReceipt};
+pub use session::{
+    CatalogSession, HubConfig, HubInner, IngestError, IngestHub, SessionConfig, SessionHandle,
+    SessionReceipt,
+};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -63,8 +68,16 @@ pub use xquery_lang::{InsertPosition, OpAction, OpKind, UpdateBatch, UpdateOp};
 /// Service-level statistics: the Chapter 9 per-phase breakdown lifted to
 /// the catalog, plus the relevancy-routing counters that only exist with
 /// multiple views.
+///
+/// Phase durations are **wall times of the phase sections** (a parallel
+/// propagate round counts once, not once per worker), so `total()` stays
+/// comparable across pool sizes; the per-view CPU-like sums live in each
+/// view's [`MaintStats`]. [`ServiceStats::merge`] is field-wise `+` —
+/// associative, commutative, order-independent — so folding receipts in
+/// pooled completion order can never skew the aggregate (asserted by
+/// unit test).
 #[must_use = "service statistics report the per-phase costs and routing counters"]
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServiceStats {
     /// Update batches processed.
     pub batches: usize,
@@ -96,7 +109,9 @@ impl ServiceStats {
         self.validate + self.propagate + self.apply
     }
 
-    pub(crate) fn merge(&mut self, o: &ServiceStats) {
+    /// Fold another batch's statistics in. Field-wise `+`: associative
+    /// and commutative, so any fold order gives the same totals.
+    pub fn merge(&mut self, o: &ServiceStats) {
         self.batches += o.batches;
         self.updates_seen += o.updates_seen;
         self.views_skipped += o.views_skipped;
@@ -175,16 +190,6 @@ pub struct BatchReceipt {
     pub stats: ServiceStats,
 }
 
-/// Worker-thread budget for the parallel rounds: `VIEWSRV_THREADS` when
-/// set (deployment knob, and lets single-core CI exercise the threaded
-/// path), otherwise the hardware parallelism.
-fn worker_threads() -> usize {
-    match std::env::var("VIEWSRV_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
-        Some(n) if n > 0 => n,
-        _ => std::thread::available_parallelism().map_or(1, |n| n.get()),
-    }
-}
-
 /// One registered view: the store-less core plus its service bookkeeping.
 struct Slot {
     name: String,
@@ -201,11 +206,15 @@ pub struct ViewCatalog {
     doc_index: BTreeMap<String, Vec<usize>>,
     stats: ServiceStats,
     parallel: bool,
+    /// Worker pool for the per-view propagate/apply rounds (shared with
+    /// each registered view's per-term fan-out).
+    pool: exec::Executor,
 }
 
 impl ViewCatalog {
     /// A catalog over `store` (takes ownership: the catalog is the system
-    /// of record for the shared sources).
+    /// of record for the shared sources). Parallel rounds run on the
+    /// shared [`exec::Executor::global`] pool (`XQVIEW_POOL_THREADS`).
     pub fn new(store: Store) -> ViewCatalog {
         ViewCatalog {
             store,
@@ -213,13 +222,48 @@ impl ViewCatalog {
             doc_index: BTreeMap::new(),
             stats: ServiceStats::default(),
             parallel: true,
+            pool: exec::Executor::global().clone(),
         }
     }
 
-    /// Disable/enable scoped-thread parallelism (the bench baseline runs
-    /// the identical routed pipeline sequentially).
+    /// Disable/enable pooled parallelism (the bench baseline runs the
+    /// identical routed pipeline sequentially on the calling thread).
+    /// Disabling covers *both* levels: the per-view rounds stay on the
+    /// caller, and every registered view's per-term fan-out is pinned to
+    /// a one-lane pool.
     pub fn set_parallel(&mut self, parallel: bool) {
         self.parallel = parallel;
+        let effective = self.effective_view_pool();
+        for slot in &mut self.slots {
+            slot.view.set_pool(effective.clone());
+        }
+    }
+
+    /// Pin the catalog — and every registered view's per-term fan-out —
+    /// to `pool` instead of the global one (tests and benches compare
+    /// pool sizes inside one process; `exec::Executor::new(1)` forces
+    /// fully serial, deterministic execution).
+    pub fn set_pool(&mut self, pool: exec::Executor) {
+        self.pool = pool;
+        let effective = self.effective_view_pool();
+        for slot in &mut self.slots {
+            slot.view.set_pool(effective.clone());
+        }
+    }
+
+    /// The pool views fan their IMP terms out on: the catalog's pool, or
+    /// a one-lane (inline, thread-free) pool when parallelism is off.
+    fn effective_view_pool(&self) -> exec::Executor {
+        if self.parallel {
+            self.pool.clone()
+        } else {
+            exec::Executor::new(1)
+        }
+    }
+
+    /// The worker pool parallel rounds run on.
+    pub fn pool(&self) -> &exec::Executor {
+        &self.pool
     }
 
     /// Define, materialize, and register a view under `name`.
@@ -258,9 +302,10 @@ impl ViewCatalog {
     }
 
     /// The single mutation point shared by every registration path: push
-    /// the slot and rebuild the relevancy index together, so the two can
-    /// never diverge.
-    fn commit_slot(&mut self, name: &str, view: MaintView) {
+    /// the slot (pinned to the catalog's pool) and rebuild the relevancy
+    /// index together, so the two can never diverge.
+    fn commit_slot(&mut self, name: &str, mut view: MaintView) {
+        view.set_pool(self.effective_view_pool());
         self.slots.push(Slot { name: name.to_string(), view, stats: MaintStats::default() });
         self.rebuild_index();
     }
@@ -369,8 +414,10 @@ impl ViewCatalog {
         let resolved = update::resolve_batch(&self.store, batch)?;
         let n_resolved = resolved.len();
         let (mut stats, touched) = self.apply_traced(resolved)?;
-        // Op resolution is part of the shared Validate phase.
-        let resolve_overhead = t0.elapsed() - stats.total();
+        // Op resolution is part of the shared Validate phase. Saturating:
+        // the phases are disjoint sub-intervals of `t0..now`, but a coarse
+        // clock must never be able to panic the accounting.
+        let resolve_overhead = t0.elapsed().saturating_sub(stats.total());
         stats.validate += resolve_overhead;
         self.stats.validate += resolve_overhead;
         Ok(BatchReceipt {
@@ -652,7 +699,10 @@ impl ViewCatalog {
     }
 
     /// Run each view's IMP propagation for its batch of update roots —
-    /// read-only on the shared store, one scoped thread per view.
+    /// read-only on the shared store, one pool job per view (each view's
+    /// telescoped IMP terms fan out further on the same pool). Results
+    /// come back in view order, so per-slot statistics merge
+    /// deterministically regardless of completion order.
     fn par_propagate(
         &mut self,
         doc: &str,
@@ -664,31 +714,16 @@ impl ViewCatalog {
         let jobs: Vec<(usize, &Vec<FlexKey>)> =
             roots_per_view.iter().map(|(&i, r)| (i, r)).collect();
         type PropResult = Result<(Vec<VNode>, ExecStats), MaintError>;
-        let timed = |i: usize, roots: &Vec<FlexKey>| -> (usize, PropResult, Duration) {
+        let timed = |(i, roots): (usize, &Vec<FlexKey>)| -> (usize, PropResult, Duration) {
             let t0 = Instant::now();
             let r = slots[i].view.propagate(store, doc, roots, sign);
             (i, r, t0.elapsed())
         };
-        // One thread per chunk of views, capped at the hardware parallelism
-        // (a catalog can hold far more views than cores).
-        let threads = worker_threads();
         let results: Vec<(usize, PropResult, Duration)> =
-            if self.parallel && jobs.len() > 1 && threads > 1 {
-                let chunk = jobs.len().div_ceil(threads);
-                std::thread::scope(|s| {
-                    let timed = &timed;
-                    let handles: Vec<_> = jobs
-                        .chunks(chunk)
-                        .map(|c| {
-                            s.spawn(move || {
-                                c.iter().map(|&(i, roots)| timed(i, roots)).collect::<Vec<_>>()
-                            })
-                        })
-                        .collect();
-                    handles.into_iter().flat_map(|h| h.join().expect("propagate thread")).collect()
-                })
+            if self.parallel && jobs.len() > 1 && self.pool.threads() > 1 {
+                self.pool.map(jobs, timed)
             } else {
-                jobs.into_iter().map(|(i, roots)| timed(i, roots)).collect()
+                jobs.into_iter().map(timed).collect()
             };
         let mut out = Vec::with_capacity(results.len());
         for (i, r, dur) in results {
@@ -701,37 +736,25 @@ impl ViewCatalog {
         Ok(out)
     }
 
-    /// Merge each view's delta into its extent — independent extents,
-    /// chunked over hardware-parallelism scoped threads.
+    /// Merge each view's delta into its extent — independent extents, one
+    /// pool job per view.
     fn par_apply(&mut self, deltas: Vec<(usize, Vec<VNode>)>) {
         let mut by_idx: BTreeMap<usize, Vec<VNode>> = deltas.into_iter().collect();
-        let mut work: Vec<(&mut Slot, Vec<VNode>)> = self
+        let work: Vec<(&mut Slot, Vec<VNode>)> = self
             .slots
             .iter_mut()
             .enumerate()
             .filter_map(|(i, slot)| by_idx.remove(&i).map(|d| (slot, d)))
             .collect();
-        let apply_one = |slot: &mut Slot, delta: Vec<VNode>| {
+        let apply_one = |(slot, delta): (&mut Slot, Vec<VNode>)| {
             let t0 = Instant::now();
             slot.view.apply_delta(delta);
             slot.stats.apply += t0.elapsed();
         };
-        let threads = worker_threads();
-        if self.parallel && work.len() > 1 && threads > 1 {
-            let chunk = work.len().div_ceil(threads);
-            std::thread::scope(|s| {
-                for c in work.chunks_mut(chunk) {
-                    s.spawn(|| {
-                        for (slot, delta) in c.iter_mut() {
-                            apply_one(slot, std::mem::take(delta));
-                        }
-                    });
-                }
-            });
+        if self.parallel && work.len() > 1 && self.pool.threads() > 1 {
+            self.pool.map(work, apply_one);
         } else {
-            for (slot, delta) in work.into_iter() {
-                apply_one(slot, delta);
-            }
+            work.into_iter().for_each(apply_one);
         }
     }
 
@@ -956,6 +979,40 @@ mod tests {
             )
             .unwrap();
         cat.verify_all().unwrap();
+    }
+
+    /// Pooled rounds fold receipts in whatever order chunks settle; the
+    /// service aggregation must be associative and commutative so the
+    /// totals cannot depend on scheduling. `merge` is field-wise `+` on
+    /// integers and `Duration`s — exact arithmetic, asserted here.
+    #[test]
+    fn service_stats_merge_is_associative_and_commutative() {
+        let sample = |seed: u64| ServiceStats {
+            batches: seed as usize,
+            updates_seen: seed as usize * 2,
+            views_skipped: seed as usize * 3,
+            views_routed: seed as usize * 5,
+            fast_modifies: seed as usize * 7,
+            widened_modifies: seed as usize * 11,
+            recomputes: seed as usize * 13,
+            validate: Duration::from_nanos(seed * 1_000 + 1),
+            propagate: Duration::from_nanos(seed * 1_000 + 2),
+            apply: Duration::from_nanos(seed * 1_000 + 3),
+        };
+        let (a, b, c) = (sample(3), sample(17), sample(1_000_003));
+        let mut ab_c = a;
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut a_bc = a;
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc, "associativity");
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba, "commutativity");
     }
 
     #[test]

@@ -55,10 +55,12 @@
 //!
 //! [`flush`]: CatalogSession::flush
 
-use crate::durability::Wal;
+use crate::durability::{DurabilityError, DurableCatalog, GroupCommit, Wal};
 use crate::{BatchReceipt, CatalogError, ServiceStats, UpdateBatch, ViewCatalog};
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Tuning knobs of a [`CatalogSession`].
 #[derive(Clone, Copy, Debug)]
@@ -94,8 +96,15 @@ pub enum IngestError {
     /// Applying a drained batch failed in the catalog.
     Catalog(CatalogError),
     /// Journaling a drained batch failed (durable sessions only); the
-    /// chunk was requeued and nothing was applied.
+    /// chunk was requeued and nothing was applied — or, when the failure
+    /// was the shared group fsync, the chunk applied in memory but its
+    /// durability is unknown (the same ambiguity a crash leaves).
     Journal(std::io::Error),
+    /// The [`IngestHub`] behind this handle has shut down. From
+    /// [`SessionHandle::try_submit`] the rejected submission rides back
+    /// untouched; from [`SessionHandle::commit`] there is no submission
+    /// to return and the carried batch is empty.
+    HubClosed(UpdateBatch),
 }
 
 impl fmt::Display for IngestError {
@@ -106,6 +115,7 @@ impl fmt::Display for IngestError {
             }
             IngestError::Catalog(e) => write!(f, "{e}"),
             IngestError::Journal(e) => write!(f, "journaling the batch failed: {e}"),
+            IngestError::HubClosed(_) => write!(f, "the ingest hub has shut down"),
         }
     }
 }
@@ -113,9 +123,19 @@ impl fmt::Display for IngestError {
 impl std::error::Error for IngestError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            IngestError::QueueFull { .. } => None,
+            IngestError::QueueFull { .. } | IngestError::HubClosed(_) => None,
             IngestError::Catalog(e) => Some(e),
             IngestError::Journal(e) => Some(e),
+        }
+    }
+}
+
+impl From<DurabilityError> for IngestError {
+    fn from(e: DurabilityError) -> Self {
+        match e {
+            DurabilityError::Io(io) => IngestError::Journal(io),
+            DurabilityError::Catalog(c) => IngestError::Catalog(c),
+            other => IngestError::Journal(std::io::Error::other(other.to_string())),
         }
     }
 }
@@ -267,19 +287,9 @@ impl CatalogSession<'_> {
     /// [`discard_queued`]: CatalogSession::discard_queued
     pub fn flush(&mut self) -> Result<Vec<BatchReceipt>, IngestError> {
         let mut flushed = Vec::new();
-        while let Some(first) = self.queue.pop_front() {
-            self.queued_ops -= first.len();
-            let mut merged = first;
-            let mut coalesced_from = 1;
-            while let Some(next) = self.queue.front() {
-                if merged.len() + next.len() > self.config.window_ops {
-                    break;
-                }
-                let next = self.queue.pop_front().expect("front exists");
-                self.queued_ops -= next.len();
-                merged.extend(next);
-                coalesced_from += 1;
-            }
+        while let Some((merged, coalesced_from)) =
+            pop_chunk(&mut self.queue, &mut self.queued_ops, self.config.window_ops)
+        {
             match self.apply_chunk(&merged) {
                 Ok(mut receipt) => {
                     receipt.coalesced_from = coalesced_from;
@@ -317,17 +327,680 @@ impl CatalogSession<'_> {
     /// commit again.
     pub fn commit(&mut self) -> Result<SessionReceipt, IngestError> {
         self.flush()?;
-        let mut out = SessionReceipt { batches_submitted: self.submitted, ..Default::default() };
-        let mut touched: BTreeSet<String> = BTreeSet::new();
-        for r in self.receipts.drain(..) {
-            out.batches_applied += 1;
-            out.ops += r.ops;
-            out.resolved += r.resolved;
-            touched.extend(r.views_touched);
-            out.stats.merge(&r.stats);
-        }
+        let receipt = fold_receipts(self.submitted, self.receipts.drain(..));
         self.submitted = 0;
-        out.views_touched = touched.into_iter().collect();
-        Ok(out)
+        Ok(receipt)
     }
+}
+
+/// Fold per-chunk receipts into one [`SessionReceipt`] (shared by the
+/// borrowed session and the hub handles).
+fn fold_receipts(
+    submitted: usize,
+    receipts: impl IntoIterator<Item = BatchReceipt>,
+) -> SessionReceipt {
+    let mut out = SessionReceipt { batches_submitted: submitted, ..Default::default() };
+    let mut touched: BTreeSet<String> = BTreeSet::new();
+    for r in receipts {
+        out.batches_applied += 1;
+        out.ops += r.ops;
+        out.resolved += r.resolved;
+        touched.extend(r.views_touched);
+        out.stats.merge(&r.stats);
+    }
+    out.views_touched = touched.into_iter().collect();
+    out
+}
+
+// ───────────────────────────── Ingest hub ─────────────────────────────
+
+/// Tuning knobs of an [`IngestHub`].
+#[derive(Clone, Copy, Debug)]
+pub struct HubConfig {
+    /// Per-session bound on queued (not yet drained) submissions;
+    /// [`SessionHandle::try_submit`] fails fast with
+    /// [`IngestError::QueueFull`] at the bound.
+    pub queue_capacity: usize,
+    /// Coalescing window in *ops*: maximum typed ops merged into one
+    /// applied chunk (a submission is never split).
+    pub window_ops: usize,
+    /// Coalescing window in *time*: how long the background drain lets a
+    /// first pending submission age (collecting company) before a round
+    /// applies it. `0` drains as soon as the thread wakes. Producers
+    /// calling [`SessionHandle::commit`] never wait for the window —
+    /// commit drains its own queue inline.
+    pub window_ms: u64,
+}
+
+impl Default for HubConfig {
+    fn default() -> HubConfig {
+        HubConfig { queue_capacity: 64, window_ops: 256, window_ms: 2 }
+    }
+}
+
+/// The catalog a hub drives — handed back by [`IngestHub::shutdown`].
+pub enum HubInner {
+    /// In-memory catalog: chunks apply, nothing is journaled.
+    Volatile(ViewCatalog),
+    /// Durable catalog: every chunk is journaled append-then-apply and
+    /// acknowledged only after its (group) fsync.
+    Durable(DurableCatalog),
+}
+
+impl HubInner {
+    /// The live catalog, either way.
+    pub fn catalog(&self) -> &ViewCatalog {
+        match self {
+            HubInner::Volatile(c) => c,
+            HubInner::Durable(d) => d.catalog(),
+        }
+    }
+}
+
+/// One producer's server-side state.
+struct Producer {
+    queue: VecDeque<UpdateBatch>,
+    queued_ops: usize,
+    submitted: usize,
+    /// Receipts of applied chunks, delivered once their fsync settles —
+    /// normally meaning durable; on an fsync *failure* the receipt still
+    /// arrives (the chunk did apply) with the sticky Journal `error`
+    /// flagging that its durability is unknown.
+    receipts: Vec<BatchReceipt>,
+    /// Chunks applied (or appended) but not yet acknowledged durable.
+    inflight: usize,
+    /// Sticky failure: the offending chunk is back at the queue front;
+    /// draining skips the session until the producer takes the error.
+    error: Option<IngestError>,
+    /// The handle is still alive (closed sessions are reaped once empty).
+    open: bool,
+}
+
+impl Producer {
+    fn new() -> Producer {
+        Producer {
+            queue: VecDeque::new(),
+            queued_ops: 0,
+            submitted: 0,
+            receipts: Vec::new(),
+            inflight: 0,
+            error: None,
+            open: true,
+        }
+    }
+
+    fn drainable(&self) -> bool {
+        self.error.is_none() && !self.queue.is_empty()
+    }
+}
+
+struct HubState {
+    /// Taken by [`IngestHub::shutdown`]; `None` means the hub is closed.
+    inner: Option<HubInner>,
+    sessions: BTreeMap<u64, Producer>,
+    next_id: u64,
+    /// Round-robin cursor: the session id that *led* the previous
+    /// background round (the next round starts after it).
+    rr: u64,
+    /// Submission time of the oldest pending batch — the time-window
+    /// anchor. Cleared when every drainable queue empties.
+    oldest_pending: Option<Instant>,
+    shutdown: bool,
+}
+
+impl HubState {
+    fn any_drainable(&self) -> bool {
+        self.sessions.values().any(Producer::drainable)
+    }
+}
+
+struct HubShared {
+    state: Mutex<HubState>,
+    /// Wakes the drain thread (new work, shutdown).
+    work: Condvar,
+    /// Wakes committers (receipts delivered, errors recorded).
+    ack: Condvar,
+    config: HubConfig,
+}
+
+/// A multi-producer ingestion service over one catalog: per-session
+/// bounded queues, a **background drain thread** with a time-based
+/// coalescing window, **round-robin fairness** across sessions, and — on
+/// a durable catalog — **group commit** (concurrent `commit()`s and the
+/// drain thread coalesce their WAL fsyncs through a leader/follower
+/// protocol, counted by [`crate::WalSyncStats`]; receipts stay
+/// per-session).
+///
+/// ```
+/// use viewsrv::{HubConfig, InsertPosition, UpdateBatch, UpdateOp, ViewCatalog};
+/// use xmlstore::Store;
+///
+/// let mut store = Store::new();
+/// store.load_doc("bib.xml", "<bib><book year=\"1994\"><title>T</title></book></bib>").unwrap();
+/// let mut cat = ViewCatalog::new(store);
+/// cat.register("all", r#"<r>{ for $b in doc("bib.xml")/bib/book return $b/title }</r>"#)
+///     .unwrap();
+///
+/// let hub = cat.into_hub(HubConfig::default());
+/// let writer = hub.handle();
+/// for i in 0..3 {
+///     let frag = format!("<book year=\"2001\"><title>B{i}</title></book>");
+///     let op = UpdateOp::insert("bib.xml", "/bib", InsertPosition::Into, &frag).unwrap();
+///     writer.try_submit(UpdateBatch::new().with(op)).unwrap();
+/// }
+/// let receipt = writer.commit().unwrap();
+/// assert_eq!(receipt.batches_submitted, 3);
+/// let cat = match hub.shutdown() {
+///     viewsrv::HubInner::Volatile(c) => c,
+///     _ => unreachable!(),
+/// };
+/// cat.verify_all().unwrap();
+/// ```
+pub struct IngestHub {
+    shared: Arc<HubShared>,
+    drain: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ViewCatalog {
+    /// Put this catalog behind an [`IngestHub`]: each producer opens its
+    /// own `Send` [`SessionHandle`] via [`IngestHub::handle`] (one per
+    /// writer — handles are not shared); a background thread drains their
+    /// queues.
+    pub fn into_hub(self, config: HubConfig) -> IngestHub {
+        IngestHub::start(HubInner::Volatile(self), config)
+    }
+}
+
+impl DurableCatalog {
+    /// Put this durable catalog behind an [`IngestHub`]: drained chunks
+    /// are journaled append-then-apply, acknowledged after their (group)
+    /// fsync, and the WAL auto-rotation policy keeps running.
+    pub fn into_hub(self, config: HubConfig) -> IngestHub {
+        IngestHub::start(HubInner::Durable(self), config)
+    }
+}
+
+impl IngestHub {
+    fn start(inner: HubInner, config: HubConfig) -> IngestHub {
+        let shared = Arc::new(HubShared {
+            state: Mutex::new(HubState {
+                inner: Some(inner),
+                sessions: BTreeMap::new(),
+                next_id: 0,
+                rr: 0,
+                oldest_pending: None,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            ack: Condvar::new(),
+            config,
+        });
+        let for_thread = Arc::clone(&shared);
+        let drain = std::thread::Builder::new()
+            .name("xqview-hub-drain".into())
+            .spawn(move || drain_loop(&for_thread))
+            .expect("spawn hub drain thread");
+        IngestHub { shared, drain: Some(drain) }
+    }
+
+    /// Open a new producer session.
+    pub fn handle(&self) -> SessionHandle {
+        let mut g = self.shared.state.lock().expect("hub state");
+        let id = g.next_id;
+        g.next_id += 1;
+        g.sessions.insert(id, Producer::new());
+        drop(g);
+        SessionHandle { shared: Arc::clone(&self.shared), id }
+    }
+
+    /// The hub's configuration.
+    pub fn config(&self) -> HubConfig {
+        self.shared.config
+    }
+
+    /// Run one background-style drain round right now (one coalesced
+    /// chunk per drainable session, round-robin order, one group fsync) —
+    /// deterministic drains for tests and an operational nudge. Returns
+    /// the number of chunks applied.
+    pub fn drain_now(&self) -> usize {
+        drain_round(&self.shared, None)
+    }
+
+    /// Graceful stop: reject further submissions, drain every remaining
+    /// (non-errored) queue, stop the background thread, and hand the
+    /// catalog back. Pending sticky errors and their requeued chunks are
+    /// dropped with the sessions.
+    pub fn shutdown(mut self) -> HubInner {
+        // Close the doors *before* the final drain: a try_submit racing
+        // this point either lands in a queue we still drain below, or
+        // observes the flag and gets its batch back in `HubClosed` —
+        // never an `Ok` whose batch silently vanishes.
+        {
+            let mut g = self.shared.state.lock().expect("hub state");
+            g.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        loop {
+            let g = self.shared.state.lock().expect("hub state");
+            if !g.any_drainable() {
+                break;
+            }
+            drop(g);
+            drain_round(&self.shared, None);
+        }
+        self.stop_thread();
+        let mut g = self.shared.state.lock().expect("hub state");
+        // A straggler round may still have the catalog checked out; wait
+        // for its hand-back rather than panicking on the take.
+        let inner = loop {
+            match g.inner.take() {
+                Some(inner) => break inner,
+                None => g = self.shared.ack.wait(g).expect("hub state"),
+            }
+        };
+        g.sessions.clear();
+        drop(g);
+        // Wake any straggler commit/drain so it observes the closed hub.
+        self.shared.ack.notify_all();
+        inner
+    }
+
+    fn stop_thread(&mut self) {
+        {
+            let mut g = self.shared.state.lock().expect("hub state");
+            g.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        if let Some(h) = self.drain.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for IngestHub {
+    /// Non-graceful stop (prefer [`IngestHub::shutdown`]): the drain
+    /// thread is joined; still-queued submissions are dropped — for a
+    /// durable catalog they were never acknowledged, so this is exactly
+    /// a crash the WAL already models.
+    fn drop(&mut self) {
+        if self.drain.is_some() {
+            self.stop_thread();
+        }
+    }
+}
+
+/// A producer's handle into an [`IngestHub`]: `Send`, independently
+/// bounded, independently receipted. Dropping the handle closes the
+/// session; already-queued submissions still drain (fire-and-forget).
+pub struct SessionHandle {
+    shared: Arc<HubShared>,
+    id: u64,
+}
+
+impl SessionHandle {
+    /// Enqueue a typed batch. Fails fast with [`IngestError::QueueFull`]
+    /// at the per-session bound and [`IngestError::HubClosed`] after
+    /// shutdown — the batch rides back in both errors.
+    pub fn try_submit(&self, batch: UpdateBatch) -> Result<(), IngestError> {
+        let mut g = self.shared.state.lock().expect("hub state");
+        // `inner` being absent just means a round has the catalog checked
+        // out — enqueueing proceeds at memory speed. Closed is the
+        // shutdown flag (or this session already torn down with the hub).
+        let capacity = self.shared.config.queue_capacity;
+        let closed = g.shutdown;
+        let p = match g.sessions.get_mut(&self.id) {
+            Some(p) if !closed => p,
+            _ => return Err(IngestError::HubClosed(batch)),
+        };
+        if p.queue.len() >= capacity {
+            return Err(IngestError::QueueFull { batch, capacity });
+        }
+        p.queued_ops += batch.len();
+        p.queue.push_back(batch);
+        p.submitted += 1;
+        if g.oldest_pending.is_none() {
+            g.oldest_pending = Some(Instant::now());
+        }
+        drop(g);
+        self.shared.work.notify_all();
+        Ok(())
+    }
+
+    /// Parse a script once into a typed batch and submit it.
+    pub fn try_submit_script(&self, script: &str) -> Result<(), IngestError> {
+        self.try_submit(UpdateBatch::from_script(script)?)
+    }
+
+    /// Submissions waiting in this session's queue.
+    pub fn queued_batches(&self) -> usize {
+        let g = self.shared.state.lock().expect("hub state");
+        g.sessions.get(&self.id).map_or(0, |p| p.queue.len())
+    }
+
+    /// Typed ops waiting in this session's queue.
+    pub fn queued_ops(&self) -> usize {
+        let g = self.shared.state.lock().expect("hub state");
+        g.sessions.get(&self.id).map_or(0, |p| p.queued_ops)
+    }
+
+    /// Chunks applied (and, when durable, fsync-acknowledged) for this
+    /// session since the last [`commit`](SessionHandle::commit).
+    pub fn applied_batches(&self) -> usize {
+        let g = self.shared.state.lock().expect("hub state");
+        g.sessions.get(&self.id).map_or(0, |p| p.receipts.len())
+    }
+
+    /// Drop every queued (not yet drained) submission, returning them —
+    /// the recovery escape hatch after a failed chunk. After the hub has
+    /// shut down there is nothing left to discard: returns empty.
+    pub fn discard_queued(&self) -> Vec<UpdateBatch> {
+        let mut g = self.shared.state.lock().expect("hub state");
+        let Some(p) = g.sessions.get_mut(&self.id) else { return Vec::new() };
+        p.queued_ops = 0;
+        let out = p.queue.drain(..).collect();
+        // The discarded batches may have been the window anchor; a stale
+        // anchor would make the next fresh submission drain immediately
+        // instead of coalescing.
+        if !g.any_drainable() {
+            g.oldest_pending = None;
+        }
+        drop(g);
+        self.shared.work.notify_all();
+        out
+    }
+
+    /// Drain this session's whole queue **now** (inline, not waiting for
+    /// the background window), wait for durability, and fold every
+    /// receipt accumulated since the last commit into one
+    /// [`SessionReceipt`]. Concurrent commits from different handles
+    /// share fsyncs through the group-commit protocol.
+    ///
+    /// On error the session stays usable: the failing chunk is back at
+    /// the queue front, earlier receipts are retained — inspect,
+    /// [`discard_queued`](SessionHandle::discard_queued), and commit
+    /// again.
+    pub fn commit(&self) -> Result<SessionReceipt, IngestError> {
+        loop {
+            drain_round(&self.shared, Some(self.id));
+            let mut g = self.shared.state.lock().expect("hub state");
+            // The session disappears only when the hub tears down.
+            let Some(p) = g.sessions.get_mut(&self.id) else {
+                return Err(IngestError::HubClosed(UpdateBatch::new()));
+            };
+            if let Some(e) = p.error.take() {
+                return Err(e);
+            }
+            if p.queue.is_empty() && p.inflight == 0 {
+                let receipt = fold_receipts(p.submitted, p.receipts.drain(..));
+                p.submitted = 0;
+                return Ok(receipt);
+            }
+            // Chunks of ours are riding a concurrent round; wait for its
+            // acks and re-check.
+            drop(self.shared.ack.wait(g).expect("hub state"));
+        }
+    }
+}
+
+impl Drop for SessionHandle {
+    fn drop(&mut self) {
+        let mut g = self.shared.state.lock().expect("hub state");
+        if let Some(p) = g.sessions.get_mut(&self.id) {
+            p.open = false;
+            // Sticky errors die with the handle; keep the queue so
+            // fire-and-forget submissions still drain.
+            p.error = None;
+        }
+        drop(g);
+        self.shared.work.notify_all();
+    }
+}
+
+/// The background drain: wait for work, let the time window fill, run a
+/// round; under backlog (a round left queues non-empty) rounds follow
+/// immediately — the window only delays *fresh* submissions.
+fn drain_loop(shared: &HubShared) {
+    let window = Duration::from_millis(shared.config.window_ms);
+    loop {
+        {
+            let mut g = shared.state.lock().expect("hub state");
+            loop {
+                if g.shutdown {
+                    return;
+                }
+                if g.any_drainable() {
+                    break;
+                }
+                g = shared.work.wait(g).expect("hub state");
+            }
+            // Time-based coalescing, anchored at the oldest pending
+            // submission (so no submission waits longer than the window).
+            while !g.shutdown {
+                let waited = g.oldest_pending.map_or(window, |t| t.elapsed());
+                if waited >= window || !g.any_drainable() {
+                    break;
+                }
+                let (g2, _) = shared.work.wait_timeout(g, window - waited).expect("hub state");
+                g = g2;
+            }
+            if g.shutdown || !g.any_drainable() {
+                continue;
+            }
+        }
+        drain_round(shared, None);
+    }
+}
+
+/// Pop one coalesced chunk off a session queue: the front submission
+/// plus as many successors as fit in `window_ops` (a submission is never
+/// split). Returns the merged chunk and how many submissions it folds.
+/// Shared by [`CatalogSession::flush`] and the hub's drain rounds so the
+/// two coalescing paths cannot diverge.
+fn pop_chunk(
+    queue: &mut VecDeque<UpdateBatch>,
+    queued_ops: &mut usize,
+    window_ops: usize,
+) -> Option<(UpdateBatch, usize)> {
+    let first = queue.pop_front()?;
+    *queued_ops -= first.len();
+    let mut merged = first;
+    let mut coalesced = 1;
+    while let Some(next) = queue.front() {
+        if merged.len() + next.len() > window_ops {
+            break;
+        }
+        let next = queue.pop_front().expect("front exists");
+        *queued_ops -= next.len();
+        merged.extend(next);
+        coalesced += 1;
+    }
+    Some((merged, coalesced))
+}
+
+/// One drain round. `only == None` is a background round: one coalesced
+/// chunk per drainable session, visited in round-robin order starting
+/// after the previous round's leader. `only == Some(id)` is a commit
+/// round: session `id`'s whole queue, chunked by `window_ops`.
+///
+/// The round **checks the catalog out** of the hub state (`inner.take()`)
+/// and applies chunks with no hub lock held, so producers keep enqueueing
+/// at memory speed while maintenance runs; catalog ownership serializes
+/// concurrent rounds (log order == apply order), and the group fsync
+/// coalesces with any round it races. Receipts are delivered, and
+/// `inflight` released, only after the fsync attempt settles (on fsync
+/// failure the receipt is paired with a sticky Journal error). Returns
+/// the chunks applied.
+fn drain_round(shared: &HubShared, only: Option<u64>) -> usize {
+    // Check the catalog out. `None` means either a concurrent round holds
+    // it (wait for the hand-back on `ack`) or the hub closed (give up).
+    let mut g = shared.state.lock().expect("hub state");
+    let mut inner = loop {
+        if let Some(inner) = g.inner.take() {
+            break inner;
+        }
+        if g.shutdown && g.sessions.is_empty() {
+            return 0;
+        }
+        g = shared.ack.wait(g).expect("hub state");
+    };
+
+    // Pick the visit order.
+    let sessions = &mut g.sessions;
+    let ids: Vec<u64> = match only {
+        Some(id) => sessions.get(&id).filter(|p| p.drainable()).map(|_| id).into_iter().collect(),
+        None => {
+            let mut ids: Vec<u64> =
+                sessions.iter().filter(|(_, p)| p.drainable()).map(|(&i, _)| i).collect();
+            let rr = g.rr;
+            let pos = ids.iter().position(|&i| i > rr).unwrap_or(0);
+            ids.rotate_left(pos);
+            ids
+        }
+    };
+    if ids.is_empty() {
+        g.inner = Some(inner);
+        drop(g);
+        shared.ack.notify_all();
+        return 0;
+    }
+    if only.is_none() {
+        g.rr = ids[0];
+    }
+
+    // Pop and coalesce chunks; every popped chunk is inflight until its
+    // durability point (commit waits on the counter).
+    let window_ops = shared.config.window_ops;
+    let mut chunks: Vec<(u64, UpdateBatch, usize)> = Vec::new();
+    for &sid in &ids {
+        let p = g.sessions.get_mut(&sid).expect("session listed");
+        while let Some((merged, coalesced)) = pop_chunk(&mut p.queue, &mut p.queued_ops, window_ops)
+        {
+            p.inflight += 1;
+            chunks.push((sid, merged, coalesced));
+            if only.is_none() {
+                break; // background rounds take one chunk per session
+            }
+        }
+    }
+    if !g.sessions.values().any(Producer::drainable) {
+        g.oldest_pending = None;
+    }
+    drop(g);
+
+    // ── No hub lock held from here: append + apply each chunk in order
+    // (catalog ownership makes this the WAL order), then the group fsync.
+    let mut acks: Vec<(u64, BatchReceipt)> = Vec::new();
+    let mut sync: Option<(Arc<GroupCommit>, u64)> = None;
+    let mut failed: BTreeMap<u64, (IngestError, Vec<UpdateBatch>)> = BTreeMap::new();
+    for (sid, chunk, coalesced) in chunks {
+        if let Some((_, requeue)) = failed.get_mut(&sid) {
+            requeue.push(chunk);
+            continue;
+        }
+        let applied: Result<BatchReceipt, IngestError> = match &mut inner {
+            HubInner::Volatile(cat) => cat.apply_batch(&chunk).map_err(IngestError::Catalog),
+            HubInner::Durable(dc) => dc
+                .apply_batch_nosync(&chunk)
+                .map(|(receipt, lsn)| {
+                    sync = Some((dc.group(), lsn));
+                    receipt
+                })
+                .map_err(IngestError::from),
+        };
+        match applied {
+            Ok(mut receipt) => {
+                receipt.coalesced_from = coalesced;
+                acks.push((sid, receipt));
+            }
+            Err(e) => {
+                failed.insert(sid, (e, vec![chunk]));
+            }
+        }
+    }
+    let applied = acks.len();
+
+    // ── Hand the catalog back *before* the fsync and requeue failures:
+    // the next round can append (and race into the group sync as a
+    // follower) while this round's fsync is in flight — this is what
+    // makes fsync sharing reachable at all. Receipts stay undelivered
+    // (inflight held) until the sync settles, so commit's durability
+    // boundary is unchanged.
+    let mut g = shared.state.lock().expect("hub state");
+    g.inner = Some(inner);
+    // Requeue failed sessions' chunks at the front, preserving order
+    // (ahead of anything submitted while the round ran unlocked). A
+    // session whose handle is gone gets its failed chunks dropped
+    // instead: no producer is left to retry or discard them, and
+    // requeueing would retry the poison chunk forever.
+    for (sid, (error, batches)) in failed {
+        if let Some(p) = g.sessions.get_mut(&sid) {
+            p.inflight -= batches.len();
+            if p.open {
+                for b in batches.into_iter().rev() {
+                    p.queued_ops += b.len();
+                    p.queue.push_front(b);
+                }
+                if p.error.is_none() {
+                    p.error = Some(error);
+                }
+            }
+        }
+    }
+    drop(g);
+    shared.ack.notify_all();
+
+    // ── The slow part, with nothing held: the group fsync. One leader's
+    // fsync acknowledges every concurrent round it covers.
+    let sync_result = match &sync {
+        Some((gc, lsn)) if !acks.is_empty() => gc.sync_upto(*lsn),
+        _ => Ok(()),
+    };
+
+    // ── Settle the sessions, and rotate at the durability point.
+    let mut g = shared.state.lock().expect("hub state");
+    if sync_result.is_ok() && sync.is_some() {
+        // Auto-rotation: opportunistic — skip if another round has the
+        // catalog checked out (its own durability point will retry; the
+        // threshold is still exceeded). A failed rotation likewise just
+        // leaves the previous generation authoritative.
+        if let Some(HubInner::Durable(dc)) = g.inner.as_mut() {
+            let _ = dc.maybe_rotate();
+        }
+    }
+    match sync_result {
+        Ok(()) => {
+            for (sid, receipt) in acks {
+                if let Some(p) = g.sessions.get_mut(&sid) {
+                    p.inflight -= 1;
+                    p.receipts.push(receipt);
+                }
+            }
+        }
+        Err(io) => {
+            // The group fsync failed: the chunks applied in memory but
+            // their durability is unknown — surface per session, exactly
+            // the ambiguity a crash would leave. The receipts are still
+            // delivered (the chunks *did* apply), so the session's
+            // submitted/applied accounting stays coherent; the sticky
+            // Journal error is what flags the durability ambiguity.
+            for (sid, receipt) in acks {
+                if let Some(p) = g.sessions.get_mut(&sid) {
+                    p.inflight -= 1;
+                    p.receipts.push(receipt);
+                    if p.error.is_none() {
+                        p.error = Some(IngestError::Journal(std::io::Error::new(
+                            io.kind(),
+                            io.to_string(),
+                        )));
+                    }
+                }
+            }
+        }
+    }
+    // Reap sessions whose handle dropped and whose work is finished.
+    g.sessions.retain(|_, p| p.open || !p.queue.is_empty() || p.inflight > 0);
+    drop(g);
+    shared.ack.notify_all();
+    shared.work.notify_all();
+    applied
 }

@@ -57,7 +57,7 @@ impl ExecOptions {
 }
 
 /// Cost instrumentation matching the paper's breakdowns.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ExecStats {
     /// Total wall-clock execution time.
     pub total: Duration,

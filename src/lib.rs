@@ -38,6 +38,7 @@
 //!
 //! | Layer | Crate | Paper chapter |
 //! |---|---|---|
+//! | Shared worker pool (structured fan-out) | [`exec`] | — (execution substrate) |
 //! | Binary codec (WAL records, snapshots) | [`wire`] | — (persistence substrate) |
 //! | Order keys, semantic ids | [`flexkey`] | 3, 4 |
 //! | XML model + storage manager | [`xmlstore`] | 3 (MASS substrate) |
@@ -59,7 +60,11 @@
 //! [`ViewCatalog`] maintains N registered views over one shared store:
 //! update batches are validated once, routed through a document→views
 //! relevancy index, and the per-view deltas are propagated and applied on
-//! parallel scoped threads.
+//! the shared [`exec`] worker pool — with a self-join view's telescoped
+//! IMP terms fanning out *again* on the same pool. `XQVIEW_POOL_THREADS`
+//! sizes the pool (`1` forces fully serial execution; extents are
+//! byte-identical either way — the determinism contract `tests/parallel.rs`
+//! and the CI determinism job enforce).
 //!
 //! ## Typed updates and batched ingestion
 //!
@@ -124,7 +129,19 @@
 //! cat.verify_all().unwrap();
 //! # std::fs::remove_dir_all(&dir).unwrap();
 //! ```
+//!
+//! ## Many writers: the ingest hub
+//!
+//! [`IngestHub`] puts either catalog behind `Send` producer handles: each
+//! session gets a bounded queue, a **background drain thread** coalesces
+//! submissions inside a time window (`window_ms`) and visits sessions
+//! **round-robin** so no writer starves, and on a [`DurableCatalog`]
+//! concurrent `commit()`s share their WAL fsyncs through a
+//! leader/follower **group commit** ([`WalSyncStats`] counts the
+//! sharing). The WAL also checkpoints itself once its tail crosses the
+//! [`RotatePolicy`] bounds, keeping restart replay bounded.
 
+pub use exec;
 pub use flexkey;
 pub use viewsrv;
 pub use vpa_core;
@@ -136,8 +153,9 @@ pub use xquery_lang;
 pub use datagen;
 pub use flexkey::{FlexKey, OrdKey, SemId};
 pub use viewsrv::{
-    BatchReceipt, CatalogError, CatalogSession, DurabilityError, DurableCatalog, IngestError,
-    RecoveryReport, ServiceStats, SessionConfig, SessionReceipt, ViewCatalog,
+    BatchReceipt, CatalogError, CatalogSession, DurabilityError, DurableCatalog, HubConfig,
+    HubInner, IngestError, IngestHub, RecoveryReport, RotatePolicy, ServiceStats, SessionConfig,
+    SessionHandle, SessionReceipt, ViewCatalog, WalSyncStats,
 };
 pub use vpa_core::{MaintStats, MaintView, ResolvedUpdate, Sapt, ViewManager};
 pub use xat::{ExecOptions, ExecStats, Executor, Plan, ViewExtent};
