@@ -428,6 +428,117 @@ pub fn measure_recovery(
     RecoveryPoint { cold_open, recompute, replayed_batches: tail, wal_bytes }
 }
 
+/// Outcome of one checkpoint-stall measurement at a fixed store size and
+/// [`viewsrv::CheckpointMode`].
+#[derive(Clone, Copy, Debug)]
+pub struct CheckpointPoint {
+    /// Median per-commit latency with rotation disabled.
+    pub steady_p50: Duration,
+    /// Worst-percentile per-commit latency with rotation disabled.
+    pub steady_p99: Duration,
+    /// Median per-commit latency with a rotation forced at every commit.
+    pub during_p50: Duration,
+    /// Worst-percentile per-commit latency under forced rotation — the
+    /// headline number: for background checkpointing it stays within a
+    /// small multiple of steady state; for stop-the-world it grows with
+    /// the store (every rotation encodes and fsyncs the whole snapshot
+    /// inline).
+    pub during_p99: Duration,
+    /// Checkpoint generations advanced during the measured window.
+    pub rotations: u64,
+    /// Store size at the start of the measured window.
+    pub store_nodes: usize,
+}
+
+fn percentile(sorted: &[Duration], p: usize) -> Duration {
+    sorted[(sorted.len() - 1) * p / 100]
+}
+
+/// Build a durable catalog of `n_views` views over a `books`-book store,
+/// measure per-commit latency in steady state (no rotation), then force a
+/// checkpoint at every commit under `mode` and measure again. Asserts the
+/// recompute oracle at the end (every bench doubles as a correctness
+/// check). The directory is created and removed.
+pub fn measure_checkpoint(
+    books: usize,
+    n_views: usize,
+    mode: viewsrv::CheckpointMode,
+    dir: &std::path::Path,
+) -> CheckpointPoint {
+    let _ = std::fs::remove_dir_all(dir);
+    let cfg = bib_config(books);
+    // Linear projection views: a one-book insert propagates as a small
+    // extent delta, so the steady-state commit stays cheap and flat and
+    // the per-rotation cost is the signal — join views would bury it
+    // under O(store) propagation work per commit.
+    let queries: Vec<(String, String)> = (0..n_views)
+        .map(|i| {
+            if i % 2 == 0 {
+                (
+                    format!("titles_{i}"),
+                    r#"<result>{ for $b in doc("bib.xml")/bib/book return $b/title }</result>"#
+                        .to_string(),
+                )
+            } else {
+                (
+                    format!("prices_{i}"),
+                    r#"<result>{ for $e in doc("prices.xml")/prices/entry return <p>{$e/price}</p> }</result>"#
+                        .to_string(),
+                )
+            }
+        })
+        .collect();
+    let mut cat = viewsrv::DurableCatalog::open(dir).expect("open durable catalog");
+    cat.load_doc("bib.xml", &datagen::bib_xml(&cfg)).expect("load bib");
+    cat.load_doc("prices.xml", &datagen::prices_xml(&cfg)).expect("load prices");
+    for (name, q) in &queries {
+        cat.register(name, q).expect("register view");
+    }
+    cat.set_checkpoint_mode(mode);
+    // A private two-lane pool guarantees the background job really runs
+    // on another thread even under `XQVIEW_POOL_THREADS=1` or on a
+    // single-core runner (a one-lane pool degrades spawn to inline, which
+    // would measure stop-the-world twice).
+    cat.set_checkpoint_pool(exec::Executor::new(2));
+    let store_nodes = cat.store().total_nodes();
+    let commits = 30usize;
+    let commit_once = |cat: &mut viewsrv::DurableCatalog, i: usize| -> Duration {
+        let script = datagen::insert_books_script(&cfg, 5000 + i, 1, Some(1900));
+        let batch = viewsrv::UpdateBatch::from_script(&script).expect("workload parses");
+        let t0 = Instant::now();
+        let _ = cat.apply_batch(&batch).expect("journaled commit");
+        t0.elapsed()
+    };
+
+    // Steady state: rotation disabled, every commit is append+apply+fsync.
+    cat.set_rotate_policy(viewsrv::RotatePolicy::disabled());
+    let mut steady: Vec<Duration> = (0..commits).map(|i| commit_once(&mut cat, i)).collect();
+
+    // Rotation-heavy: the policy fires at every commit, so each latency
+    // sample includes whatever the mode's checkpointer does inline.
+    let gen_before = cat.generation();
+    cat.set_rotate_policy(viewsrv::RotatePolicy::records(1));
+    let mut during: Vec<Duration> =
+        (commits..2 * commits).map(|i| commit_once(&mut cat, i)).collect();
+    let rotations = cat.generation() - gen_before;
+    assert!(rotations > 0, "the forced policy must rotate");
+    cat.settle_checkpoint();
+    cat.verify_all().expect("checkpoint oracle");
+    drop(cat);
+    let _ = std::fs::remove_dir_all(dir);
+
+    steady.sort();
+    during.sort();
+    CheckpointPoint {
+        steady_p50: percentile(&steady, 50),
+        steady_p99: percentile(&steady, 99),
+        during_p50: percentile(&during, 50),
+        during_p99: percentile(&during, 99),
+        rotations,
+        store_nodes,
+    }
+}
+
 /// A family of `n` **self-join** views (bib.xml occurs twice, so every
 /// propagation telescopes into two IMP terms — the per-term parallelism
 /// workload). Year filters keep the quadratic join bounded and make the

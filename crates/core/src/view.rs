@@ -14,6 +14,7 @@ use crate::propagate::propagate_batch;
 use crate::update::UpdateError;
 use crate::validate::Sapt;
 use flexkey::{FlexKey, SemId};
+use std::sync::Arc;
 use xat::exec::{ExecError, ExecOptions, ExecStats, Executor};
 use xat::plan::Plan;
 use xat::translate::translate_query;
@@ -27,7 +28,11 @@ pub struct MaintView {
     plan: Plan,
     out_col: String,
     sapt: Sapt,
-    extent: ViewExtent,
+    /// `Arc`-shared copy-on-write, like the store's node maps: a
+    /// checkpoint captures the extent by bumping the refcount
+    /// ([`MaintView::extent_shared`]), and the next mutation unshares it
+    /// once — capture cost is O(views), not O(materialized data).
+    extent: Arc<ViewExtent>,
     opts: ExecOptions,
     /// Worker pool the telescoped IMP terms fan out on (the shared global
     /// pool unless overridden — tests and benches pin private pools).
@@ -45,7 +50,7 @@ impl MaintView {
             plan,
             out_col,
             sapt,
-            extent: ViewExtent::default(),
+            extent: Arc::default(),
             opts: ExecOptions::default(),
             pool: exec::Executor::global().clone(),
         })
@@ -64,7 +69,7 @@ impl MaintView {
 
     /// Compute the extent from scratch and install it.
     pub fn materialize(&mut self, store: &Store) -> Result<(), MaintError> {
-        self.extent = self.compute_extent(store)?;
+        self.extent = Arc::new(self.compute_extent(store)?);
         Ok(())
     }
 
@@ -91,6 +96,13 @@ impl MaintView {
     /// The current materialized extent.
     pub fn extent(&self) -> &ViewExtent {
         &self.extent
+    }
+
+    /// A shared handle to the current extent — the O(1) capture a
+    /// checkpoint uses. Later mutations of this view copy-on-write, so
+    /// the handle keeps observing exactly the capture-time state.
+    pub fn extent_shared(&self) -> Arc<ViewExtent> {
+        Arc::clone(&self.extent)
     }
 
     /// Serialized materialized view.
@@ -152,11 +164,17 @@ impl MaintView {
     /// Merge a delta update tree into the extent (count-aware deep union):
     /// the Apply phase.
     pub fn apply_delta(&mut self, delta: Vec<VNode>) {
-        xat::extent::union_many(&mut self.extent.roots, delta, false);
+        xat::extent::union_many(&mut Arc::make_mut(&mut self.extent).roots, delta, false);
     }
 
     /// Replace the whole extent (recomputation fallback paths).
     pub fn set_extent(&mut self, extent: ViewExtent) {
+        self.extent = Arc::new(extent);
+    }
+
+    /// Install an already-shared extent without copying (the
+    /// snapshot-recovery path).
+    pub fn set_extent_shared(&mut self, extent: Arc<ViewExtent>) {
         self.extent = extent;
     }
 
@@ -164,11 +182,12 @@ impl MaintView {
     /// extent copy of the text node stored under `text_key`.
     pub fn patch_text_by_key(&mut self, text_key: &FlexKey, new_value: &str) {
         let sem = SemId::base(text_key.clone());
-        let mut roots = std::mem::take(&mut self.extent.roots);
+        let extent = Arc::make_mut(&mut self.extent);
+        let mut roots = std::mem::take(&mut extent.roots);
         for root in &mut roots {
             patch_text(root, sem.identity(), new_value);
         }
-        self.extent.roots = roots;
+        extent.roots = roots;
     }
 }
 

@@ -21,6 +21,11 @@
 //!   sequential execution instead of deadlocking when every worker is
 //!   busy.
 //! * [`Executor::join`] — the two-sided special case.
+//! * [`Executor::spawn`] — a **detached background job** with a
+//!   [`JobHandle`] to poll or wait on: the fire-and-forget complement to
+//!   the structured `map`, used for work that must not block the caller
+//!   (checkpoint encoding + fsync). On a one-lane pool the job runs
+//!   inline, keeping `XQVIEW_POOL_THREADS=1` fully deterministic.
 //!
 //! Determinism contract: for a fixed input, `map` returns the same
 //! `Vec<T>` regardless of the pool size, because results are slotted by
@@ -59,6 +64,13 @@ struct Task {
 // synchronized by its own mutex) until every helper has checked out.
 unsafe impl Send for Task {}
 
+/// One queued unit of pool work: a borrowed help request for a `map`
+/// batch, or an owned detached job from [`Executor::spawn`].
+enum Work {
+    Help(Task),
+    Job(Box<dyn FnOnce() + Send + 'static>),
+}
+
 /// Queue + lifecycle shared by the workers and every `Executor` handle.
 struct PoolCore {
     queue: Mutex<PoolQueue>,
@@ -66,7 +78,7 @@ struct PoolCore {
 }
 
 struct PoolQueue {
-    tasks: VecDeque<Task>,
+    tasks: VecDeque<Work>,
     shutdown: bool,
 }
 
@@ -77,24 +89,31 @@ impl PoolCore {
         }
         let mut q = self.queue.lock().expect("pool queue");
         for _ in 0..n {
-            q.tasks.push_back(task);
+            q.tasks.push_back(Work::Help(task));
         }
         drop(q);
         self.available.notify_all();
     }
 
+    fn push_job(&self, job: Box<dyn FnOnce() + Send + 'static>) {
+        let mut q = self.queue.lock().expect("pool queue");
+        q.tasks.push_back(Work::Job(job));
+        drop(q);
+        self.available.notify_one();
+    }
+
     /// Remove every not-yet-popped help request pointing at `data`,
-    /// returning how many were removed.
+    /// returning how many were removed. Detached jobs are never swept.
     fn sweep(&self, data: *const ()) -> usize {
         let mut q = self.queue.lock().expect("pool queue");
         let before = q.tasks.len();
-        q.tasks.retain(|t| !std::ptr::eq(t.data, data));
+        q.tasks.retain(|t| !matches!(t, Work::Help(h) if std::ptr::eq(h.data, data)));
         before - q.tasks.len()
     }
 
     fn worker_loop(&self) {
         loop {
-            let task = {
+            let work = {
                 let mut q = self.queue.lock().expect("pool queue");
                 loop {
                     if let Some(t) = q.tasks.pop_front() {
@@ -106,9 +125,13 @@ impl PoolCore {
                     q = self.available.wait(q).expect("pool queue");
                 }
             };
-            // SAFETY: the ledger behind `data` outlives this call — the
-            // `map` that pushed the request waits for our check-out.
-            unsafe { (task.run)(task.data) };
+            match work {
+                // SAFETY: the ledger behind `data` outlives this call —
+                // the `map` that pushed the request waits for our
+                // check-out.
+                Work::Help(task) => unsafe { (task.run)(task.data) },
+                Work::Job(job) => job(),
+            }
         }
     }
 }
@@ -122,10 +145,65 @@ struct PoolGuard {
 
 impl Drop for PoolGuard {
     fn drop(&mut self) {
-        self.core.queue.lock().expect("pool queue").shutdown = true;
+        let leftover: Vec<Work> = {
+            let mut q = self.core.queue.lock().expect("pool queue");
+            q.shutdown = true;
+            q.tasks.drain(..).collect()
+        };
         self.core.available.notify_all();
         for h in self.workers.drain(..) {
             let _ = h.join();
+        }
+        // Detached jobs queued at teardown still run (on this thread), so
+        // a `JobHandle::wait` can never hang on a dropped pool. Leftover
+        // help requests cannot exist here: a live `map` holds an
+        // `Executor` clone, which keeps this guard alive.
+        for w in leftover {
+            if let Work::Job(job) = w {
+                job();
+            }
+        }
+    }
+}
+
+/// Completion state shared between a spawned job and its [`JobHandle`].
+struct JobShared<T> {
+    m: Mutex<JobState<T>>,
+    cv: Condvar,
+}
+
+enum JobState<T> {
+    Running,
+    Done(T),
+    Panicked(Box<dyn std::any::Any + Send + 'static>),
+}
+
+/// A detached background job started with [`Executor::spawn`]: poll it
+/// with [`JobHandle::is_done`], or [`JobHandle::wait`] for the result.
+/// Dropping the handle detaches the job for good (it still runs).
+pub struct JobHandle<T> {
+    shared: Arc<JobShared<T>>,
+}
+
+impl<T> JobHandle<T> {
+    /// True once the job has finished (successfully or by panicking).
+    pub fn is_done(&self) -> bool {
+        !matches!(*self.shared.m.lock().expect("job state"), JobState::Running)
+    }
+
+    /// Block until the job finishes and return its result. A panic inside
+    /// the job is re-raised here, like [`Executor::map`].
+    pub fn wait(self) -> T {
+        let mut g = self.shared.m.lock().expect("job state");
+        loop {
+            match std::mem::replace(&mut *g, JobState::Running) {
+                JobState::Running => g = self.shared.cv.wait(g).expect("job state"),
+                JobState::Done(v) => return v,
+                JobState::Panicked(p) => {
+                    drop(g);
+                    resume_unwind(p);
+                }
+            }
         }
     }
 }
@@ -246,6 +324,43 @@ impl Executor {
         let results = std::mem::take(&mut g.results);
         drop(g);
         results.into_iter().map(|r| r.expect("every job settled")).collect()
+    }
+
+    /// Start a detached background job on the pool and return a
+    /// [`JobHandle`] to poll or wait on — the fire-and-forget complement
+    /// to the structured [`Executor::map`] (used for work that must not
+    /// block the caller, e.g. encoding and fsyncing a checkpoint while
+    /// ingestion keeps committing).
+    ///
+    /// On a one-lane pool (`threads == 1`, the deterministic
+    /// `XQVIEW_POOL_THREADS=1` mode) there are no workers: the job runs
+    /// inline, to completion, before `spawn` returns — background work
+    /// degrades to synchronous rather than never running. Jobs still
+    /// queued when the last handle to a private pool drops are run during
+    /// teardown, so a `wait` can never hang.
+    pub fn spawn<T, F>(&self, f: F) -> JobHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let shared = Arc::new(JobShared { m: Mutex::new(JobState::Running), cv: Condvar::new() });
+        let for_job = Arc::clone(&shared);
+        let run = move || {
+            let out = catch_unwind(AssertUnwindSafe(f));
+            let mut g = for_job.m.lock().expect("job state");
+            *g = match out {
+                Ok(v) => JobState::Done(v),
+                Err(p) => JobState::Panicked(p),
+            };
+            drop(g);
+            for_job.cv.notify_all();
+        };
+        if self.threads == 1 {
+            run();
+        } else {
+            self.core.push_job(Box::new(run));
+        }
+        JobHandle { shared }
     }
 
     /// Run `a` and `b`, potentially in parallel, returning both results.
@@ -447,6 +562,69 @@ mod tests {
         assert!(a.threads() >= 1);
         assert_eq!(a.threads(), b.threads());
         assert!(Arc::ptr_eq(&a.core, &b.core));
+    }
+
+    #[test]
+    fn spawn_runs_in_background_and_wait_returns() {
+        let pool = Executor::new(3);
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let handle = pool.spawn(move || {
+            rx.recv().expect("release signal");
+            21 * 2
+        });
+        // The job is parked on the channel: the caller is demonstrably not
+        // blocked by spawn, and map keeps working alongside it.
+        assert!(!handle.is_done());
+        assert_eq!(pool.map(vec![1, 2], |i: i32| i + 1), vec![2, 3]);
+        tx.send(()).unwrap();
+        assert_eq!(handle.wait(), 42);
+    }
+
+    #[test]
+    fn spawn_on_one_lane_pool_runs_inline() {
+        let pool = Executor::new(1);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let for_job = Arc::clone(&ran);
+        let handle = pool.spawn(move || {
+            for_job.fetch_add(1, Ordering::Relaxed);
+            7
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 1, "no workers: inline, before spawn returns");
+        assert!(handle.is_done());
+        assert_eq!(handle.wait(), 7);
+    }
+
+    #[test]
+    fn spawned_job_panic_surfaces_at_wait() {
+        for threads in [1usize, 4] {
+            let pool = Executor::new(threads);
+            let handle = pool.spawn(|| -> usize { panic!("background job exploded") });
+            let err = std::panic::catch_unwind(AssertUnwindSafe(|| handle.wait()))
+                .expect_err("the job panic must surface at wait");
+            let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+            assert_eq!(msg, "background job exploded");
+            // The pool survives.
+            assert_eq!(pool.map(vec![1, 2, 3], |i: i32| i * 2), vec![2, 4, 6]);
+        }
+    }
+
+    #[test]
+    fn queued_jobs_still_run_when_the_pool_drops() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        let handle = {
+            let pool = Executor::new(2);
+            // Wedge the single worker so the second job stays queued when
+            // the pool is dropped.
+            let (tx, rx) = std::sync::mpsc::channel::<()>();
+            let _blocker = pool.spawn(move || rx.recv().ok());
+            let for_job = Arc::clone(&ran);
+            let handle = pool.spawn(move || for_job.fetch_add(1, Ordering::Relaxed));
+            tx.send(()).ok();
+            drop(pool);
+            handle
+        };
+        handle.wait();
+        assert_eq!(ran.load(Ordering::Relaxed), 1, "teardown ran the queued job");
     }
 
     #[test]

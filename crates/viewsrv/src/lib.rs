@@ -45,8 +45,8 @@ pub mod durability;
 pub mod session;
 
 pub use durability::{
-    DurabilityError, DurableCatalog, RecoveryReport, RotatePolicy, Snapshot, SnapshotView, Wal,
-    WalSyncStats,
+    CheckpointMode, DurabilityError, DurableCatalog, RecoveryReport, RotatePolicy, Snapshot,
+    SnapshotView, Wal, WalSyncStats,
 };
 use flexkey::FlexKey;
 pub use session::{
@@ -290,13 +290,13 @@ impl ViewCatalog {
         &mut self,
         name: &str,
         query: &str,
-        extent: xat::ViewExtent,
+        extent: std::sync::Arc<xat::ViewExtent>,
     ) -> Result<(), CatalogError> {
         if self.slots.iter().any(|s| s.name == name) {
             return Err(CatalogError::DuplicateView(name.to_string()));
         }
         let mut view = MaintView::define(query)?;
-        view.set_extent(extent);
+        view.set_extent_shared(extent);
         self.commit_slot(name, view);
         Ok(())
     }

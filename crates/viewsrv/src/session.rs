@@ -59,6 +59,7 @@ use crate::durability::{DurabilityError, DurableCatalog, GroupCommit, Wal};
 use crate::{BatchReceipt, CatalogError, ServiceStats, UpdateBatch, ViewCatalog};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -370,15 +371,39 @@ pub struct HubConfig {
     /// calling [`SessionHandle::commit`] never wait for the window —
     /// commit drains its own queue inline.
     pub window_ms: u64,
+    /// Test-only failpoint: when true, the *next* drain round panics
+    /// with the catalog checked out and chunk number
+    /// `inject_round_panic_at` mid-apply — the worst point for an
+    /// unwind. Exercises the panic-safe hand-back (`shutdown` must not
+    /// deadlock; the mid-apply session gets a sticky error, applied
+    /// chunks are receipted with a durability-unknown error, untouched
+    /// chunks requeue). Fires once per hub.
+    #[doc(hidden)]
+    pub inject_round_panic: bool,
+    /// Which chunk of the round the injected panic fires on (0 = the
+    /// first; 1 exercises the applied-but-unacknowledged path).
+    #[doc(hidden)]
+    pub inject_round_panic_at: usize,
 }
 
 impl Default for HubConfig {
     fn default() -> HubConfig {
-        HubConfig { queue_capacity: 64, window_ops: 256, window_ms: 2 }
+        HubConfig {
+            queue_capacity: 64,
+            window_ops: 256,
+            window_ms: 2,
+            inject_round_panic: false,
+            inject_round_panic_at: 0,
+        }
     }
 }
 
 /// The catalog a hub drives — handed back by [`IngestHub::shutdown`].
+// The variants are moved a handful of times per drain round (check-out /
+// hand-back), where a sub-kilobyte memcpy is noise next to the apply and
+// fsync work; boxing would push the indirection onto every caller that
+// pattern-matches the returned catalog.
+#[allow(clippy::large_enum_variant)]
 pub enum HubInner {
     /// In-memory catalog: chunks apply, nothing is journaled.
     Volatile(ViewCatalog),
@@ -461,6 +486,8 @@ struct HubShared {
     /// Wakes committers (receipts delivered, errors recorded).
     ack: Condvar,
     config: HubConfig,
+    /// One-shot failpoint armed by [`HubConfig::inject_round_panic`].
+    panic_once: AtomicBool,
 }
 
 /// A multi-producer ingestion service over one catalog: per-session
@@ -534,6 +561,7 @@ impl IngestHub {
             work: Condvar::new(),
             ack: Condvar::new(),
             config,
+            panic_once: AtomicBool::new(config.inject_round_panic),
         });
         let for_thread = Arc::clone(&shared);
         let drain = std::thread::Builder::new()
@@ -817,6 +845,115 @@ fn pop_chunk(
     Some((merged, coalesced))
 }
 
+/// The unwind guard of a drain round: owns the checked-out catalog and
+/// every chunk the round popped — not yet applied (`pending`), mid-apply
+/// (`applying`), applied-but-unacknowledged (`acks`), or failed-awaiting-
+/// requeue (`failed`) — while no hub lock is held. On a normal round it
+/// is disarmed piece by piece (the catalog handed back, each collection
+/// drained at its settle point); if the round **panics** anywhere — an
+/// apply, the group fsync, the rotation — the destructor restores the
+/// catalog to the hub state, requeues untouched chunks, flags the
+/// mid-apply session with a sticky error (its effects are unknown —
+/// retrying could double-apply), delivers applied receipts with a sticky
+/// durability-unknown error, requeues failed chunks, releases every
+/// `inflight` count, and wakes every waiter — so `IngestHub::shutdown`
+/// and `SessionHandle::commit` observe a closed round instead of
+/// deadlocking on a hand-back or acknowledgment that will never come.
+struct RoundGuard<'a> {
+    shared: &'a HubShared,
+    inner: Option<HubInner>,
+    /// Popped chunks not yet settled; front is next to apply.
+    pending: VecDeque<(u64, UpdateBatch, usize)>,
+    /// Session whose chunk is mid-apply right now.
+    applying: Option<u64>,
+    /// Applied chunks whose receipts have not been delivered (the round
+    /// delivers them only once the group fsync settles).
+    acks: Vec<(u64, BatchReceipt)>,
+    /// Failed sessions' chunks awaiting requeue at the first hand-back.
+    failed: BTreeMap<u64, (IngestError, Vec<UpdateBatch>)>,
+}
+
+fn round_panicked_error(what: &str) -> IngestError {
+    IngestError::Catalog(CatalogError::from(vpa_core::update::UpdateError(format!(
+        "a drain round panicked {what}"
+    ))))
+}
+
+impl Drop for RoundGuard<'_> {
+    fn drop(&mut self) {
+        if self.inner.is_none()
+            && self.pending.is_empty()
+            && self.applying.is_none()
+            && self.acks.is_empty()
+            && self.failed.is_empty()
+        {
+            return; // normal completion: everything was handed over already
+        }
+        let mut g = self.shared.state.lock().expect("hub state");
+        if let Some(inner) = self.inner.take() {
+            g.inner = Some(inner);
+        }
+        if let Some(sid) = self.applying.take() {
+            if let Some(p) = g.sessions.get_mut(&sid) {
+                p.inflight -= 1;
+                if p.error.is_none() {
+                    p.error = Some(round_panicked_error(
+                        "while applying this session's chunk; its effects are unknown and it \
+                         was not requeued",
+                    ));
+                }
+            }
+        }
+        // Applied chunks whose acknowledgment never came: deliver the
+        // receipt (the chunk *did* apply) with a sticky error flagging
+        // that its durability was never established — the same shape as
+        // a failed group fsync.
+        for (sid, receipt) in self.acks.drain(..) {
+            if let Some(p) = g.sessions.get_mut(&sid) {
+                p.inflight -= 1;
+                p.receipts.push(receipt);
+                if p.error.is_none() {
+                    p.error = Some(round_panicked_error(
+                        "before this session's applied chunks were acknowledged; their \
+                         durability is unknown",
+                    ));
+                }
+            }
+        }
+        // Chunks the round never started are requeued untouched, at the
+        // front, in their original order.
+        for (sid, chunk, _) in self.pending.drain(..).rev() {
+            if let Some(p) = g.sessions.get_mut(&sid) {
+                p.inflight -= 1;
+                if p.open {
+                    p.queued_ops += chunk.len();
+                    p.queue.push_front(chunk);
+                }
+            }
+        }
+        // Failed chunks requeue exactly as the normal hand-back would —
+        // after the pending chunks, so their push_front lands them ahead
+        // (they were popped earlier and must drain first).
+        for (sid, (error, batches)) in std::mem::take(&mut self.failed) {
+            if let Some(p) = g.sessions.get_mut(&sid) {
+                p.inflight -= batches.len();
+                if p.open {
+                    for b in batches.into_iter().rev() {
+                        p.queued_ops += b.len();
+                        p.queue.push_front(b);
+                    }
+                    if p.error.is_none() {
+                        p.error = Some(error);
+                    }
+                }
+            }
+        }
+        drop(g);
+        self.shared.ack.notify_all();
+        self.shared.work.notify_all();
+    }
+}
+
 /// One drain round. `only == None` is a background round: one coalesced
 /// chunk per drainable session, visited in round-robin order starting
 /// after the previous round's leader. `only == Some(id)` is a commit
@@ -826,15 +963,16 @@ fn pop_chunk(
 /// and applies chunks with no hub lock held, so producers keep enqueueing
 /// at memory speed while maintenance runs; catalog ownership serializes
 /// concurrent rounds (log order == apply order), and the group fsync
-/// coalesces with any round it races. Receipts are delivered, and
-/// `inflight` released, only after the fsync attempt settles (on fsync
-/// failure the receipt is paired with a sticky Journal error). Returns
-/// the chunks applied.
+/// coalesces with any round it races. The check-out is panic-safe: a
+/// [`RoundGuard`] restores the catalog and notifies waiters if the apply
+/// path unwinds. Receipts are delivered, and `inflight` released, only
+/// after the fsync attempt settles (on fsync failure the receipt is
+/// paired with a sticky Journal error). Returns the chunks applied.
 fn drain_round(shared: &HubShared, only: Option<u64>) -> usize {
     // Check the catalog out. `None` means either a concurrent round holds
     // it (wait for the hand-back on `ack`) or the hub closed (give up).
     let mut g = shared.state.lock().expect("hub state");
-    let mut inner = loop {
+    let inner = loop {
         if let Some(inner) = g.inner.take() {
             break inner;
         }
@@ -842,6 +980,14 @@ fn drain_round(shared: &HubShared, only: Option<u64>) -> usize {
             return 0;
         }
         g = shared.ack.wait(g).expect("hub state");
+    };
+    let mut guard = RoundGuard {
+        shared,
+        inner: Some(inner),
+        pending: VecDeque::new(),
+        applying: None,
+        acks: Vec::new(),
+        failed: BTreeMap::new(),
     };
 
     // Pick the visit order.
@@ -858,9 +1004,8 @@ fn drain_round(shared: &HubShared, only: Option<u64>) -> usize {
         }
     };
     if ids.is_empty() {
-        g.inner = Some(inner);
         drop(g);
-        shared.ack.notify_all();
+        drop(guard); // hands the catalog back and notifies
         return 0;
     }
     if only.is_none() {
@@ -870,13 +1015,12 @@ fn drain_round(shared: &HubShared, only: Option<u64>) -> usize {
     // Pop and coalesce chunks; every popped chunk is inflight until its
     // durability point (commit waits on the counter).
     let window_ops = shared.config.window_ops;
-    let mut chunks: Vec<(u64, UpdateBatch, usize)> = Vec::new();
     for &sid in &ids {
         let p = g.sessions.get_mut(&sid).expect("session listed");
         while let Some((merged, coalesced)) = pop_chunk(&mut p.queue, &mut p.queued_ops, window_ops)
         {
             p.inflight += 1;
-            chunks.push((sid, merged, coalesced));
+            guard.pending.push_back((sid, merged, coalesced));
             if only.is_none() {
                 break; // background rounds take one chunk per session
             }
@@ -889,35 +1033,49 @@ fn drain_round(shared: &HubShared, only: Option<u64>) -> usize {
 
     // ── No hub lock held from here: append + apply each chunk in order
     // (catalog ownership makes this the WAL order), then the group fsync.
-    let mut acks: Vec<(u64, BatchReceipt)> = Vec::new();
+    // Results accumulate *in the guard* so an unwind anywhere below still
+    // settles every popped chunk.
     let mut sync: Option<(Arc<GroupCommit>, u64)> = None;
-    let mut failed: BTreeMap<u64, (IngestError, Vec<UpdateBatch>)> = BTreeMap::new();
-    for (sid, chunk, coalesced) in chunks {
-        if let Some((_, requeue)) = failed.get_mut(&sid) {
+    let mut chunk_idx = 0usize;
+    while let Some((sid, chunk, coalesced)) = guard.pending.pop_front() {
+        if let Some((_, requeue)) = guard.failed.get_mut(&sid) {
             requeue.push(chunk);
             continue;
         }
-        let applied: Result<BatchReceipt, IngestError> = match &mut inner {
-            HubInner::Volatile(cat) => cat.apply_batch(&chunk).map_err(IngestError::Catalog),
-            HubInner::Durable(dc) => dc
-                .apply_batch_nosync(&chunk)
-                .map(|(receipt, lsn)| {
-                    sync = Some((dc.group(), lsn));
-                    receipt
-                })
-                .map_err(IngestError::from),
-        };
+        guard.applying = Some(sid);
+        if chunk_idx == shared.config.inject_round_panic_at
+            && shared.panic_once.swap(false, Ordering::SeqCst)
+        {
+            // Test failpoint: unwind at the worst moment — catalog
+            // checked out, this chunk mid-apply, earlier ones applied
+            // but unacknowledged, others still pending, no lock held
+            // (see HubConfig).
+            panic!("injected drain-round panic");
+        }
+        chunk_idx += 1;
+        let applied: Result<BatchReceipt, IngestError> =
+            match guard.inner.as_mut().expect("round holds the catalog") {
+                HubInner::Volatile(cat) => cat.apply_batch(&chunk).map_err(IngestError::Catalog),
+                HubInner::Durable(dc) => dc
+                    .apply_batch_nosync(&chunk)
+                    .map(|(receipt, lsn)| {
+                        sync = Some((dc.group(), lsn));
+                        receipt
+                    })
+                    .map_err(IngestError::from),
+            };
+        guard.applying = None;
         match applied {
             Ok(mut receipt) => {
                 receipt.coalesced_from = coalesced;
-                acks.push((sid, receipt));
+                guard.acks.push((sid, receipt));
             }
             Err(e) => {
-                failed.insert(sid, (e, vec![chunk]));
+                guard.failed.insert(sid, (e, vec![chunk]));
             }
         }
     }
-    let applied = acks.len();
+    let applied = guard.acks.len();
 
     // ── Hand the catalog back *before* the fsync and requeue failures:
     // the next round can append (and race into the group sync as a
@@ -926,13 +1084,13 @@ fn drain_round(shared: &HubShared, only: Option<u64>) -> usize {
     // (inflight held) until the sync settles, so commit's durability
     // boundary is unchanged.
     let mut g = shared.state.lock().expect("hub state");
-    g.inner = Some(inner);
+    g.inner = guard.inner.take();
     // Requeue failed sessions' chunks at the front, preserving order
     // (ahead of anything submitted while the round ran unlocked). A
     // session whose handle is gone gets its failed chunks dropped
     // instead: no producer is left to retry or discard them, and
     // requeueing would retry the poison chunk forever.
-    for (sid, (error, batches)) in failed {
+    for (sid, (error, batches)) in std::mem::take(&mut guard.failed) {
         if let Some(p) = g.sessions.get_mut(&sid) {
             p.inflight -= batches.len();
             if p.open {
@@ -952,24 +1110,38 @@ fn drain_round(shared: &HubShared, only: Option<u64>) -> usize {
     // ── The slow part, with nothing held: the group fsync. One leader's
     // fsync acknowledges every concurrent round it covers.
     let sync_result = match &sync {
-        Some((gc, lsn)) if !acks.is_empty() => gc.sync_upto(*lsn),
+        Some((gc, lsn)) if !guard.acks.is_empty() => gc.sync_upto(*lsn),
         _ => Ok(()),
     };
 
-    // ── Settle the sessions, and rotate at the durability point.
-    let mut g = shared.state.lock().expect("hub state");
+    // ── Rotate at the durability point, with the catalog checked out
+    // again — never under the hub lock, so producers keep enqueueing
+    // while the checkpointer seals the generation (the slow snapshot
+    // encode+fsync itself leaves on a background pool job; see
+    // `DurableCatalog::checkpoint`). Opportunistic: if a concurrent
+    // round holds the catalog, skip — its own durability point retries
+    // (the threshold is still exceeded). A failed rotation likewise just
+    // leaves the previous generation chain authoritative.
     if sync_result.is_ok() && sync.is_some() {
-        // Auto-rotation: opportunistic — skip if another round has the
-        // catalog checked out (its own durability point will retry; the
-        // threshold is still exceeded). A failed rotation likewise just
-        // leaves the previous generation authoritative.
-        if let Some(HubInner::Durable(dc)) = g.inner.as_mut() {
-            let _ = dc.maybe_rotate();
+        let mut g = shared.state.lock().expect("hub state");
+        if matches!(g.inner, Some(HubInner::Durable(_))) {
+            guard.inner = g.inner.take();
+            drop(g);
+            if let Some(HubInner::Durable(dc)) = guard.inner.as_mut() {
+                let _ = dc.maybe_rotate();
+            }
+            let mut g = shared.state.lock().expect("hub state");
+            g.inner = guard.inner.take();
+            drop(g);
+            shared.ack.notify_all();
         }
     }
+
+    // ── Settle the sessions.
+    let mut g = shared.state.lock().expect("hub state");
     match sync_result {
         Ok(()) => {
-            for (sid, receipt) in acks {
+            for (sid, receipt) in guard.acks.drain(..) {
                 if let Some(p) = g.sessions.get_mut(&sid) {
                     p.inflight -= 1;
                     p.receipts.push(receipt);
@@ -983,7 +1155,7 @@ fn drain_round(shared: &HubShared, only: Option<u64>) -> usize {
             // delivered (the chunks *did* apply), so the session's
             // submitted/applied accounting stays coherent; the sticky
             // Journal error is what flags the durability ambiguity.
-            for (sid, receipt) in acks {
+            for (sid, receipt) in guard.acks.drain(..) {
                 if let Some(p) = g.sessions.get_mut(&sid) {
                     p.inflight -= 1;
                     p.receipts.push(receipt);

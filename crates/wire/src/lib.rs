@@ -27,8 +27,18 @@
 //! length, the payload, and a CRC-32 of the payload. A frame is either
 //! read back intact or classified as **torn** — the property write-ahead
 //! logging relies on to discard an interrupted final record at recovery.
+//!
+//! ## Chained segments
+//!
+//! Logs that rotate without stopping the world store [`segment`] records:
+//! a tagged union of opaque payloads and the [`segment::SealRecord`]
+//! manifest that closes a generation and names its successor, so recovery
+//! can replay a snapshot plus a *chain* of sealed logs and the active tail.
 
 pub mod frame;
+pub mod segment;
+
+pub use segment::{SealRecord, SegmentRecord};
 
 use std::fmt;
 
@@ -326,6 +336,21 @@ impl<T: Decode> Decode for Option<T> {
             1 => Ok(Some(T::decode(r)?)),
             tag => Err(WireError::Tag { type_name: "Option", tag }),
         }
+    }
+}
+
+/// `Arc` is transparent on the wire: the pointee's encoding, nothing
+/// else. Lets copy-on-write state (shared extents, frozen stores) flow
+/// into snapshots without a deep copy at capture time.
+impl<T: Encode + ?Sized> Encode for std::sync::Arc<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (**self).encode(out);
+    }
+}
+
+impl<T: Decode> Decode for std::sync::Arc<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(std::sync::Arc::new(T::decode(r)?))
     }
 }
 

@@ -10,6 +10,7 @@ use crate::parse::{parse_document, ParseError};
 use flexkey::{FlexKey, Seg};
 use std::collections::BTreeMap;
 use std::ops::Bound;
+use std::sync::Arc;
 
 /// A stored XML node: its data plus the count annotation of Chapter 6.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -20,11 +21,17 @@ pub struct Node {
 }
 
 /// One stored document: a name, a root key, and the FlexKey-ordered node map.
+///
+/// The node map is `Arc`-shared copy-on-write: cloning a `Doc` (and hence a
+/// whole [`Store`]) shares the map instead of deep-copying it, so a frozen
+/// checkpoint epoch ([`Store::frozen`]) costs O(documents), not O(nodes).
+/// The first mutation of a shared document unshares its map once
+/// (`Arc::make_mut`); value semantics are unchanged.
 #[derive(Clone, Debug, Default)]
 pub struct Doc {
     pub name: String,
     pub root: FlexKey,
-    nodes: BTreeMap<FlexKey, Node>,
+    nodes: Arc<BTreeMap<FlexKey, Node>>,
 }
 
 /// Where to place an inserted fragment among its new siblings.
@@ -78,10 +85,11 @@ impl Store {
         // around them.
         let handle = FlexKey::root(Seg::nth(self.next_root * 3));
         self.next_root += 1;
-        let mut doc = Doc { name: name.to_string(), root: handle.clone(), nodes: BTreeMap::new() };
-        doc.nodes.insert(handle.clone(), Node { data: NodeData::element("#document"), count: 1 });
+        let mut doc = Doc { name: name.to_string(), root: handle.clone(), nodes: Arc::default() };
+        doc.nodes_mut()
+            .insert(handle.clone(), Node { data: NodeData::element("#document"), count: 1 });
         let elem_root = handle.nth_child(0);
-        insert_frag_at(&mut doc.nodes, elem_root.clone(), &frag, 2);
+        insert_frag_at(doc.nodes_mut(), elem_root.clone(), &frag, 2);
         self.docs.insert(name.to_string(), doc);
         elem_root
     }
@@ -239,7 +247,7 @@ impl Store {
         };
         let doc = self.doc_of_mut(parent)?;
         let root = FlexKey::sibling_between(parent, lo.as_ref(), hi.as_ref());
-        insert_frag_at(&mut doc.nodes, root.clone(), frag, 2);
+        insert_frag_at(doc.nodes_mut(), root.clone(), frag, 2);
         Some(root)
     }
 
@@ -257,8 +265,9 @@ impl Store {
                     .map(|(k, _)| k.clone()),
             )
             .collect();
+        let nodes = doc.nodes_mut();
         for k in &to_remove {
-            doc.nodes.remove(k);
+            nodes.remove(k);
         }
         to_remove.len()
     }
@@ -280,7 +289,7 @@ impl Store {
         };
         let Some(target) = target else { return false };
         let Some(doc) = self.doc_of_mut(&target) else { return false };
-        if let Some(node) = doc.nodes.get_mut(&target) {
+        if let Some(node) = doc.nodes_mut().get_mut(&target) {
             node.data = NodeData::text(new_value);
             true
         } else {
@@ -291,7 +300,13 @@ impl Store {
     /// Replace the value of attribute `name` on the element at `key`.
     pub fn replace_attr(&mut self, key: &FlexKey, name: &str, new_value: &str) -> bool {
         let Some(doc) = self.doc_of_mut(key) else { return false };
-        match doc.nodes.get_mut(key) {
+        // Probe through the shared map first: unsharing (an O(document)
+        // copy while a frozen snapshot holds the other reference) is only
+        // worth paying when there is an element to mutate.
+        if !matches!(doc.nodes.get(key), Some(Node { data: NodeData::Element { .. }, .. })) {
+            return false;
+        }
+        match doc.nodes_mut().get_mut(key) {
             Some(Node { data: NodeData::Element { attrs, .. }, .. }) => {
                 match attrs.iter_mut().find(|(k, _)| k == name) {
                     Some((_, v)) => {
@@ -317,6 +332,18 @@ impl Store {
     /// Total node count across all documents.
     pub fn total_nodes(&self) -> usize {
         self.docs.values().map(|d| d.nodes.len()).sum()
+    }
+
+    /// A frozen checkpoint epoch of the store: an independent `Store`
+    /// value capturing the current state in O(documents) time, because
+    /// every node map is `Arc`-shared rather than copied. Mutating either
+    /// side afterwards unshares only the touched document (copy-on-write),
+    /// so a snapshot writer can encode the frozen epoch on another thread
+    /// while ingestion keeps committing — the non-blocking checkpoint
+    /// primitive. Semantically identical to `clone()` (which is equally
+    /// cheap); the name states the intent at checkpoint call sites.
+    pub fn frozen(&self) -> Store {
+        self.clone()
     }
 
     /// Deep content equality: every document (name, root, node keys, node
@@ -356,7 +383,13 @@ impl Store {
 impl Doc {
     /// Reassemble a document from decoded parts (wire codec only).
     pub(crate) fn from_parts(name: String, root: FlexKey, nodes: BTreeMap<FlexKey, Node>) -> Doc {
-        Doc { name, root, nodes }
+        Doc { name, root, nodes: Arc::new(nodes) }
+    }
+
+    /// Mutable access to the node map, unsharing it first if a frozen
+    /// clone still holds the previous epoch (copy-on-write point).
+    fn nodes_mut(&mut self) -> &mut BTreeMap<FlexKey, Node> {
+        Arc::make_mut(&mut self.nodes)
     }
 
     /// Iterate nodes strictly after `key` in document order.
@@ -538,6 +571,37 @@ mod tests {
         let xml = s.serialize_doc("prices.xml").unwrap();
         assert!(xml.starts_with("<prices>"));
         assert!(xml.contains("<price>65.95</price>"));
+    }
+
+    /// The frozen-epoch contract: a frozen clone shares node maps until a
+    /// write, and mutations on the live store never leak into the frozen
+    /// copy (nor vice versa) — value semantics with O(docs) capture cost.
+    #[test]
+    fn frozen_clone_shares_until_write_and_stays_isolated() {
+        let mut live = two_docs();
+        let frozen = live.frozen();
+        assert!(live.same_content(&frozen));
+
+        // Mutate the live side: insert into bib.xml, delete from prices.
+        let bib = live.doc_root("bib.xml").unwrap();
+        live.insert_fragment(&bib, InsertPos::Last, &Frag::elem("book").attr("year", "2025"))
+            .unwrap();
+        let prices = live.doc_root("prices.xml").unwrap();
+        let entry = live.children_named(&prices, "entry")[0].clone();
+        live.delete_subtree(&entry);
+        assert!(!live.same_content(&frozen), "live diverged");
+
+        // The frozen epoch still serves the pre-mutation state.
+        let fb = frozen.doc_root("bib.xml").unwrap();
+        assert_eq!(frozen.children_named(&fb, "book").len(), 2);
+        let fp = frozen.doc_root("prices.xml").unwrap();
+        assert_eq!(frozen.children_named(&fp, "entry").len(), 3);
+
+        // And mutating the frozen copy does not leak back into the live
+        // store either (CoW is symmetric).
+        let mut frozen = frozen;
+        frozen.replace_attr(&frozen.doc_root("bib.xml").unwrap().clone(), "tag", "x");
+        assert!(live.attr(&live.doc_root("bib.xml").unwrap(), "tag").is_none());
     }
 
     #[test]

@@ -104,9 +104,11 @@
 //! checkpoint a full [`viewsrv::Snapshot`] — store, view definitions, and
 //! materialized extents. `DurableCatalog::open` recovers by loading the
 //! newest valid snapshot, reinstalling extents **without recomputation**,
-//! replaying the WAL tail through the ordinary `apply_batch` path, and
-//! discarding a torn final record; restart cost is proportional to the
-//! log tail, not to total data (see the `fig_recovery` bench):
+//! replaying the WAL tail through the ordinary `apply_batch` path — plus
+//! any **sealed log segments chained after it**, when a crash interrupted
+//! a background checkpoint — and discarding a torn final record; restart
+//! cost is proportional to the log tail, not to total data (see the
+//! `fig_recovery` bench):
 //!
 //! ```
 //! use xqview::viewsrv::DurableCatalog;
@@ -139,7 +141,16 @@
 //! concurrent `commit()`s share their WAL fsyncs through a
 //! leader/follower **group commit** ([`WalSyncStats`] counts the
 //! sharing). The WAL also checkpoints itself once its tail crosses the
-//! [`RotatePolicy`] bounds, keeping restart replay bounded.
+//! [`RotatePolicy`] bounds, keeping restart replay bounded — and in the
+//! default [`CheckpointMode::Background`] that rotation does **not**
+//! stop the world: capture freezes the store and extents by
+//! copy-on-write handle (O(documents + views)), a seal record closes the
+//! old WAL generation, commits continue into the next log at memory
+//! speed, and a detached [`exec`] job encodes and fsyncs the snapshot
+//! (the `fig_checkpoint` bench measures commit latency under forced
+//! rotation, background vs stop-the-world). Drain rounds are panic-safe:
+//! a round that unwinds mid-apply hands the catalog back and surfaces a
+//! sticky error instead of deadlocking `shutdown`.
 
 pub use exec;
 pub use flexkey;
@@ -153,9 +164,9 @@ pub use xquery_lang;
 pub use datagen;
 pub use flexkey::{FlexKey, OrdKey, SemId};
 pub use viewsrv::{
-    BatchReceipt, CatalogError, CatalogSession, DurabilityError, DurableCatalog, HubConfig,
-    HubInner, IngestError, IngestHub, RecoveryReport, RotatePolicy, ServiceStats, SessionConfig,
-    SessionHandle, SessionReceipt, ViewCatalog, WalSyncStats,
+    BatchReceipt, CatalogError, CatalogSession, CheckpointMode, DurabilityError, DurableCatalog,
+    HubConfig, HubInner, IngestError, IngestHub, RecoveryReport, RotatePolicy, ServiceStats,
+    SessionConfig, SessionHandle, SessionReceipt, ViewCatalog, WalSyncStats,
 };
 pub use vpa_core::{MaintStats, MaintView, ResolvedUpdate, Sapt, ViewManager};
 pub use xat::{ExecOptions, ExecStats, Executor, Plan, ViewExtent};

@@ -142,7 +142,12 @@ fn drain_round_is_fair_across_sessions() {
     }
     // A huge time window keeps the background thread out of the way; the
     // test drives rounds by hand.
-    let hub = cat.into_hub(HubConfig { queue_capacity: 64, window_ops: 4, window_ms: 60_000 });
+    let hub = cat.into_hub(HubConfig {
+        queue_capacity: 64,
+        window_ops: 4,
+        window_ms: 60_000,
+        ..HubConfig::default()
+    });
     let flood = hub.handle();
     let light = hub.handle();
     for i in 0..10 {
@@ -182,7 +187,12 @@ fn background_drain_applies_within_the_window() {
     for (name, q) in view_defs() {
         cat.register(name, &q).unwrap();
     }
-    let hub = cat.into_hub(HubConfig { queue_capacity: 64, window_ops: 256, window_ms: 30 });
+    let hub = cat.into_hub(HubConfig {
+        queue_capacity: 64,
+        window_ops: 256,
+        window_ms: 30,
+        ..HubConfig::default()
+    });
     let writer = hub.handle();
     for i in 0..5 {
         writer.try_submit(insert_batch(&cfg, i)).unwrap();
@@ -219,7 +229,12 @@ fn hub_backpressure_and_shutdown_errors() {
     for (name, q) in view_defs() {
         cat.register(name, &q).unwrap();
     }
-    let hub = cat.into_hub(HubConfig { queue_capacity: 2, window_ops: 8, window_ms: 60_000 });
+    let hub = cat.into_hub(HubConfig {
+        queue_capacity: 2,
+        window_ops: 8,
+        window_ms: 60_000,
+        ..HubConfig::default()
+    });
     let writer = hub.handle();
     writer.try_submit(insert_batch(&cfg, 0)).unwrap();
     writer.try_submit(insert_batch(&cfg, 1)).unwrap();
@@ -253,7 +268,12 @@ fn concurrent_producers_all_commit() {
     for (name, q) in view_defs() {
         cat.register(name, &q).unwrap();
     }
-    let hub = cat.into_hub(HubConfig { queue_capacity: 64, window_ops: 8, window_ms: 1 });
+    let hub = cat.into_hub(HubConfig {
+        queue_capacity: 64,
+        window_ops: 8,
+        window_ms: 1,
+        ..HubConfig::default()
+    });
     let per_producer = 6usize;
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..3)
@@ -319,7 +339,12 @@ fn group_commit_concurrent_commits_share_fsyncs() {
     let cfg = bib_cfg();
     let dir = temp_dir("group");
     let cat = durable_catalog(&dir, &cfg);
-    let hub = cat.into_hub(HubConfig { queue_capacity: 64, window_ops: 4, window_ms: 60_000 });
+    let hub = cat.into_hub(HubConfig {
+        queue_capacity: 64,
+        window_ops: 4,
+        window_ms: 60_000,
+        ..HubConfig::default()
+    });
     let per_producer = 5usize;
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..4)
@@ -371,7 +396,12 @@ fn group_commit_crash_matrix_replays_every_prefix() {
     let dir = temp_dir("group-matrix");
     let cat = durable_catalog(&dir, &cfg);
     let base_store = cat.store().clone();
-    let hub = cat.into_hub(HubConfig { queue_capacity: 64, window_ops: 2, window_ms: 60_000 });
+    let hub = cat.into_hub(HubConfig {
+        queue_capacity: 64,
+        window_ops: 2,
+        window_ms: 60_000,
+        ..HubConfig::default()
+    });
     std::thread::scope(|s| {
         for p in 0..3 {
             let writer = hub.handle();
@@ -400,9 +430,19 @@ fn group_commit_crash_matrix_replays_every_prefix() {
     let (spans, clean_end) = frame::scan_frames(&raw);
     assert_eq!(clean_end, raw.len(), "the shut-down log is clean");
     assert!(!spans.is_empty());
-    // Decode every logged chunk: the replay oracle.
-    let batches: Vec<UpdateBatch> =
-        spans.iter().map(|&(s, e)| wire::from_slice(&raw[s..e]).expect("record decodes")).collect();
+    // Decode every logged chunk (a tagged segment record): the replay
+    // oracle.
+    let batches: Vec<UpdateBatch> = spans
+        .iter()
+        .map(|&(s, e)| {
+            match wire::from_slice::<wire::SegmentRecord<UpdateBatch>>(&raw[s..e])
+                .expect("record decodes")
+            {
+                wire::SegmentRecord::Payload(b) => b,
+                wire::SegmentRecord::Seal(_) => panic!("no rotation happened in this run"),
+            }
+        })
+        .collect();
     let mut boundaries = vec![0usize];
     boundaries.extend(spans.iter().map(|&(_, payload_end)| payload_end + frame::TRAILER));
 
@@ -451,7 +491,12 @@ fn hub_traffic_triggers_auto_rotation() {
     let mut cat = durable_catalog(&dir, &cfg);
     cat.set_rotate_policy(RotatePolicy::records(2));
     let gen0 = cat.generation();
-    let hub = cat.into_hub(HubConfig { queue_capacity: 64, window_ops: 1, window_ms: 60_000 });
+    let hub = cat.into_hub(HubConfig {
+        queue_capacity: 64,
+        window_ops: 1,
+        window_ms: 60_000,
+        ..HubConfig::default()
+    });
     let writer = hub.handle();
     for i in 0..8 {
         writer.try_submit(insert_batch(&cfg, i)).unwrap();
@@ -483,7 +528,12 @@ fn failed_chunk_isolated_to_its_session() {
     for (name, q) in view_defs() {
         cat.register(name, &q).unwrap();
     }
-    let hub = cat.into_hub(HubConfig { queue_capacity: 8, window_ops: 8, window_ms: 60_000 });
+    let hub = cat.into_hub(HubConfig {
+        queue_capacity: 8,
+        window_ops: 8,
+        window_ms: 60_000,
+        ..HubConfig::default()
+    });
     let good = hub.handle();
     let bad = hub.handle();
     good.try_submit(insert_batch(&cfg, 0)).unwrap();
@@ -503,6 +553,205 @@ fn failed_chunk_isolated_to_its_session() {
     assert_eq!(receipt.batches_applied, 0);
     drop(good);
     drop(bad);
+    match hub.shutdown() {
+        HubInner::Volatile(cat) => cat.verify_all().unwrap(),
+        HubInner::Durable(_) => unreachable!(),
+    }
+}
+
+/// ISSUE 5 satellite (regression): a drain round that panics while the
+/// catalog is checked out must not deadlock the hub. Before the unwind
+/// guard, the catalog hand-back never happened and `shutdown` looped on
+/// the `ack` condvar forever. Now the guard restores the catalog,
+/// surfaces a sticky error on the session whose chunk was mid-apply
+/// (its effects are unknown, so it is *not* retried), requeues untouched
+/// chunks, and wakes every waiter.
+#[test]
+fn shutdown_survives_a_panicking_drain_round() {
+    let cfg = bib_cfg();
+    let mut cat = ViewCatalog::new(fresh_store(&cfg));
+    for (name, q) in view_defs() {
+        cat.register(name, &q).unwrap();
+    }
+    let hub = cat.into_hub(HubConfig {
+        queue_capacity: 8,
+        window_ops: 8,
+        window_ms: 60_000,
+        inject_round_panic: true,
+        ..HubConfig::default()
+    });
+    // Round-robin starts after the initial cursor (session 0), so the
+    // first round visits session 1 first: the *second* handle's chunk is
+    // the one mid-apply when the failpoint fires; session 0's chunk is
+    // still pending and must requeue cleanly.
+    let bystander = hub.handle();
+    let hit = hub.handle();
+    bystander.try_submit(insert_batch(&cfg, 0)).unwrap();
+    hit.try_submit(insert_batch(&cfg, 1)).unwrap();
+    let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| hub.drain_now()));
+    assert!(unwound.is_err(), "the injected panic must surface");
+
+    // The mid-apply session sees a sticky error instead of hanging, and
+    // its poisoned chunk is gone (retrying could double-apply).
+    let err = hit.commit().unwrap_err();
+    assert!(
+        matches!(&err, IngestError::Catalog(e) if e.to_string().contains("panicked")),
+        "{err:?}"
+    );
+    let receipt = hit.commit().unwrap();
+    assert_eq!(receipt.batches_applied, 0, "the mid-apply chunk was dropped, not retried");
+
+    // The untouched session's chunk was requeued cleanly and commits.
+    let receipt = bystander.commit().unwrap();
+    assert_eq!((receipt.batches_submitted, receipt.batches_applied), (1, 1));
+    drop(hit);
+    drop(bystander);
+
+    // The regression itself: shutdown completes and hands the catalog
+    // back instead of deadlocking.
+    match hub.shutdown() {
+        HubInner::Volatile(cat) => cat.verify_all().unwrap(),
+        HubInner::Durable(_) => unreachable!(),
+    }
+}
+
+/// ISSUE 5 acceptance: producers keep committing through the hub while a
+/// forced checkpoint runs. The checkpoint job is parked behind a wedged
+/// one-worker pool, so the whole "during" phase runs with the snapshot
+/// demonstrably still in flight — commits must neither hit QueueFull nor
+/// stall for O(store) time (the rotation itself costs a seal + an empty
+/// log create, not an encode of the store).
+#[test]
+fn producers_commit_during_forced_checkpoint_without_stalls() {
+    // A store an order of magnitude past the other hub tests (so a
+    // stop-the-world encode would be visibly slow) under *linear* views —
+    // the quadratic self-join of `view_defs` would dominate every commit
+    // with propagation cost and drown the signal this test measures.
+    let cfg =
+        datagen::BibConfig { books: 800, years: 6, priced_ratio: 0.8, extra_entries: 6, seed: 11 };
+    let dir = temp_dir("ckpt-stall");
+    let mut cat = DurableCatalog::open(&dir).unwrap();
+    cat.load_doc("bib.xml", &datagen::bib_xml(&cfg)).unwrap();
+    cat.load_doc("prices.xml", &datagen::prices_xml(&cfg)).unwrap();
+    cat.register("titles", r#"<r>{ for $b in doc("bib.xml")/bib/book return $b/title }</r>"#)
+        .unwrap();
+    cat.register(
+        "prices",
+        r#"<r>{ for $e in doc("prices.xml")/prices/entry return <p>{$e/price}</p> }</r>"#,
+    )
+    .unwrap();
+    let gen0 = cat.generation();
+    // Wedge the checkpoint pool's only worker: every background snapshot
+    // job stays queued until the test releases it.
+    let pool = Executor::new(2);
+    let (release, parked) = std::sync::mpsc::channel::<()>();
+    let blocker = pool.spawn(move || parked.recv().ok());
+    cat.set_checkpoint_pool(pool);
+    // The 13th journaled record crosses the bound: commits 0..=9 are the
+    // steady-state sample, the rotation fires inside the "during" phase.
+    cat.set_rotate_policy(RotatePolicy::records(13));
+    let hub = cat.into_hub(HubConfig {
+        queue_capacity: 8,
+        window_ops: 4,
+        window_ms: 60_000,
+        ..HubConfig::default()
+    });
+    let writer = hub.handle();
+    let mut commit_once = |i: usize| -> std::time::Duration {
+        let t0 = std::time::Instant::now();
+        // Any QueueFull here fails the test — that is the "no QueueFull
+        // burst" half of the acceptance criterion.
+        writer.try_submit(insert_batch(&cfg, i)).expect("no backpressure burst");
+        let _ = writer.commit().expect("durable commit");
+        t0.elapsed()
+    };
+    let mut steady: Vec<std::time::Duration> = (0..10).map(&mut commit_once).collect();
+    let during: Vec<std::time::Duration> = (10..30).map(&mut commit_once).collect();
+    release.send(()).unwrap();
+    blocker.wait();
+    drop(writer);
+    let mut cat = match hub.shutdown() {
+        HubInner::Durable(cat) => cat,
+        HubInner::Volatile(_) => unreachable!(),
+    };
+    assert!(cat.generation() > gen0, "the forced checkpoint really fired mid-phase");
+    cat.settle_checkpoint();
+    assert_eq!(cat.last_checkpoint_error(), None);
+    assert_eq!(cat.snapshot_generation(), cat.generation());
+    cat.verify_all().unwrap();
+
+    // Latency: every during-checkpoint commit stays within a small
+    // multiple of the steady-state median (generous bounds — CI runners
+    // are noisy — but far below an O(store) snapshot encode+fsync).
+    steady.sort();
+    let steady_median = steady[steady.len() / 2];
+    let worst_during = during.iter().max().unwrap();
+    let bound = steady_median * 25 + std::time::Duration::from_millis(100);
+    assert!(
+        *worst_during < bound,
+        "a commit stalled during the checkpoint: worst {worst_during:?} vs steady median \
+         {steady_median:?}"
+    );
+
+    let want_books = cat.store().serialize_doc("bib.xml").unwrap().matches("<book").count();
+    drop(cat);
+    let cat = DurableCatalog::open(&dir).unwrap();
+    assert_eq!(cat.store().serialize_doc("bib.xml").unwrap().matches("<book").count(), want_books);
+    cat.verify_all().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The other half of the unwind coverage: the round panics *after* a
+/// chunk has already applied. That session's inflight count must still
+/// release — its receipt arrives paired with a sticky durability-unknown
+/// error — or its `commit()` would block on the ack condvar forever.
+#[test]
+fn panic_after_an_applied_chunk_releases_all_sessions() {
+    let cfg = bib_cfg();
+    let mut cat = ViewCatalog::new(fresh_store(&cfg));
+    for (name, q) in view_defs() {
+        cat.register(name, &q).unwrap();
+    }
+    let hub = cat.into_hub(HubConfig {
+        queue_capacity: 8,
+        window_ops: 8,
+        window_ms: 60_000,
+        inject_round_panic: true,
+        inject_round_panic_at: 1,
+    });
+    // Round-robin visits session 1 first (the cursor starts at 0):
+    // chunk 0 = `acked`'s (applies), chunk 1 = `hit`'s (panics
+    // mid-apply), `untouched`'s chunk stays pending and requeues.
+    let untouched = hub.handle();
+    let acked = hub.handle();
+    let hit = hub.handle();
+    untouched.try_submit(insert_batch(&cfg, 0)).unwrap();
+    acked.try_submit(insert_batch(&cfg, 1)).unwrap();
+    hit.try_submit(insert_batch(&cfg, 2)).unwrap();
+
+    let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| hub.drain_now()));
+    assert!(unwound.is_err(), "the injected panic must surface");
+
+    // The applied-but-unacknowledged session: sticky error first, then
+    // the already-delivered receipt — and crucially, no hang.
+    let err = acked.commit().unwrap_err();
+    assert!(
+        matches!(&err, IngestError::Catalog(e) if e.to_string().contains("durability is unknown")),
+        "{err:?}"
+    );
+    let receipt = acked.commit().unwrap();
+    assert_eq!((receipt.batches_submitted, receipt.batches_applied), (1, 1));
+
+    // The mid-apply session: error, chunk dropped.
+    let err = hit.commit().unwrap_err();
+    assert!(matches!(&err, IngestError::Catalog(e) if e.to_string().contains("panicked")));
+    assert_eq!(hit.commit().unwrap().batches_applied, 0);
+
+    // The untouched session requeued cleanly and commits.
+    assert_eq!(untouched.commit().unwrap().batches_applied, 1);
+    drop(untouched);
+    drop(acked);
+    drop(hit);
     match hub.shutdown() {
         HubInner::Volatile(cat) => cat.verify_all().unwrap(),
         HubInner::Durable(_) => unreachable!(),

@@ -299,3 +299,161 @@ fn journaled_session_crash_matrix() {
     std::fs::remove_dir_all(&dir).unwrap();
     std::fs::remove_dir_all(&dir_img).unwrap();
 }
+
+/// Copy every file of `src` into a fresh `dst` — the base of each
+/// rotation crash image (surgery then removes/truncates files to land
+/// exactly between two rotation steps).
+fn copy_dir(src: &std::path::Path, dst: &std::path::Path) {
+    let _ = std::fs::remove_dir_all(dst);
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let path = entry.unwrap().path();
+        std::fs::copy(&path, dst.join(path.file_name().unwrap())).unwrap();
+    }
+}
+
+fn wal_file(dir: &std::path::Path, gen: u64) -> std::path::PathBuf {
+    dir.join(format!("wal-{gen:010}.wire"))
+}
+
+fn snap_file(dir: &std::path::Path, gen: u64) -> std::path::PathBuf {
+    dir.join(format!("snap-{gen:010}.wire"))
+}
+
+/// ISSUE 5: the crash matrix extended to every **background-rotation
+/// boundary**. One run with a forced background checkpoint produces the
+/// final file set (previous snapshot, sealed log, new snapshot, new log
+/// with post-rotation records); because the rotation only ever *creates*
+/// files until the final prune, file surgery on a copy reconstructs each
+/// intermediate crash image:
+///
+/// 1. mid-seal — the seal record itself is torn;
+/// 2. sealed, died before the successor log was created;
+/// 3. sealed + successor log, snapshot encode still in flight (at every
+///    record boundary of the successor, and torn mid-record);
+/// 4. snapshot renamed, old generation not yet pruned — `open` must pick
+///    the new snapshot and must **not** replay the pre-snapshot WAL
+///    against it.
+///
+/// Every image must recover byte-identical to the uninterrupted
+/// reference prefix, with `verify_all()` green.
+#[test]
+fn crash_at_every_rotation_boundary_recovers_byte_identical() {
+    let cfg = bib_cfg();
+    let views = view_defs();
+    let reference = reference_run(&cfg, &views);
+
+    let dir = temp_dir("rotation-src");
+    let mut cat = DurableCatalog::open(&dir).unwrap();
+    cat.load_doc("bib.xml", &datagen::bib_xml(&cfg)).unwrap();
+    cat.load_doc("prices.xml", &datagen::prices_xml(&cfg)).unwrap();
+    for (name, q) in &views {
+        cat.register(name, q).unwrap();
+    }
+    let batches = workload(&cfg);
+    let pre = 3usize;
+    for b in &batches[..pre] {
+        let _ = cat.apply_batch(b).unwrap();
+    }
+    let sealed_gen = cat.generation();
+    let new_gen = cat.checkpoint().unwrap().expect("forced background checkpoint");
+    assert_eq!(new_gen, sealed_gen + 1);
+    cat.settle_checkpoint();
+    assert_eq!(cat.last_checkpoint_error(), None);
+    for b in &batches[pre..] {
+        let _ = cat.apply_batch(b).unwrap();
+    }
+    cat.verify_all().unwrap();
+    drop(cat);
+
+    let raw_sealed = std::fs::read(wal_file(&dir, sealed_gen)).unwrap();
+    let raw_new = std::fs::read(wal_file(&dir, new_gen)).unwrap();
+    let (sealed_spans, sealed_clean) = frame::scan_frames(&raw_sealed);
+    assert_eq!(sealed_clean, raw_sealed.len());
+    assert_eq!(sealed_spans.len(), pre + 1, "3 batch records + the seal");
+    let (new_spans, new_clean) = frame::scan_frames(&raw_new);
+    assert_eq!(new_clean, raw_new.len());
+    assert_eq!(new_spans.len(), batches.len() - pre);
+
+    let img = temp_dir("rotation-img");
+
+    // ── 4. Steady state after the rename, before/after the prune: the
+    // sealed predecessor is still on disk; open keys off the newest
+    // snapshot and replays only the new generation's records.
+    copy_dir(&dir, &img);
+    let cat = DurableCatalog::open(&img).unwrap();
+    let r = cat.recovery();
+    assert_eq!(r.snapshot_seq, new_gen);
+    assert_eq!(r.chained_segments, 0, "no chaining once the snapshot landed");
+    assert_eq!(r.replayed_batches, batches.len() - pre, "pre-snapshot WAL not replayed");
+    assert_eq!(extents(cat.catalog(), &views), reference.extents[batches.len()]);
+    assert!(cat.store().same_content(&reference.stores[batches.len()]));
+    cat.verify_all().unwrap();
+    drop(cat);
+
+    // ── 3. Snapshot encode in flight: sealed log + successor log, no
+    // new snapshot — at every record boundary of the successor, plus a
+    // torn mid-record cut after each.
+    let mut boundaries = vec![0usize];
+    boundaries.extend(new_spans.iter().map(|&(_, payload_end)| payload_end + frame::TRAILER));
+    for (k, &cut) in boundaries.iter().enumerate() {
+        for torn_extra in [0usize, 2] {
+            let cut = cut + torn_extra;
+            if torn_extra > 0 && k == boundaries.len() - 1 {
+                continue; // nothing to tear past the last record
+            }
+            copy_dir(&dir, &img);
+            std::fs::remove_file(snap_file(&img, new_gen)).unwrap();
+            std::fs::write(wal_file(&img, new_gen), &raw_new[..cut]).unwrap();
+            let cat = DurableCatalog::open(&img).unwrap();
+            let r = cat.recovery();
+            assert_eq!(r.snapshot_seq, sealed_gen, "falls back to the previous snapshot");
+            assert_eq!(r.chained_segments, 1, "the sealed generation chain-replays");
+            assert_eq!(r.replayed_batches, pre + k, "boundary {k} (+{torn_extra})");
+            assert_eq!(r.discarded_bytes, torn_extra as u64);
+            assert_eq!(extents(cat.catalog(), &views), reference.extents[pre + k]);
+            assert!(cat.store().same_content(&reference.stores[pre + k]));
+            cat.verify_all().unwrap();
+        }
+    }
+
+    // ── 2. Died between the seal fsync and creating the successor log:
+    // the chain ends at a missing file, which becomes the fresh active
+    // tail — and the catalog keeps ingesting from there.
+    copy_dir(&dir, &img);
+    std::fs::remove_file(snap_file(&img, new_gen)).unwrap();
+    std::fs::remove_file(wal_file(&img, new_gen)).unwrap();
+    let mut cat = DurableCatalog::open(&img).unwrap();
+    let r = cat.recovery();
+    assert_eq!((r.snapshot_seq, r.chained_segments, r.replayed_batches), (sealed_gen, 1, pre));
+    assert_eq!(cat.generation(), new_gen, "the seal's successor is the active generation");
+    assert_eq!(extents(cat.catalog(), &views), reference.extents[pre]);
+    for b in &batches[pre..] {
+        let _ = cat.apply_batch(b).unwrap();
+    }
+    assert_eq!(extents(cat.catalog(), &views), reference.extents[batches.len()]);
+    cat.verify_all().unwrap();
+    drop(cat);
+
+    // ── 1. Mid-seal: the seal record itself is torn. The rotation never
+    // happened — the old generation is simply the active tail with a
+    // discarded suffix.
+    let seal_frame_start = sealed_spans[pre].0 - frame::HEADER;
+    for cut in [seal_frame_start + 1, raw_sealed.len() - 1] {
+        copy_dir(&dir, &img);
+        std::fs::remove_file(snap_file(&img, new_gen)).unwrap();
+        std::fs::remove_file(wal_file(&img, new_gen)).unwrap();
+        std::fs::write(wal_file(&img, sealed_gen), &raw_sealed[..cut]).unwrap();
+        let cat = DurableCatalog::open(&img).unwrap();
+        let r = cat.recovery();
+        assert_eq!((r.snapshot_seq, r.chained_segments, r.replayed_batches), (sealed_gen, 0, pre));
+        assert_eq!(cat.generation(), sealed_gen, "no seal, no rotation");
+        assert!(r.discarded_bytes > 0, "the torn seal was discarded");
+        assert_eq!(extents(cat.catalog(), &views), reference.extents[pre]);
+        assert!(cat.store().same_content(&reference.stores[pre]));
+        cat.verify_all().unwrap();
+    }
+
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_dir_all(&img).unwrap();
+}
