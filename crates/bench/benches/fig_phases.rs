@@ -1,0 +1,32 @@
+//! `fig_phases` — phase breakdown read from the live obs registry under
+//! multi-writer hub traffic: validate/propagate/apply per round, WAL
+//! fsync latency, and the per-stage checkpoint cost. The committed JSON
+//! artifact (`BENCH_phases.json`, with the full metrics snapshot) comes
+//! from the `figures` binary; this target reports the headline p99s as
+//! statistical min/median points.
+//!
+//! ```sh
+//! cargo bench -p vpa-bench --bench fig_phases
+//! ```
+
+use std::time::Duration;
+use vpa_bench::{harness, measure_phases};
+
+fn main() {
+    let books = 400;
+    let n_views = 6;
+    let writers = 4;
+    let per_writer = 12;
+    let dir = std::env::temp_dir().join(format!("xqview-bench-phases-{}", std::process::id()));
+    let p99 = |name: &'static str| {
+        let dir = dir.clone();
+        move || {
+            let p = measure_phases(books, n_views, writers, per_writer, &dir);
+            Duration::from_nanos(p.snapshot.histogram(name).map_or(0, |h| h.p99()))
+        }
+    };
+    harness::bench("svc/apply p99 (live registry)", 3, p99("svc/apply"));
+    harness::bench("wal/fsync p99 (live registry)", 3, p99("wal/fsync"));
+    harness::bench("hub/round p99 (live registry)", 3, p99("hub/round"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -64,6 +64,106 @@ fn main() {
     if run("fig_checkpoint") {
         fig_checkpoint();
     }
+    if run("fig_phases") {
+        fig_phases();
+    }
+}
+
+/// Phase-observability sweep (beyond the paper): drive multi-writer hub
+/// traffic over a durable catalog and read the validate/propagate/apply
+/// breakdown, the WAL fsync/group-commit latencies, and the per-stage
+/// checkpoint costs **from the live obs registry** — the snapshot is
+/// taken while writers run, not from bench-side stopwatches. Emits
+/// `BENCH_phases.json` with the full metrics snapshot embedded, so the
+/// checkpoint-p99 culprit (ROADMAP item 4) is named by a committed
+/// artifact rather than rediscovered ad hoc.
+fn fig_phases() {
+    println!("\n== fig_phases: live-registry phase breakdown under hub traffic ==");
+    let books = 400usize;
+    let n_views = 6usize;
+    let writers = 4usize;
+    let per_writer = 12usize;
+    let dir = std::env::temp_dir().join(format!("xqview-figphases-{}", std::process::id()));
+    let p = measure_phases(books, n_views, writers, per_writer, &dir);
+    let us = |ns: u64| ns as f64 / 1e3;
+    println!(
+        "{:<22} {:>8} {:>12} {:>12} {:>12}",
+        "series", "count", "p50(us)", "p99(us)", "max(us)"
+    );
+    let headline = [
+        "svc/validate",
+        "svc/propagate",
+        "svc/apply",
+        "hub/round",
+        "wal/append",
+        "wal/fsync",
+        "wal/group_fsync",
+        "wal/commit_sync",
+        "ckpt/capture",
+        "ckpt/seal",
+        "ckpt/encode",
+        "ckpt/write",
+        "ckpt/rename",
+        "ckpt/prune",
+    ];
+    let mut rows = Vec::new();
+    for name in headline {
+        let Some(h) = p.snapshot.histogram(name) else {
+            println!("{name:<22} {:>8}", "absent");
+            continue;
+        };
+        println!(
+            "{:<22} {:>8} {:>12.1} {:>12.1} {:>12.1}",
+            name,
+            h.count(),
+            us(h.p50()),
+            us(h.p99()),
+            us(h.max()),
+        );
+        rows.push(format!(
+            "    {{\"name\": \"{name}\", \"count\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \
+             \"p99_ns\": {}, \"max_ns\": {}}}",
+            h.count(),
+            h.p50(),
+            h.p90(),
+            h.p99(),
+            h.max(),
+        ));
+    }
+    // Count-valued histograms (occupancy, not latency) print raw.
+    for name in ["session/chunk_coalesced", "session/chunk_ops", "hub/round_sessions"] {
+        if let Some(h) = p.snapshot.histogram(name) {
+            println!("{:<26} count {:>5}  p50 {:>5}  max {:>5}", name, h.count(), h.p50(), h.max());
+            rows.push(format!(
+                "    {{\"name\": \"{name}\", \"count\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \
+                 \"p99_ns\": {}, \"max_ns\": {}}}",
+                h.count(),
+                h.p50(),
+                h.p90(),
+                h.p99(),
+                h.max(),
+            ));
+        }
+    }
+    println!(
+        "chunks applied: {} (sessions) / {} (hub counter); ops: {}",
+        p.chunks_applied,
+        p.snapshot.counter("hub/chunks"),
+        p.ops,
+    );
+    let json = format!(
+        "{{\n  \"figure\": \"phases\",\n  {},\n  \"books\": {books},\n  \"views\": {n_views},\n  \
+         \"writers\": {writers},\n  \"batches_per_writer\": {per_writer},\n  \
+         \"chunks_applied\": {},\n  \"series\": [\n{}\n  ],\n  \"metrics\": {}}}\n",
+        env_header_json(),
+        p.chunks_applied,
+        rows.join(",\n"),
+        p.snapshot.to_json(),
+    );
+    match std::fs::write("BENCH_phases.json", &json) {
+        Ok(()) => println!("wrote BENCH_phases.json"),
+        Err(e) => println!("could not write BENCH_phases.json: {e}"),
+    }
 }
 
 /// Checkpoint-stall sweep (beyond the paper): per-commit latency while
@@ -128,8 +228,9 @@ fn fig_checkpoint() {
         }
     }
     let json = format!(
-        "{{\n  \"figure\": \"checkpoint\",\n  \"views\": {n_views},\n  \"cores\": {cores},\n  \
+        "{{\n  \"figure\": \"checkpoint\",\n  {},\n  \"views\": {n_views},\n  \
          \"commits_per_phase\": 30,\n  \"series\": [\n{}\n  ]\n}}\n",
+        env_header_json(),
         rows.join(",\n")
     );
     match std::fs::write("BENCH_checkpoint.json", &json) {
@@ -195,8 +296,9 @@ fn fig_parallel() {
         }
     }
     let json = format!(
-        "{{\n  \"figure\": \"parallel\",\n  \"books\": {books},\n  \"cores\": {cores},\n  \
+        "{{\n  \"figure\": \"parallel\",\n  {},\n  \"books\": {books},\n  \
          \"workload_batches\": {},\n  \"series\": [\n{}\n  ]\n}}\n",
+        env_header_json(),
         batches.len(),
         rows.join(",\n")
     );
@@ -242,8 +344,9 @@ fn fig_recovery() {
         ));
     }
     let json = format!(
-        "{{\n  \"figure\": \"recovery\",\n  \"books\": {books},\n  \"views\": {n_views},\n  \
+        "{{\n  \"figure\": \"recovery\",\n  {},\n  \"books\": {books},\n  \"views\": {n_views},\n  \
          \"series\": [\n{}\n  ]\n}}\n",
+        env_header_json(),
         rows.join(",\n")
     );
     match std::fs::write("BENCH_recovery.json", &json) {

@@ -147,6 +147,21 @@ pub fn ms(d: Duration) -> String {
     format!("{:9.3}", d.as_secs_f64() * 1e3)
 }
 
+/// The shared `BENCH_*.json` header fields describing the measurement
+/// environment: machine core count, the shared executor pool's lane
+/// count, and the `XQVIEW_POOL_THREADS` override when set. Every figure
+/// splices this fragment into its JSON so a reader can tell which
+/// parallelism regime produced a run.
+pub fn env_header_json() -> String {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let pool = exec::Executor::global().threads();
+    let env = match std::env::var("XQVIEW_POOL_THREADS") {
+        Ok(v) => format!("\"{}\"", v.escape_default()),
+        Err(_) => "null".to_string(),
+    };
+    format!("\"cores\": {cores},\n  \"pool_threads\": {pool},\n  \"pool_threads_env\": {env}")
+}
+
 /// A family of `n` distinct view definitions over the generated bib/prices
 /// pair for the multi-view catalog sweep: per-year flat selections
 /// (bib-only), a prices-only projection, the two-document join, and the
@@ -595,6 +610,116 @@ pub fn measure_parallel(
     cat.verify_all().expect("parallel oracle");
     let extents = queries.iter().map(|(n, _)| cat.extent_xml(n).unwrap()).collect();
     (ParallelPoint { propagate, total }, extents)
+}
+
+/// Outcome of one phase-observability run: the merged live metrics
+/// snapshot after driving hub traffic over a durable catalog, plus the
+/// receipt-level totals the driver observed independently (so the caller
+/// can cross-check snapshot counters against ground truth).
+pub struct PhasePoint {
+    /// The hub's merged [`obs::MetricsSnapshot`], captured while the
+    /// catalog was live (no writer was stopped to take it).
+    pub snapshot: obs::MetricsSnapshot,
+    /// Chunks the sessions saw applied (sum of receipt counts).
+    pub chunks_applied: usize,
+    /// Typed ops submitted across all sessions.
+    pub ops: usize,
+}
+
+/// Drive a [`viewsrv::DurableCatalog`] behind an [`viewsrv::IngestHub`]
+/// with `writers` concurrent sessions × `per_writer` single-insert
+/// batches under a rotation-heavy policy, then read the phase/WAL/
+/// checkpoint breakdown **from the live obs registry** — the
+/// `fig_phases` deliverable: the paper's per-phase cost decomposition
+/// (validate / propagate / apply, Fig 9.2's bottom charts) recovered
+/// from production telemetry instead of bench-side stopwatches.
+pub fn measure_phases(
+    books: usize,
+    n_views: usize,
+    writers: usize,
+    per_writer: usize,
+    dir: &std::path::Path,
+) -> PhasePoint {
+    let _ = std::fs::remove_dir_all(dir);
+    let cfg = bib_config(books);
+    let queries = multiview_queries(n_views, cfg.years);
+    let mut cat = viewsrv::DurableCatalog::open(dir).expect("open durable catalog");
+    cat.load_doc("bib.xml", &datagen::bib_xml(&cfg)).expect("load bib");
+    cat.load_doc("prices.xml", &datagen::prices_xml(&cfg)).expect("load prices");
+    for (name, q) in &queries {
+        cat.register(name, q).expect("register view");
+    }
+    // Rotate every couple of records so the background checkpoint stages
+    // (seal included) show up in the same window as the WAL and phase
+    // series — coalescing compresses each session's queue into one WAL
+    // record per round, so the record count grows slowly.
+    cat.set_rotate_policy(viewsrv::RotatePolicy::records(2));
+    cat.set_checkpoint_pool(exec::Executor::new(2));
+    let hub = cat.into_hub(viewsrv::HubConfig::default());
+
+    let mut ops = 0usize;
+    let mut chunks_applied = 0usize;
+    std::thread::scope(|s| {
+        let joins: Vec<_> = (0..writers)
+            .map(|w| {
+                let handle = hub.handle();
+                let cfg = &cfg;
+                s.spawn(move || {
+                    let mut ops = 0usize;
+                    let mut chunks = 0usize;
+                    let mut tally = |r: viewsrv::SessionReceipt| {
+                        ops += r.ops;
+                        chunks += r.batches_applied;
+                    };
+                    for i in 0..per_writer {
+                        let script = datagen::insert_books_script(
+                            cfg,
+                            cfg.books + w * per_writer + i,
+                            1,
+                            Some(1900),
+                        );
+                        let batch =
+                            viewsrv::UpdateBatch::from_script(&script).expect("workload parses");
+                        let mut batch = Some(batch);
+                        while let Some(b) = batch.take() {
+                            match handle.try_submit(b) {
+                                Ok(()) => {}
+                                Err(viewsrv::IngestError::QueueFull { batch: b, .. }) => {
+                                    // Backpressure: drain our own queue and retry.
+                                    tally(handle.commit().expect("commit under backpressure"));
+                                    batch = Some(b);
+                                }
+                                Err(e) => panic!("submit failed: {e}"),
+                            }
+                        }
+                        // Commit every few batches so each writer drives
+                        // several hub rounds (and WAL records) instead of
+                        // coalescing its whole run into one chunk.
+                        if i % 3 == 2 {
+                            tally(handle.commit().expect("periodic commit"));
+                        }
+                    }
+                    tally(handle.commit().expect("final commit"));
+                    (ops, chunks)
+                })
+            })
+            .collect();
+        for j in joins {
+            let (o, c) = j.join().expect("writer thread");
+            ops += o;
+            chunks_applied += c;
+        }
+    });
+
+    // Captured while the hub (and its drain thread) is still live.
+    let snapshot = hub.metrics();
+    let inner = hub.shutdown();
+    if let viewsrv::HubInner::Durable(dc) = &inner {
+        dc.verify_all().expect("phase-sweep oracle");
+    }
+    drop(inner);
+    let _ = std::fs::remove_dir_all(dir);
+    PhasePoint { snapshot, chunks_applied, ops }
 }
 
 pub mod harness {

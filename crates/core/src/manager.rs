@@ -255,6 +255,12 @@ impl ViewManager {
             let s = self.round_inserts(&doc, inserts)?;
             stats.merge(s);
         }
+        // Mirror the per-batch phase split into the global span histograms
+        // (`span/vpa/*`) so the paper's three phases are visible in any
+        // metrics snapshot, not only to the caller holding these stats.
+        obs::record_span("vpa/validate", stats.validate);
+        obs::record_span("vpa/propagate", stats.propagate);
+        obs::record_span("vpa/apply", stats.apply);
         Ok(stats)
     }
 

@@ -44,11 +44,58 @@
 //! leftover help requests are swept back off the queue, and (3) every
 //! worker that did pop one has checked out — which is what makes the
 //! borrowed, stack-allocated ledger sound to share.
+//!
+//! ## Telemetry
+//!
+//! Every pool (global and private) records into
+//! [`obs::MetricsRegistry::global`] under the `exec/` prefix: `map_calls`
+//! / `map_items` / `help_pushed` / `help_swept` / `jobs_spawned` /
+//! `jobs_inline` counters, the `exec/queue_depth` gauge, the
+//! `exec/spawn_to_start` latency histogram (push-to-first-instruction for
+//! detached jobs), and per-lane utilization via `exec/work_run` (run time
+//! of each popped work item) plus the `exec/worker_busy_ns` counter. All
+//! recording is atomic through handles cached at first use — the pool's
+//! hot path takes no extra locks.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Cached `Arc` handles into the global metrics registry (`exec/*`).
+struct ExecMetrics {
+    map_calls: Arc<obs::Counter>,
+    map_items: Arc<obs::Counter>,
+    help_pushed: Arc<obs::Counter>,
+    help_swept: Arc<obs::Counter>,
+    jobs_spawned: Arc<obs::Counter>,
+    jobs_inline: Arc<obs::Counter>,
+    worker_busy_ns: Arc<obs::Counter>,
+    queue_depth: Arc<obs::Gauge>,
+    spawn_to_start: Arc<obs::Histogram>,
+    work_run: Arc<obs::Histogram>,
+}
+
+/// The `exec/*` handles, registered once in the global registry.
+fn metrics() -> &'static ExecMetrics {
+    static METRICS: OnceLock<ExecMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = obs::MetricsRegistry::global();
+        ExecMetrics {
+            map_calls: reg.counter("exec/map_calls"),
+            map_items: reg.counter("exec/map_items"),
+            help_pushed: reg.counter("exec/help_pushed"),
+            help_swept: reg.counter("exec/help_swept"),
+            jobs_spawned: reg.counter("exec/jobs_spawned"),
+            jobs_inline: reg.counter("exec/jobs_inline"),
+            worker_busy_ns: reg.counter("exec/worker_busy_ns"),
+            queue_depth: reg.gauge("exec/queue_depth"),
+            spawn_to_start: reg.histogram("exec/spawn_to_start"),
+            work_run: reg.histogram("exec/work_run"),
+        }
+    })
+}
 
 /// One type-erased help request: "come claim jobs from the batch ledger
 /// at `data`". `run` is the monomorphized claim loop; it must not touch
@@ -92,6 +139,9 @@ impl PoolCore {
             q.tasks.push_back(Work::Help(task));
         }
         drop(q);
+        let m = metrics();
+        m.help_pushed.add(n as u64);
+        m.queue_depth.add(n as i64);
         self.available.notify_all();
     }
 
@@ -99,6 +149,7 @@ impl PoolCore {
         let mut q = self.queue.lock().expect("pool queue");
         q.tasks.push_back(Work::Job(job));
         drop(q);
+        metrics().queue_depth.inc();
         self.available.notify_one();
     }
 
@@ -108,7 +159,14 @@ impl PoolCore {
         let mut q = self.queue.lock().expect("pool queue");
         let before = q.tasks.len();
         q.tasks.retain(|t| !matches!(t, Work::Help(h) if std::ptr::eq(h.data, data)));
-        before - q.tasks.len()
+        let removed = before - q.tasks.len();
+        drop(q);
+        if removed > 0 {
+            let m = metrics();
+            m.help_swept.add(removed as u64);
+            m.queue_depth.add(-(removed as i64));
+        }
+        removed
     }
 
     fn worker_loop(&self) {
@@ -125,6 +183,9 @@ impl PoolCore {
                     q = self.available.wait(q).expect("pool queue");
                 }
             };
+            let m = metrics();
+            m.queue_depth.dec();
+            let t = Instant::now();
             match work {
                 // SAFETY: the ledger behind `data` outlives this call —
                 // the `map` that pushed the request waits for our
@@ -132,6 +193,9 @@ impl PoolCore {
                 Work::Help(task) => unsafe { (task.run)(task.data) },
                 Work::Job(job) => job(),
             }
+            let busy = t.elapsed();
+            m.work_run.record_duration(busy);
+            m.worker_busy_ns.add(busy.as_nanos().min(u64::MAX as u128) as u64);
         }
     }
 }
@@ -150,6 +214,7 @@ impl Drop for PoolGuard {
             q.shutdown = true;
             q.tasks.drain(..).collect()
         };
+        metrics().queue_depth.add(-(leftover.len() as i64));
         self.core.available.notify_all();
         for h in self.workers.drain(..) {
             let _ = h.join();
@@ -278,6 +343,11 @@ impl Executor {
         if n == 0 {
             return Vec::new();
         }
+        {
+            let m = metrics();
+            m.map_calls.inc();
+            m.map_items.add(n as u64);
+        }
         if self.threads == 1 || n == 1 {
             return items.into_iter().map(f).collect();
         }
@@ -355,10 +425,18 @@ impl Executor {
             drop(g);
             for_job.cv.notify_all();
         };
+        let m = metrics();
         if self.threads == 1 {
+            m.jobs_inline.inc();
             run();
         } else {
-            self.core.push_job(Box::new(run));
+            m.jobs_spawned.inc();
+            let pushed = Instant::now();
+            let spawn_to_start = Arc::clone(&m.spawn_to_start);
+            self.core.push_job(Box::new(move || {
+                spawn_to_start.record_duration(pushed.elapsed());
+                run();
+            }));
         }
         JobHandle { shared }
     }

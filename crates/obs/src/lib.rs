@@ -1,0 +1,897 @@
+//! # obs — zero-dependency observability primitives
+//!
+//! The paper's evaluation (El-Sayed et al., ICDE 2006) is built on **per-phase
+//! cost breakdowns**: validate vs. propagate vs. apply, across update kind and
+//! size. This crate is the substrate that makes those breakdowns — and the
+//! operational telemetry of the layers *around* the VPA core (WAL, group
+//! commit, checkpointer, ingest hub, worker pool) — first-class and queryable
+//! at any moment, instead of scattered across one-shot receipt structs.
+//!
+//! Like [`wire`] and [`exec`], this crate has **zero dependencies**: plain
+//! `std` atomics and a couple of short-held registration locks.
+//!
+//! ## Primitives
+//!
+//! - [`Counter`] — monotone `AtomicU64`; the unit of *logical* accounting
+//!   (batches, ops, fsyncs). Deterministic across pool sizes.
+//! - [`Gauge`] — `AtomicI64` level (queue depths, open sessions).
+//! - [`Histogram`] — fixed-bucket **log₂-scale** latency histogram with
+//!   lock-free recording, a mergeable [`HistSnapshot`], and
+//!   p50/p90/p99 extraction. Merge is associative and commutative
+//!   (asserted by property tests, like `ServiceStats`).
+//! - [`span`] — scoped phase timing. Samples land in a **thread-local
+//!   shard** and are flushed in batches to the global registry's
+//!   `span/<name>` histograms, so hot paths never take a lock.
+//! - [`Event`] ring — bounded buffer of structured trace events (WAL
+//!   rotated, checkpoint sealed/encoded/pruned, chunk requeued after a
+//!   panic, queue-full backpressure, sticky session errors) with
+//!   generation/session ids attached.
+//!
+//! ## Locking discipline
+//!
+//! The *commit path* (recording into a counter, gauge, or histogram through
+//! an already-obtained `Arc` handle) is wait-free: a handful of relaxed
+//! atomic adds, no locks. Registry locks are taken only to **register** a
+//! metric name (once per component, at construction) and to **enumerate**
+//! names during [`MetricsRegistry::snapshot`] — never while a writer holds
+//! anything. A snapshot taken under full 8-lane ingest load observes
+//! monotone totals and internally-consistent histograms (a histogram's
+//! count *is* the sum of its buckets, so no torn count/bucket pairs exist).
+//!
+//! ## Example
+//!
+//! ```
+//! let reg = obs::MetricsRegistry::new_shared();
+//! let batches = reg.counter("svc/batches");
+//! let lat = reg.histogram("svc/apply");
+//! batches.inc();
+//! lat.record_duration(std::time::Duration::from_micros(42));
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counter("svc/batches"), 1);
+//! assert_eq!(snap.histogram("svc/apply").unwrap().count(), 1);
+//! assert!(snap.to_json().contains("\"svc/batches\": 1"));
+//! ```
+//!
+//! [`wire`]: https://docs.rs/wire
+//! [`exec`]: https://docs.rs/exec
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Number of log₂ buckets in a [`Histogram`].
+///
+/// Bucket `0` holds the value `0`; bucket `i ≥ 1` holds values in
+/// `[2^(i-1), 2^i)`. With 64 buckets the full `u64` range is covered, so
+/// recording can never overflow out of the array.
+pub const HIST_BUCKETS: usize = 64;
+
+/// Capacity of the bounded event ring; older events are dropped (and
+/// counted) once the ring is full.
+pub const EVENT_RING_CAP: usize = 256;
+
+/// Number of span samples a thread-local shard buffers before flushing to
+/// the global registry.
+const SPAN_FLUSH_EVERY: usize = 64;
+
+// ---------------------------------------------------------------------------
+// Counter / Gauge
+// ---------------------------------------------------------------------------
+
+/// A monotone event counter.
+///
+/// Counters account *logical* work (batches applied, ops routed, fsyncs
+/// issued) and are therefore deterministic for a deterministic workload,
+/// regardless of pool size — the property the CI determinism job checks.
+#[derive(Debug, Default)]
+pub struct Counter {
+    v: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed level gauge (queue depth, open sessions, in-flight jobs).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    v: AtomicI64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Overwrites the level.
+    #[inline]
+    pub fn set(&self, n: i64) {
+        self.v.store(n, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+/// Bucket index for a value: `0` for `0`, else `floor(log2(v)) + 1`,
+/// clamped into the array. Bucket `i ≥ 1` covers `[2^(i-1), 2^i)`.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// Representative (midpoint) value for a bucket, used for quantile
+/// extraction. Log-scale buckets bound the relative error at ±50%.
+#[inline]
+fn bucket_mid(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        let lo = 1u64 << (i - 1);
+        lo + (lo >> 1)
+    }
+}
+
+/// A fixed-bucket log₂-scale latency histogram with lock-free recording.
+///
+/// Values are dimensionless `u64`s; every histogram in this codebase
+/// records **nanoseconds** (see [`Histogram::record_duration`]). The total
+/// count is *derived* from the buckets, so a concurrent snapshot can never
+/// observe a count/bucket mismatch — at worst it misses in-flight samples,
+/// which the next snapshot picks up (totals are monotone).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    /// Sum of recorded values (ns), for mean extraction.
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self { buckets: std::array::from_fn(|_| AtomicU64::new(0)), sum: AtomicU64::new(0) }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Folds a pre-aggregated shard into this histogram (one atomic add per
+    /// non-empty bucket). Used by the span flush path.
+    fn fold(&self, buckets: &[u64; HIST_BUCKETS], sum: u64) {
+        for (i, &n) in buckets.iter().enumerate() {
+            if n != 0 {
+                self.buckets[i].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        if sum != 0 {
+            self.sum.fetch_add(sum, Ordering::Relaxed);
+        }
+    }
+
+    /// Captures a point-in-time copy. Safe under concurrent writers; see
+    /// the type-level docs for the consistency guarantee.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut buckets = [0u64; HIST_BUCKETS];
+        for (dst, src) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        HistSnapshot { buckets, sum: self.sum.load(Ordering::Relaxed) }
+    }
+}
+
+/// Immutable, mergeable histogram state extracted by [`Histogram::snapshot`].
+///
+/// `merge` is **associative and commutative** (element-wise `u64` addition),
+/// so per-thread or per-component snapshots can be combined in any order —
+/// the same contract `ServiceStats::merge` documents, asserted by the
+/// seeded property loops in `tests/obs.rs`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket sample counts (`buckets[0]` = zeros, bucket `i ≥ 1`
+    /// covers `[2^(i-1), 2^i)` ns).
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Sum of all recorded values, in ns.
+    pub sum: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        Self { buckets: [0; HIST_BUCKETS], sum: 0 }
+    }
+}
+
+impl HistSnapshot {
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean sample value in ns (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Element-wise addition of `other` into `self`.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *dst += src;
+        }
+        self.sum += other.sum;
+    }
+
+    /// Value (ns) at quantile `q ∈ [0, 1]`, to log₂-bucket resolution
+    /// (midpoint of the bucket holding the rank; 0 when empty).
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_mid(i);
+            }
+        }
+        bucket_mid(HIST_BUCKETS - 1)
+    }
+
+    /// Median (ns).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile (ns).
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile (ns).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Upper bound (bucket midpoint) of the largest non-empty bucket (ns).
+    pub fn max(&self) -> u64 {
+        self.buckets
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, &n)| n != 0)
+            .map(|(i, _)| bucket_mid(i))
+            .unwrap_or(0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+/// The kind of a structured trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EventKind {
+    /// A WAL generation was rotated (a new live log was created).
+    WalRotated,
+    /// A WAL generation was sealed with a chain record.
+    WalSealed,
+    /// A checkpoint captured its CoW snapshot and was scheduled.
+    CheckpointStarted,
+    /// A background checkpoint finished encoding + fsyncing its snapshot.
+    CheckpointEncoded,
+    /// Superseded snapshot/WAL generations were pruned.
+    CheckpointPruned,
+    /// A checkpoint failed; the detail carries the sticky error string.
+    CheckpointFailed,
+    /// A drain-round panic caused a chunk to be handed back to its queue.
+    ChunkRequeued,
+    /// A producer hit queue-full backpressure.
+    QueueFull,
+    /// A session entered the sticky-error state.
+    StickyError,
+    /// Recovery replayed a WAL tail (detail carries the summary).
+    Recovery,
+}
+
+impl EventKind {
+    /// Stable lowercase name used in JSON output.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EventKind::WalRotated => "wal_rotated",
+            EventKind::WalSealed => "wal_sealed",
+            EventKind::CheckpointStarted => "checkpoint_started",
+            EventKind::CheckpointEncoded => "checkpoint_encoded",
+            EventKind::CheckpointPruned => "checkpoint_pruned",
+            EventKind::CheckpointFailed => "checkpoint_failed",
+            EventKind::ChunkRequeued => "chunk_requeued",
+            EventKind::QueueFull => "queue_full",
+            EventKind::StickyError => "sticky_error",
+            EventKind::Recovery => "recovery",
+        }
+    }
+}
+
+/// A structured trace event held in the bounded ring.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Monotone sequence number assigned at emit time (gaps mean drops).
+    pub seq: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// WAL/snapshot generation, when the event concerns one.
+    pub generation: Option<u64>,
+    /// Ingest-hub session id, when the event concerns one.
+    pub session: Option<u64>,
+    /// Free-form human-readable detail (error strings, summaries).
+    pub detail: String,
+}
+
+impl Event {
+    /// Creates an event with no generation/session/detail attached.
+    pub fn new(kind: EventKind) -> Self {
+        Self { seq: 0, kind, generation: None, session: None, detail: String::new() }
+    }
+
+    /// Attaches a WAL/snapshot generation id.
+    pub fn generation(mut self, g: u64) -> Self {
+        self.generation = Some(g);
+        self
+    }
+
+    /// Attaches an ingest-session id.
+    pub fn session(mut self, s: u64) -> Self {
+        self.session = Some(s);
+        self
+    }
+
+    /// Attaches free-form detail text.
+    pub fn detail(mut self, d: impl Into<String>) -> Self {
+        self.detail = d.into();
+        self
+    }
+}
+
+#[derive(Debug, Default)]
+struct EventRing {
+    ring: VecDeque<Event>,
+    dropped: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// A named collection of counters, gauges, histograms, and an event ring.
+///
+/// Components obtain `Arc` handles once (at construction) via
+/// [`counter`](MetricsRegistry::counter) /
+/// [`gauge`](MetricsRegistry::gauge) /
+/// [`histogram`](MetricsRegistry::histogram) and record through them
+/// lock-free thereafter. Each `ViewCatalog` owns its own registry (so
+/// side-by-side catalogs in one process don't bleed into each other);
+/// process-wide substrates — the shared [`exec`] pool and [`span`]
+/// timings — record into [`MetricsRegistry::global`].
+///
+/// [`exec`]: https://docs.rs/exec
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    hists: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    events: Mutex<EventRing>,
+    event_seq: AtomicU64,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty registry behind an `Arc` (the shape every
+    /// component stores).
+    pub fn new_shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// The process-wide registry used by the shared worker pool and by
+    /// [`span`] timings.
+    pub fn global() -> &'static MetricsRegistry {
+        static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(MetricsRegistry::new)
+    }
+
+    /// Returns (creating on first use) the counter registered under `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().unwrap();
+        if let Some(c) = map.get(name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::new());
+        map.insert(name.to_string(), Arc::clone(&c));
+        c
+    }
+
+    /// Returns (creating on first use) the gauge registered under `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().unwrap();
+        if let Some(g) = map.get(name) {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(Gauge::new());
+        map.insert(name.to_string(), Arc::clone(&g));
+        g
+    }
+
+    /// Returns (creating on first use) the histogram registered under
+    /// `name`. All histograms record nanoseconds.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.hists.lock().unwrap();
+        if let Some(h) = map.get(name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::new());
+        map.insert(name.to_string(), Arc::clone(&h));
+        h
+    }
+
+    /// Appends a structured event to the bounded ring, assigning its
+    /// sequence number. When the ring is full the oldest event is dropped
+    /// and counted in [`MetricsSnapshot::events_dropped`].
+    pub fn emit(&self, mut ev: Event) {
+        ev.seq = self.event_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut ring = self.events.lock().unwrap();
+        if ring.ring.len() == EVENT_RING_CAP {
+            ring.ring.pop_front();
+            ring.dropped += 1;
+        }
+        ring.ring.push_back(ev);
+    }
+
+    /// Captures a point-in-time [`MetricsSnapshot`] without stopping
+    /// writers.
+    ///
+    /// The current thread's span shard is flushed first so that spans
+    /// recorded on this thread are visible; other threads' shards flush on
+    /// their own cadence (every [`SPAN_FLUSH_EVERY`-sample batch] and at
+    /// thread exit), so their most recent samples may land in the *next*
+    /// snapshot. Totals are monotone across snapshots.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        if std::ptr::eq(self, Self::global()) {
+            flush();
+        }
+        let counters: BTreeMap<String, u64> =
+            self.counters.lock().unwrap().iter().map(|(k, v)| (k.clone(), v.get())).collect();
+        let gauges: BTreeMap<String, i64> =
+            self.gauges.lock().unwrap().iter().map(|(k, v)| (k.clone(), v.get())).collect();
+        let histograms: BTreeMap<String, HistSnapshot> =
+            self.hists.lock().unwrap().iter().map(|(k, v)| (k.clone(), v.snapshot())).collect();
+        let (events, events_dropped) = {
+            let ring = self.events.lock().unwrap();
+            (ring.ring.iter().cloned().collect(), ring.dropped)
+        };
+        MetricsSnapshot { counters, gauges, histograms, events, events_dropped }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Span timing
+// ---------------------------------------------------------------------------
+
+struct ShardEntry {
+    name: &'static str,
+    buckets: [u64; HIST_BUCKETS],
+    sum: u64,
+    handle: Arc<Histogram>,
+}
+
+#[derive(Default)]
+struct SpanShard {
+    entries: Vec<ShardEntry>,
+    pending: usize,
+}
+
+impl SpanShard {
+    fn record(&mut self, name: &'static str, ns: u64) {
+        let entry = match self.entries.iter_mut().find(|e| e.name == name) {
+            Some(e) => e,
+            None => {
+                let handle = MetricsRegistry::global().histogram(&format!("span/{name}"));
+                self.entries.push(ShardEntry { name, buckets: [0; HIST_BUCKETS], sum: 0, handle });
+                self.entries.last_mut().unwrap()
+            }
+        };
+        entry.buckets[bucket_index(ns)] += 1;
+        entry.sum += ns;
+        self.pending += 1;
+        if self.pending >= SPAN_FLUSH_EVERY {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        for e in &mut self.entries {
+            e.handle.fold(&e.buckets, e.sum);
+            e.buckets = [0; HIST_BUCKETS];
+            e.sum = 0;
+        }
+        self.pending = 0;
+    }
+}
+
+impl Drop for SpanShard {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static SPAN_SHARD: RefCell<SpanShard> = RefCell::new(SpanShard::default());
+}
+
+/// Times `f` and records the elapsed nanoseconds under `span/<name>` in the
+/// global registry, via the calling thread's shard (no locks on the hot
+/// path; the shard caches its histogram handles).
+///
+/// ```
+/// let out = obs::span("vpa/propagate", || 2 + 2);
+/// assert_eq!(out, 4);
+/// obs::flush();
+/// let snap = obs::MetricsRegistry::global().snapshot();
+/// assert!(snap.histogram("span/vpa/propagate").unwrap().count() >= 1);
+/// ```
+pub fn span<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
+    let t = Instant::now();
+    let out = f();
+    record_span(name, t.elapsed());
+    out
+}
+
+/// Records an already-measured duration under `span/<name>`, as if a
+/// [`span`] closure had taken that long.
+pub fn record_span(name: &'static str, d: Duration) {
+    let ns = d.as_nanos().min(u64::MAX as u128) as u64;
+    // During thread teardown the TLS slot may already be gone; fall back to
+    // recording straight into the registry.
+    let direct = SPAN_SHARD.try_with(|s| s.borrow_mut().record(name, ns)).is_err();
+    if direct {
+        MetricsRegistry::global().histogram(&format!("span/{name}")).record(ns);
+    }
+}
+
+/// Flushes the calling thread's span shard into the global registry.
+/// [`MetricsRegistry::snapshot`] on the global registry does this
+/// automatically for the snapshotting thread.
+pub fn flush() {
+    let _ = SPAN_SHARD.try_with(|s| s.borrow_mut().flush());
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot + JSON
+// ---------------------------------------------------------------------------
+
+/// A point-in-time, self-contained copy of a registry: counters, gauges,
+/// histogram states, and the recent event ring.
+///
+/// Snapshots [`merge`](MetricsSnapshot::merge) associatively and
+/// commutatively (counters/histograms add element-wise, gauges add, events
+/// concatenate by sequence), and serialize with a hand-rolled
+/// [`to_json`](MetricsSnapshot::to_json) encoder — no serde.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge levels by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistSnapshot>,
+    /// Recent events, oldest first.
+    pub events: Vec<Event>,
+    /// Events evicted from the bounded ring before this capture.
+    pub events_dropped: u64,
+}
+
+impl MetricsSnapshot {
+    /// Counter total, `0` when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge level, `0` when absent.
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram state, when present.
+    pub fn histogram(&self, name: &str) -> Option<&HistSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Merges `other` into `self`: counters and histograms add, gauges add
+    /// (levels from disjoint registries), events concatenate in sequence
+    /// order. Associative and commutative up to event ordering.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            *self.gauges.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(v);
+        }
+        self.events.extend(other.events.iter().cloned());
+        self.events.sort_by_key(|e| e.seq);
+        self.events_dropped += other.events_dropped;
+    }
+
+    /// Encodes the snapshot as a JSON object.
+    ///
+    /// Histograms are summarized as
+    /// `{"count", "sum_ns", "mean_ns", "p50_ns", "p90_ns", "p99_ns", "max_ns"}`
+    /// (quantiles at log₂-bucket resolution); raw buckets stay in-process
+    /// via [`HistSnapshot`].
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n  \"counters\": {");
+        push_map(&mut out, self.counters.iter().map(|(k, v)| (k.as_str(), v.to_string())));
+        out.push_str("},\n  \"gauges\": {");
+        push_map(&mut out, self.gauges.iter().map(|(k, v)| (k.as_str(), v.to_string())));
+        out.push_str("},\n  \"histograms\": {");
+        push_map(
+            &mut out,
+            self.histograms.iter().map(|(k, h)| {
+                let body = format!(
+                    "{{\"count\": {}, \"sum_ns\": {}, \"mean_ns\": {}, \"p50_ns\": {}, \
+                     \"p90_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}",
+                    h.count(),
+                    h.sum,
+                    h.mean(),
+                    h.p50(),
+                    h.p90(),
+                    h.p99(),
+                    h.max()
+                );
+                (k.as_str(), body)
+            }),
+        );
+        out.push_str("},\n  \"events\": [");
+        for (i, ev) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "\n    {{\"seq\": {}, \"kind\": \"{}\", \"generation\": {}, \"session\": {}, \
+                 \"detail\": \"{}\"}}",
+                ev.seq,
+                ev.kind.as_str(),
+                ev.generation.map_or("null".to_string(), |g| g.to_string()),
+                ev.session.map_or("null".to_string(), |s| s.to_string()),
+                escape_json(&ev.detail)
+            ));
+        }
+        if !self.events.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str(&format!("],\n  \"events_dropped\": {}\n}}\n", self.events_dropped));
+        out
+    }
+}
+
+fn push_map<'a>(out: &mut String, entries: impl Iterator<Item = (&'a str, String)>) {
+    let mut first = true;
+    let mut any = false;
+    for (k, v) in entries {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        any = true;
+        out.push_str(&format!("\n    \"{}\": {}", escape_json(k), v));
+    }
+    if any {
+        out.push_str("\n  ");
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+        // Every bucket's midpoint maps back into that bucket.
+        for i in 1..HIST_BUCKETS - 1 {
+            assert_eq!(bucket_index(bucket_mid(i)), i, "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn quantiles_ordered_and_bounded() {
+        let h = Histogram::new();
+        for v in [1u64, 10, 100, 1_000, 10_000, 100_000, 1_000_000] {
+            for _ in 0..10 {
+                h.record(v);
+            }
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 70);
+        assert!(s.p50() <= s.p90() && s.p90() <= s.p99());
+        assert!(s.p99() <= s.max());
+        // p50 of this spread sits in the 1_000-ish octave: within 2x.
+        assert!(s.p50() >= 512 && s.p50() <= 2048, "p50 = {}", s.p50());
+        assert_eq!(s.quantile(0.0), s.quantile(1.0 / 70.0));
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let both = Histogram::new();
+        for v in 0..1000u64 {
+            let x = v * v % 7919;
+            if v % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+            both.record(x);
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m, both.snapshot());
+    }
+
+    #[test]
+    fn registry_roundtrip_and_json() {
+        let reg = MetricsRegistry::new_shared();
+        reg.counter("a/b").add(3);
+        assert_eq!(reg.counter("a/b").get(), 3, "same name, same counter");
+        reg.gauge("depth").set(-2);
+        reg.histogram("lat").record(1500);
+        reg.emit(Event::new(EventKind::QueueFull).session(7).detail("q \"full\"\n"));
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("a/b"), 3);
+        assert_eq!(snap.gauge("depth"), -2);
+        assert_eq!(snap.histogram("lat").unwrap().count(), 1);
+        assert_eq!(snap.events.len(), 1);
+        assert_eq!(snap.events[0].seq, 1);
+        let json = snap.to_json();
+        assert!(json.contains("\"a/b\": 3"));
+        assert!(json.contains("\"kind\": \"queue_full\""));
+        assert!(json.contains("\"session\": 7"));
+        assert!(json.contains("q \\\"full\\\"\\n"));
+        assert!(json.contains("\"events_dropped\": 0"));
+    }
+
+    #[test]
+    fn event_ring_bounded() {
+        let reg = MetricsRegistry::new();
+        for i in 0..(EVENT_RING_CAP as u64 + 10) {
+            reg.emit(Event::new(EventKind::QueueFull).session(i));
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.events.len(), EVENT_RING_CAP);
+        assert_eq!(snap.events_dropped, 10);
+        assert_eq!(snap.events.first().unwrap().seq, 11, "oldest 10 evicted");
+    }
+
+    #[test]
+    fn span_shard_flushes() {
+        for _ in 0..SPAN_FLUSH_EVERY {
+            span("obs-test/unit", || {});
+        }
+        // Shard auto-flushed at the threshold; no explicit flush() needed.
+        let snap = MetricsRegistry::global().snapshot();
+        assert!(snap.histogram("span/obs-test/unit").unwrap().count() >= SPAN_FLUSH_EVERY as u64);
+    }
+
+    #[test]
+    fn snapshot_merge_sums() {
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        a.counter("x").add(2);
+        b.counter("x").add(5);
+        b.counter("y").add(1);
+        a.histogram("h").record(10);
+        b.histogram("h").record(10_000);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.counter("x"), 7);
+        assert_eq!(m.counter("y"), 1);
+        assert_eq!(m.histogram("h").unwrap().count(), 2);
+    }
+}

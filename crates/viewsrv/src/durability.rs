@@ -113,8 +113,8 @@ use std::fs::{self, File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
 use std::panic::AssertUnwindSafe;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 use wire::frame::{self, FrameRead};
 use wire::{Decode, Encode, Reader, SealRecord, SegmentRecord, WireError};
 use xat::ViewExtent;
@@ -273,6 +273,23 @@ pub struct Wal {
     /// seal (or after seal garbage) would be fsync-acknowledged and then
     /// silently discarded by recovery.
     sealed: bool,
+    /// Append/fsync latency handles, attached by [`DurableCatalog`] (a
+    /// bare `Wal` outside a catalog records nothing).
+    m: Option<WalIo>,
+}
+
+/// Per-operation WAL latency handles (`wal/append`, `wal/fsync`), shared
+/// by every generation of one catalog.
+#[derive(Clone)]
+pub(crate) struct WalIo {
+    append: Arc<obs::Histogram>,
+    fsync: Arc<obs::Histogram>,
+}
+
+impl WalIo {
+    fn new(reg: &obs::MetricsRegistry) -> WalIo {
+        WalIo { append: reg.histogram("wal/append"), fsync: reg.histogram("wal/fsync") }
+    }
 }
 
 /// What [`Wal::recover`] found on disk.
@@ -333,7 +350,7 @@ impl Wal {
         let records = batches.len();
         let discarded_bytes = raw.len() as u64 - valid as u64;
         Ok(WalRecovery {
-            wal: Wal { file, path, bytes: valid as u64, records, sealed: seal.is_some() },
+            wal: Wal { file, path, bytes: valid as u64, records, sealed: seal.is_some(), m: None },
             batches,
             discarded_bytes,
             seal,
@@ -345,7 +362,12 @@ impl Wal {
         let path = path.into();
         let file =
             OpenOptions::new().read(true).write(true).create(true).truncate(true).open(&path)?;
-        Ok(Wal { file, path, bytes: 0, records: 0, sealed: false })
+        Ok(Wal { file, path, bytes: 0, records: 0, sealed: false, m: None })
+    }
+
+    /// Attach latency instrumentation (see [`WalIo`]).
+    pub(crate) fn attach_metrics(&mut self, m: WalIo) {
+        self.m = Some(m);
     }
 
     /// Append one framed batch record (a tag-`0` [`wire::SegmentRecord`]
@@ -362,10 +384,14 @@ impl Wal {
             ));
         }
         let before = self.bytes;
+        let start = Instant::now();
         let mut buf = Vec::new();
         frame::write_frame(&mut buf, &wire::segment::payload_bytes(batch));
         self.file.seek(SeekFrom::Start(self.bytes))?;
         self.file.write_all(&buf)?;
+        if let Some(m) = &self.m {
+            m.append.record_duration(start.elapsed());
+        }
         self.bytes += buf.len() as u64;
         self.records += 1;
         Ok(before)
@@ -405,7 +431,12 @@ impl Wal {
 
     /// Force appended records to stable storage — the durability point.
     pub fn sync(&mut self) -> std::io::Result<()> {
-        self.file.sync_data()
+        let start = Instant::now();
+        let res = self.file.sync_data();
+        if let Some(m) = &self.m {
+            m.fsync.record_duration(start.elapsed());
+        }
+        res
     }
 
     /// Discard everything past `offset` (which must be a record
@@ -523,18 +554,42 @@ pub(crate) enum CommitError {
     Catalog(CatalogError),
 }
 
-/// Cumulative fsync accounting, carried across WAL rotations (each
-/// generation gets a fresh [`GroupCommit`], the counters persist).
-#[derive(Debug, Default)]
-struct SyncCounters {
-    fsyncs: AtomicU64,
-    commits: AtomicU64,
+/// Group-commit accounting handles, registered as the `wal/fsyncs` and
+/// `wal/synced_commits` counters plus the `wal/group_fsync` and
+/// `wal/commit_sync` latency histograms in the owning catalog's metrics
+/// registry. Carried across WAL rotations (each generation gets a fresh
+/// [`GroupCommit`], the handles persist) — [`WalSyncStats`] is a view
+/// over the counters.
+#[derive(Clone)]
+pub(crate) struct GcMetrics {
+    /// `fsync` calls the group committer actually issued.
+    fsyncs: Arc<obs::Counter>,
+    /// Commits acknowledged durable (leaders *and* followers).
+    commits: Arc<obs::Counter>,
+    /// Latency of each leader fsync.
+    fsync: Arc<obs::Histogram>,
+    /// A commit's full wait at its durability point (leader fsync time
+    /// or follower wait — the producer-visible group-commit latency).
+    commit_sync: Arc<obs::Histogram>,
+}
+
+impl GcMetrics {
+    fn new(reg: &obs::MetricsRegistry) -> GcMetrics {
+        GcMetrics {
+            fsyncs: reg.counter("wal/fsyncs"),
+            commits: reg.counter("wal/synced_commits"),
+            fsync: reg.histogram("wal/group_fsync"),
+            commit_sync: reg.histogram("wal/commit_sync"),
+        }
+    }
 }
 
 /// A snapshot of the group-commit accounting: how many commits reached
 /// their durability point, and how many fsyncs it took. With concurrent
 /// committers `fsyncs < synced_commits` — the whole point of group
-/// commit; serially the two advance in lockstep.
+/// commit; serially the two advance in lockstep. Since the obs wiring
+/// this is a *view* over the `wal/fsyncs` / `wal/synced_commits`
+/// registry counters (same numbers, struct kept for API stability).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct WalSyncStats {
     /// `fsync` calls actually issued against the log.
@@ -555,7 +610,7 @@ pub(crate) struct GroupCommit {
     file: File,
     m: Mutex<GcInner>,
     cv: Condvar,
-    counters: Arc<SyncCounters>,
+    counters: GcMetrics,
 }
 
 struct GcInner {
@@ -573,7 +628,7 @@ struct GcInner {
 }
 
 impl GroupCommit {
-    fn new(file: File, durable: u64, counters: Arc<SyncCounters>) -> GroupCommit {
+    fn new(file: File, durable: u64, counters: GcMetrics) -> GroupCommit {
         GroupCommit {
             file,
             m: Mutex::new(GcInner { appended: durable, durable, syncing: false, truncations: 0 }),
@@ -604,10 +659,12 @@ impl GroupCommit {
     /// durability point of a commit. Leader/follower: at most one fsync is
     /// in flight, and one fsync acknowledges every commit it covers.
     pub(crate) fn sync_upto(&self, lsn: u64) -> std::io::Result<()> {
+        let wait_start = Instant::now();
         let mut g = self.m.lock().expect("group-commit lock");
         loop {
             if g.durable >= lsn {
-                self.counters.commits.fetch_add(1, Ordering::Relaxed);
+                self.counters.commits.inc();
+                self.counters.commit_sync.record_duration(wait_start.elapsed());
                 return Ok(());
             }
             if g.syncing {
@@ -622,11 +679,14 @@ impl GroupCommit {
             let target = g.appended;
             let epoch = g.truncations;
             drop(g);
+            let fsync_start = Instant::now();
             let res = self.file.sync_data();
+            let fsync_took = fsync_start.elapsed();
             g = self.m.lock().expect("group-commit lock");
             g.syncing = false;
             if res.is_ok() {
-                self.counters.fsyncs.fetch_add(1, Ordering::Relaxed);
+                self.counters.fsyncs.inc();
+                self.counters.fsync.record_duration(fsync_took);
                 // A truncation that raced this fsync invalidates the
                 // captured target: it may exceed the shortened log, and
                 // bytes appended since the truncation were written after
@@ -637,13 +697,6 @@ impl GroupCommit {
             }
             self.cv.notify_all();
             res?;
-        }
-    }
-
-    fn stats(&self) -> WalSyncStats {
-        WalSyncStats {
-            fsyncs: self.counters.fsyncs.load(Ordering::Relaxed),
-            synced_commits: self.counters.commits.load(Ordering::Relaxed),
         }
     }
 }
@@ -735,6 +788,59 @@ struct PendingCheckpoint {
     job: exec::JobHandle<Result<(), DurabilityError>>,
 }
 
+/// Per-stage checkpoint latency breakdown (`ckpt/*`): exactly the
+/// decomposition needed to name the p99 culprit of a rotation — capture
+/// (CoW freeze), seal (manifest append + fsync), then on the background
+/// job encode (wire serialization), write (tmp file + fsync), rename
+/// (rename + directory fsync), and prune (stale-generation unlinks).
+#[derive(Clone)]
+struct CkptMetrics {
+    capture: Arc<obs::Histogram>,
+    seal: Arc<obs::Histogram>,
+    encode: Arc<obs::Histogram>,
+    write: Arc<obs::Histogram>,
+    rename: Arc<obs::Histogram>,
+    prune: Arc<obs::Histogram>,
+}
+
+impl CkptMetrics {
+    fn new(reg: &obs::MetricsRegistry) -> CkptMetrics {
+        CkptMetrics {
+            capture: reg.histogram("ckpt/capture"),
+            seal: reg.histogram("ckpt/seal"),
+            encode: reg.histogram("ckpt/encode"),
+            write: reg.histogram("ckpt/write"),
+            rename: reg.histogram("ckpt/rename"),
+            prune: reg.histogram("ckpt/prune"),
+        }
+    }
+}
+
+/// All durability-layer instrumentation, resolved once at
+/// [`DurableCatalog::open`] against the catalog's registry.
+struct DurMetrics {
+    /// The owning catalog's registry (events are emitted here; the
+    /// background checkpoint job carries a clone).
+    reg: Arc<obs::MetricsRegistry>,
+    gc: GcMetrics,
+    wal_io: WalIo,
+    /// `wal/rotations`: generation switches (background or synchronous).
+    rotations: Arc<obs::Counter>,
+    ckpt: CkptMetrics,
+}
+
+impl DurMetrics {
+    fn new(reg: &Arc<obs::MetricsRegistry>) -> DurMetrics {
+        DurMetrics {
+            reg: Arc::clone(reg),
+            gc: GcMetrics::new(reg),
+            wal_io: WalIo::new(reg),
+            rotations: reg.counter("wal/rotations"),
+            ckpt: CkptMetrics::new(reg),
+        }
+    }
+}
+
 /// A [`ViewCatalog`] whose every mutation flows through one journaled
 /// commit point — see the [module docs](self) for the on-disk layout and
 /// recovery contract.
@@ -744,7 +850,7 @@ pub struct DurableCatalog {
     /// Group committer over the current generation's log (rebuilt on
     /// rotation; the counters persist across generations).
     gc: Arc<GroupCommit>,
-    sync_counters: Arc<SyncCounters>,
+    m: DurMetrics,
     rotate: RotatePolicy,
     mode: CheckpointMode,
     /// Pool the background checkpoint job runs on (the shared global pool
@@ -826,17 +932,35 @@ fn fsync_dir(dir: &Path) -> std::io::Result<()> {
 
 /// Write a snapshot atomically: tmp file, fsync, rename, directory fsync.
 /// The directory fsync is load-bearing (the rename is not durable without
-/// it) and its failure surfaces as a real error.
-fn write_snapshot(dir: &Path, seq: u64, snap: &Snapshot) -> Result<(), DurabilityError> {
+/// it) and its failure surfaces as a real error. When metrics handles are
+/// supplied, each stage's latency lands in its `ckpt/*` histogram.
+fn write_snapshot(
+    dir: &Path,
+    seq: u64,
+    snap: &Snapshot,
+    m: Option<&CkptMetrics>,
+) -> Result<(), DurabilityError> {
     let tmp = dir.join(format!("snap-{seq:010}.wire.tmp"));
+    let start = Instant::now();
     let mut buf = Vec::new();
     frame::write_frame(&mut buf, &wire::to_vec(snap));
+    if let Some(m) = m {
+        m.encode.record_duration(start.elapsed());
+    }
+    let start = Instant::now();
     let mut f = File::create(&tmp)?;
     f.write_all(&buf)?;
     f.sync_all()?;
     drop(f);
+    if let Some(m) = m {
+        m.write.record_duration(start.elapsed());
+    }
+    let start = Instant::now();
     fs::rename(&tmp, snap_path(dir, seq))?;
     fsync_dir(dir)?;
+    if let Some(m) = m {
+        m.rename.record_duration(start.elapsed());
+    }
     Ok(())
 }
 
@@ -999,14 +1123,19 @@ impl DurableCatalog {
             }
         };
         let seq = gen;
-        let sync_counters = Arc::new(SyncCounters::default());
-        let gc =
-            Arc::new(GroupCommit::new(wal.file_clone()?, wal.bytes(), Arc::clone(&sync_counters)));
+        let m = DurMetrics::new(catalog.metrics_registry());
+        let mut wal = wal;
+        wal.attach_metrics(m.wal_io.clone());
+        let gc = Arc::new(GroupCommit::new(wal.file_clone()?, wal.bytes(), m.gc.clone()));
+        m.reg.emit(obs::Event::new(obs::EventKind::Recovery).generation(seq).detail(format!(
+            "replayed {} batch(es), {} chained segment(s), {} byte(s) discarded",
+            report.replayed_batches, report.chained_segments, report.discarded_bytes
+        )));
         let mut out = DurableCatalog {
             catalog,
             wal,
             gc,
-            sync_counters,
+            m,
             rotate: RotatePolicy::default(),
             mode: CheckpointMode::default(),
             ckpt_pool: exec::Executor::global().clone(),
@@ -1020,7 +1149,7 @@ impl DurableCatalog {
         if fresh {
             // Make the directory a recognizable generation-0 catalog so a
             // later fallback can distinguish "fresh" from "lost".
-            write_snapshot(&out.dir, 0, &Snapshot::capture(&out.catalog))?;
+            write_snapshot(&out.dir, 0, &Snapshot::capture(&out.catalog), Some(&out.m.ckpt))?;
         }
         out.wal.sync()?;
         // A recovered tail can already be past the rotation bounds (e.g.
@@ -1166,9 +1295,19 @@ impl DurableCatalog {
     }
 
     /// Cumulative group-commit accounting: fsyncs issued vs commits
-    /// acknowledged, across every generation of this catalog instance.
+    /// acknowledged, across every generation of this catalog instance — a
+    /// view over the `wal/fsyncs` / `wal/synced_commits` registry
+    /// counters.
     pub fn wal_sync_stats(&self) -> WalSyncStats {
-        self.gc.stats()
+        WalSyncStats { fsyncs: self.m.gc.fsyncs.get(), synced_commits: self.m.gc.commits.get() }
+    }
+
+    /// Capture a live [`obs::MetricsSnapshot`]: this catalog's registry
+    /// (phase, WAL, and checkpoint series) merged with the process-global
+    /// registry (executor pool, `span/*` tracing). Never stops writers —
+    /// the commit path records through lock-free atomics.
+    pub fn metrics(&self) -> obs::MetricsSnapshot {
+        self.catalog.metrics()
     }
 
     /// Replace the auto-checkpoint policy (see [`RotatePolicy`];
@@ -1234,9 +1373,20 @@ impl DurableCatalog {
                 self.snap_seq = self.snap_seq.max(gen);
                 self.last_ckpt_error = None;
             }
-            Ok(Err(e)) => self.last_ckpt_error = Some(e.to_string()),
-            Err(_) => self.last_ckpt_error = Some("background checkpoint job panicked".into()),
+            Ok(Err(e)) => self.note_ckpt_failed(gen, e.to_string()),
+            Err(_) => self.note_ckpt_failed(gen, "background checkpoint job panicked".into()),
         }
+    }
+
+    /// Record a failed background checkpoint: the sticky
+    /// [`DurableCatalog::last_checkpoint_error`] string plus a structured
+    /// [`obs::EventKind::CheckpointFailed`] event carrying the target
+    /// generation.
+    fn note_ckpt_failed(&mut self, gen: u64, msg: String) {
+        self.m.reg.emit(
+            obs::Event::new(obs::EventKind::CheckpointFailed).generation(gen).detail(msg.clone()),
+        );
+        self.last_ckpt_error = Some(msg);
     }
 
     /// Checkpoint now if the WAL tail has reached the rotation bounds,
@@ -1272,30 +1422,41 @@ impl DurableCatalog {
         // exclusively, so this is exactly the state the sealed prefix
         // reconstructs. O(documents + views) — node maps and extents are
         // CoW-shared.
+        let capture_start = Instant::now();
         let snap = Snapshot::capture(&self.catalog);
+        self.m.ckpt.capture.record_duration(capture_start.elapsed());
         // Every fallible step except the seal comes *first*: once the
         // seal is durable the old generation must accept no more appends,
         // so the switch to the successor has to be infallible from there.
         // A leftover empty `wal-<new>` from an attempt that fails at the
         // seal is harmless — recovery only follows seals and snapshots.
         let mut wal = Wal::create(wal_path(&self.dir, new))?;
+        wal.attach_metrics(self.m.wal_io.clone());
         wal.sync()?;
-        let gc = Arc::new(GroupCommit::new(
-            wal.file_clone()?,
-            wal.bytes(),
-            Arc::clone(&self.sync_counters),
-        ));
+        let gc = Arc::new(GroupCommit::new(wal.file_clone()?, wal.bytes(), self.m.gc.clone()));
         // Seal + fsync: from here the old generation is a complete,
         // chain-replayable segment (and rejects appends). The seal's
         // fsync also hardens any record a concurrent group commit has
         // appended but not yet synced. On failure the seal rolls itself
         // back and the old generation stays active.
+        let sealed_records = self.wal.records();
+        let sealed_bytes = self.wal.bytes();
+        let seal_start = Instant::now();
         self.wal.seal(SealRecord {
             sealed_gen: old,
             next_gen: new,
-            records: self.wal.records() as u64,
-            bytes: self.wal.bytes(),
+            records: sealed_records as u64,
+            bytes: sealed_bytes,
         })?;
+        self.m.ckpt.seal.record_duration(seal_start.elapsed());
+        self.m.rotations.inc();
+        self.m.reg.emit(
+            obs::Event::new(obs::EventKind::WalSealed)
+                .generation(old)
+                .detail(format!("{sealed_records} record(s), {sealed_bytes} byte(s)")),
+        );
+        self.m.reg.emit(obs::Event::new(obs::EventKind::WalRotated).generation(new));
+        self.m.reg.emit(obs::Event::new(obs::EventKind::CheckpointStarted).generation(new));
         // Rebind the group committer; committers still waiting on the old
         // generation keep a handle to the sealed file — their fsync stays
         // valid.
@@ -1307,9 +1468,15 @@ impl DurableCatalog {
         // the chain (previous snapshot + sealed logs + active tail) is
         // authoritative throughout.
         let dir = self.dir.clone();
+        let cm = self.m.ckpt.clone();
+        let reg = Arc::clone(&self.m.reg);
         let job = self.ckpt_pool.spawn(move || -> Result<(), DurabilityError> {
-            write_snapshot(&dir, new, &snap)?;
+            write_snapshot(&dir, new, &snap, Some(&cm))?;
+            reg.emit(obs::Event::new(obs::EventKind::CheckpointEncoded).generation(new));
+            let prune_start = Instant::now();
             prune_generations(&dir, new)?;
+            cm.prune.record_duration(prune_start.elapsed());
+            reg.emit(obs::Event::new(obs::EventKind::CheckpointPruned).generation(new));
             Ok(())
         });
         self.pending = Some(PendingCheckpoint { gen: new, job });
@@ -1354,21 +1521,29 @@ impl DurableCatalog {
         // `wal-<new>` from a failed attempt is harmless — recovery keys
         // off the newest *snapshot*.
         let mut wal = Wal::create(wal_path(&self.dir, new))?;
+        wal.attach_metrics(self.m.wal_io.clone());
         wal.sync()?;
-        write_snapshot(&self.dir, new, &Snapshot::capture(&self.catalog))?;
+        let capture_start = Instant::now();
+        let snap = Snapshot::capture(&self.catalog);
+        self.m.ckpt.capture.record_duration(capture_start.elapsed());
+        write_snapshot(&self.dir, new, &snap, Some(&self.m.ckpt))?;
         // Rebind the group committer to the new generation's file; the
         // cumulative counters carry over. A committer still waiting on the
         // old generation's `GroupCommit` keeps a handle to the old file —
         // its fsync stays valid (the fd outlives any pruning).
-        self.gc = Arc::new(GroupCommit::new(
-            wal.file_clone()?,
-            wal.bytes(),
-            Arc::clone(&self.sync_counters),
-        ));
+        self.gc = Arc::new(GroupCommit::new(wal.file_clone()?, wal.bytes(), self.m.gc.clone()));
         self.wal = wal;
         self.seq = new;
         self.snap_seq = new;
+        self.m.rotations.inc();
+        self.m.reg.emit(
+            obs::Event::new(obs::EventKind::WalRotated)
+                .generation(new)
+                .detail("synchronous snapshot"),
+        );
+        let prune_start = Instant::now();
         prune_generations(&self.dir, new)?;
+        self.m.ckpt.prune.record_duration(prune_start.elapsed());
         Ok(new)
     }
 }

@@ -55,6 +55,7 @@ pub use session::{
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use vpa_core::manager::{MaintError, MaintStats};
 use vpa_core::update::{self, ResolvedUpdate, UpdateError, UpdateKind};
@@ -190,11 +191,68 @@ pub struct BatchReceipt {
     pub stats: ServiceStats,
 }
 
+/// Per-view phase histograms (`view/<name>/{validate,propagate,apply}`),
+/// handles cached at registration so the maintenance hot path records
+/// through plain atomics.
+struct SlotMetrics {
+    validate: Arc<obs::Histogram>,
+    propagate: Arc<obs::Histogram>,
+    apply: Arc<obs::Histogram>,
+}
+
 /// One registered view: the store-less core plus its service bookkeeping.
 struct Slot {
     name: String,
     view: MaintView,
     stats: MaintStats,
+    phase: SlotMetrics,
+}
+
+/// Service-level handles into the catalog's registry (`svc/*`), cached at
+/// construction.
+struct CatalogMetrics {
+    batches: Arc<obs::Counter>,
+    updates_seen: Arc<obs::Counter>,
+    views_routed: Arc<obs::Counter>,
+    views_skipped: Arc<obs::Counter>,
+    fast_modifies: Arc<obs::Counter>,
+    widened_modifies: Arc<obs::Counter>,
+    recomputes: Arc<obs::Counter>,
+    validate: Arc<obs::Histogram>,
+    propagate: Arc<obs::Histogram>,
+    apply: Arc<obs::Histogram>,
+}
+
+impl CatalogMetrics {
+    fn new(reg: &obs::MetricsRegistry) -> CatalogMetrics {
+        CatalogMetrics {
+            batches: reg.counter("svc/batches"),
+            updates_seen: reg.counter("svc/updates_seen"),
+            views_routed: reg.counter("svc/views_routed"),
+            views_skipped: reg.counter("svc/views_skipped"),
+            fast_modifies: reg.counter("svc/fast_modifies"),
+            widened_modifies: reg.counter("svc/widened_modifies"),
+            recomputes: reg.counter("svc/recomputes"),
+            validate: reg.histogram("svc/validate"),
+            propagate: reg.histogram("svc/propagate"),
+            apply: reg.histogram("svc/apply"),
+        }
+    }
+
+    /// Mirror one batch's [`ServiceStats`] into the registry: one sample
+    /// per phase histogram, counter deltas for the routing tallies.
+    fn record_batch(&self, s: &ServiceStats) {
+        self.batches.add(s.batches as u64);
+        self.updates_seen.add(s.updates_seen as u64);
+        self.views_routed.add(s.views_routed as u64);
+        self.views_skipped.add(s.views_skipped as u64);
+        self.fast_modifies.add(s.fast_modifies as u64);
+        self.widened_modifies.add(s.widened_modifies as u64);
+        self.recomputes.add(s.recomputes as u64);
+        self.validate.record_duration(s.validate);
+        self.propagate.record_duration(s.propagate);
+        self.apply.record_duration(s.apply);
+    }
 }
 
 /// A catalog of materialized views over one shared [`Store`], maintained
@@ -209,6 +267,11 @@ pub struct ViewCatalog {
     /// Worker pool for the per-view propagate/apply rounds (shared with
     /// each registered view's per-term fan-out).
     pool: exec::Executor,
+    /// This catalog's metrics registry: every layer stacked on top (the
+    /// durable catalog's WAL/checkpointer, the ingest hub) registers into
+    /// the same instance, so one snapshot tells the whole story.
+    registry: Arc<obs::MetricsRegistry>,
+    m: CatalogMetrics,
 }
 
 impl ViewCatalog {
@@ -216,6 +279,8 @@ impl ViewCatalog {
     /// of record for the shared sources). Parallel rounds run on the
     /// shared [`exec::Executor::global`] pool (`XQVIEW_POOL_THREADS`).
     pub fn new(store: Store) -> ViewCatalog {
+        let registry = obs::MetricsRegistry::new_shared();
+        let m = CatalogMetrics::new(&registry);
         ViewCatalog {
             store,
             slots: Vec::new(),
@@ -223,7 +288,27 @@ impl ViewCatalog {
             stats: ServiceStats::default(),
             parallel: true,
             pool: exec::Executor::global().clone(),
+            registry,
+            m,
         }
+    }
+
+    /// The catalog's own metrics registry — each catalog gets a fresh one,
+    /// so side-by-side catalogs in one process don't bleed into each
+    /// other. The durable layer and the ingest hub register their WAL,
+    /// checkpoint, and queue metrics here too.
+    pub fn metrics_registry(&self) -> &Arc<obs::MetricsRegistry> {
+        &self.registry
+    }
+
+    /// A point-in-time [`obs::MetricsSnapshot`] of this catalog merged
+    /// with the process-wide substrate metrics (`exec/*` pool telemetry
+    /// and `span/*` phase timings from [`obs::MetricsRegistry::global`]).
+    /// Capturable at any time without stopping writers.
+    pub fn metrics(&self) -> obs::MetricsSnapshot {
+        let mut snap = self.registry.snapshot();
+        snap.merge(&obs::MetricsRegistry::global().snapshot());
+        snap
     }
 
     /// Disable/enable pooled parallelism (the bench baseline runs the
@@ -306,7 +391,12 @@ impl ViewCatalog {
     /// index together, so the two can never diverge.
     fn commit_slot(&mut self, name: &str, mut view: MaintView) {
         view.set_pool(self.effective_view_pool());
-        self.slots.push(Slot { name: name.to_string(), view, stats: MaintStats::default() });
+        let phase = SlotMetrics {
+            validate: self.registry.histogram(&format!("view/{name}/validate")),
+            propagate: self.registry.histogram(&format!("view/{name}/propagate")),
+            apply: self.registry.histogram(&format!("view/{name}/apply")),
+        };
+        self.slots.push(Slot { name: name.to_string(), view, stats: MaintStats::default(), phase });
         self.rebuild_index();
     }
 
@@ -455,7 +545,10 @@ impl ViewCatalog {
             let mut relevant: Vec<(usize, Relevancy)> = Vec::new();
             let candidates = self.doc_index.get(u.doc()).cloned().unwrap_or_default();
             for i in candidates {
-                match self.slots[i].view.sapt().classify(&self.store, &u) {
+                let tc = Instant::now();
+                let class = self.slots[i].view.sapt().classify(&self.store, &u);
+                self.slots[i].phase.validate.record_duration(tc.elapsed());
+                match class {
                     Relevancy::Irrelevant => self.slots[i].stats.irrelevant += 1,
                     r => {
                         self.slots[i].stats.relevant += 1;
@@ -499,6 +592,7 @@ impl ViewCatalog {
             self.round_inserts(&doc, inserts, &mut batch)?;
         }
         self.stats.merge(&batch);
+        self.m.record_batch(&batch);
         Ok((batch, touched))
     }
 
@@ -580,8 +674,10 @@ impl ViewCatalog {
                 update::apply_to_store(&mut self.store, &u)?;
                 if let Some(tk) = text_key {
                     for (i, _) in &rel {
+                        let tpatch = Instant::now();
                         self.slots[*i].view.patch_text_by_key(&tk, new_value);
                         self.slots[*i].stats.fast_modifies += 1;
+                        self.slots[*i].phase.apply.record_duration(tpatch.elapsed());
                     }
                 }
                 batch.apply += ta.elapsed();
@@ -728,9 +824,10 @@ impl ViewCatalog {
         let mut out = Vec::with_capacity(results.len());
         for (i, r, dur) in results {
             let (delta, exec) = r?;
-            let st = &mut self.slots[i].stats;
-            st.propagate += dur;
-            st.exec.merge(&exec);
+            let slot = &mut self.slots[i];
+            slot.stats.propagate += dur;
+            slot.stats.exec.merge(&exec);
+            slot.phase.propagate.record_duration(dur);
             out.push((i, delta));
         }
         Ok(out)
@@ -749,7 +846,9 @@ impl ViewCatalog {
         let apply_one = |(slot, delta): (&mut Slot, Vec<VNode>)| {
             let t0 = Instant::now();
             slot.view.apply_delta(delta);
-            slot.stats.apply += t0.elapsed();
+            let dur = t0.elapsed();
+            slot.stats.apply += dur;
+            slot.phase.apply.record_duration(dur);
         };
         if self.parallel && work.len() > 1 && self.pool.threads() > 1 {
             self.pool.map(work, apply_one);

@@ -185,6 +185,37 @@ pub struct CatalogSession<'a> {
     queued_ops: usize,
     submitted: usize,
     receipts: Vec<BatchReceipt>,
+    m: SessionMetrics,
+}
+
+/// Receipt accounting mirrored into the catalog registry (`session/*`),
+/// shared by the borrowed [`CatalogSession`] and the hub's drain rounds.
+struct SessionMetrics {
+    /// Chunk receipts delivered.
+    receipts: Arc<obs::Counter>,
+    /// Submissions folded into each applied chunk (window occupancy).
+    chunk_coalesced: Arc<obs::Histogram>,
+    /// Typed ops per applied chunk.
+    chunk_ops: Arc<obs::Histogram>,
+    /// Queue-full backpressure rejections.
+    queue_full: Arc<obs::Counter>,
+}
+
+impl SessionMetrics {
+    fn new(reg: &obs::MetricsRegistry) -> SessionMetrics {
+        SessionMetrics {
+            receipts: reg.counter("session/receipts"),
+            chunk_coalesced: reg.histogram("session/chunk_coalesced"),
+            chunk_ops: reg.histogram("session/chunk_ops"),
+            queue_full: reg.counter("session/queue_full"),
+        }
+    }
+
+    fn record_receipt(&self, r: &BatchReceipt) {
+        self.receipts.inc();
+        self.chunk_coalesced.record(r.coalesced_from as u64);
+        self.chunk_ops.record(r.ops as u64);
+    }
 }
 
 impl ViewCatalog {
@@ -192,6 +223,7 @@ impl ViewCatalog {
     /// catalog exclusively; drop or [`CatalogSession::commit`] it to get
     /// the catalog back.
     pub fn session(&mut self, config: SessionConfig) -> CatalogSession<'_> {
+        let m = SessionMetrics::new(self.metrics_registry());
         CatalogSession {
             catalog: self,
             journal: None,
@@ -200,6 +232,7 @@ impl ViewCatalog {
             queued_ops: 0,
             submitted: 0,
             receipts: Vec::new(),
+            m,
         }
     }
 
@@ -224,6 +257,10 @@ impl CatalogSession<'_> {
     /// resubmit it without cloning.
     pub fn try_submit(&mut self, batch: UpdateBatch) -> Result<(), IngestError> {
         if self.queue.len() >= self.config.queue_capacity {
+            self.m.queue_full.inc();
+            self.catalog
+                .metrics_registry()
+                .emit(obs::Event::new(obs::EventKind::QueueFull).detail("borrowed session"));
             return Err(IngestError::QueueFull { batch, capacity: self.config.queue_capacity });
         }
         self.queued_ops += batch.len();
@@ -294,6 +331,7 @@ impl CatalogSession<'_> {
             match self.apply_chunk(&merged) {
                 Ok(mut receipt) => {
                     receipt.coalesced_from = coalesced_from;
+                    self.m.record_receipt(&receipt);
                     self.receipts.push(receipt.clone());
                     flushed.push(receipt);
                 }
@@ -439,10 +477,13 @@ struct Producer {
     error: Option<IngestError>,
     /// The handle is still alive (closed sessions are reaped once empty).
     open: bool,
+    /// Live queue-depth gauge (`hub/session/<id>/depth`), re-set from
+    /// `queue.len()` at every mutation point so it can never drift.
+    depth: Arc<obs::Gauge>,
 }
 
 impl Producer {
-    fn new() -> Producer {
+    fn new(depth: Arc<obs::Gauge>) -> Producer {
         Producer {
             queue: VecDeque::new(),
             queued_ops: 0,
@@ -451,6 +492,7 @@ impl Producer {
             inflight: 0,
             error: None,
             open: true,
+            depth,
         }
     }
 
@@ -477,6 +519,58 @@ impl HubState {
     fn any_drainable(&self) -> bool {
         self.sessions.values().any(Producer::drainable)
     }
+
+    /// Queue entries across every session — the `hub/queued_batches`
+    /// gauge is re-set from this sum at every mutation point (cheap: a
+    /// hub has few sessions) so incremental-update drift is impossible.
+    fn queued_total(&self) -> usize {
+        self.sessions.values().map(|p| p.queue.len()).sum()
+    }
+}
+
+/// Hub-level instrumentation handles, all registered in the catalog's
+/// registry at [`IngestHub::start`]; every update is an atomic op on a
+/// pre-resolved handle — drain rounds and submitters never touch the
+/// registry lock.
+struct HubMetrics {
+    /// Drain rounds that found work.
+    rounds: Arc<obs::Counter>,
+    /// Coalesced chunks applied across all rounds.
+    chunks: Arc<obs::Counter>,
+    /// Backpressure rejections ([`IngestError::QueueFull`]).
+    queue_full: Arc<obs::Counter>,
+    /// Chunks handed back to a queue after a failure or panic unwind.
+    requeued: Arc<obs::Counter>,
+    /// Sticky per-session errors recorded.
+    sticky_errors: Arc<obs::Counter>,
+    /// Queue entries pending across all sessions right now.
+    queued_batches: Arc<obs::Gauge>,
+    /// Sessions currently registered (open or still draining).
+    sessions: Arc<obs::Gauge>,
+    /// Wall time of a drain round, check-out to settle.
+    round: Arc<obs::Histogram>,
+    /// Sessions visited per background round — the fairness signal: a
+    /// healthy hub shows this tracking the open-session gauge.
+    round_sessions: Arc<obs::Histogram>,
+    /// Receipt accounting shared with the borrowed-session path.
+    session: SessionMetrics,
+}
+
+impl HubMetrics {
+    fn new(reg: &obs::MetricsRegistry) -> HubMetrics {
+        HubMetrics {
+            rounds: reg.counter("hub/rounds"),
+            chunks: reg.counter("hub/chunks"),
+            queue_full: reg.counter("hub/queue_full"),
+            requeued: reg.counter("hub/requeued"),
+            sticky_errors: reg.counter("hub/sticky_errors"),
+            queued_batches: reg.gauge("hub/queued_batches"),
+            sessions: reg.gauge("hub/open_sessions"),
+            round: reg.histogram("hub/round"),
+            round_sessions: reg.histogram("hub/round_sessions"),
+            session: SessionMetrics::new(reg),
+        }
+    }
 }
 
 struct HubShared {
@@ -488,6 +582,31 @@ struct HubShared {
     config: HubConfig,
     /// One-shot failpoint armed by [`HubConfig::inject_round_panic`].
     panic_once: AtomicBool,
+    /// The catalog's metrics registry, captured at start so events and
+    /// gauges stay recordable while the catalog is checked out of the
+    /// hub state by a round.
+    registry: Arc<obs::MetricsRegistry>,
+    m: HubMetrics,
+}
+
+impl HubShared {
+    /// Record a sticky per-session error: counter + structured event
+    /// carrying the session id and the error text.
+    fn note_sticky(&self, sid: u64, err: &IngestError) {
+        self.m.sticky_errors.inc();
+        self.registry.emit(
+            obs::Event::new(obs::EventKind::StickyError).session(sid).detail(err.to_string()),
+        );
+    }
+
+    /// Record `n` chunks handed back to session `sid`'s queue.
+    fn note_requeued(&self, sid: u64, n: usize, why: &str) {
+        if n == 0 {
+            return;
+        }
+        self.m.requeued.add(n as u64);
+        self.registry.emit(obs::Event::new(obs::EventKind::ChunkRequeued).session(sid).detail(why));
+    }
 }
 
 /// A multi-producer ingestion service over one catalog: per-session
@@ -549,6 +668,8 @@ impl DurableCatalog {
 
 impl IngestHub {
     fn start(inner: HubInner, config: HubConfig) -> IngestHub {
+        let registry = Arc::clone(inner.catalog().metrics_registry());
+        let m = HubMetrics::new(&registry);
         let shared = Arc::new(HubShared {
             state: Mutex::new(HubState {
                 inner: Some(inner),
@@ -562,6 +683,8 @@ impl IngestHub {
             ack: Condvar::new(),
             config,
             panic_once: AtomicBool::new(config.inject_round_panic),
+            registry,
+            m,
         });
         let for_thread = Arc::clone(&shared);
         let drain = std::thread::Builder::new()
@@ -576,7 +699,9 @@ impl IngestHub {
         let mut g = self.shared.state.lock().expect("hub state");
         let id = g.next_id;
         g.next_id += 1;
-        g.sessions.insert(id, Producer::new());
+        let depth = self.shared.registry.gauge(&format!("hub/session/{id}/depth"));
+        g.sessions.insert(id, Producer::new(depth));
+        self.shared.m.sessions.set(g.sessions.len() as i64);
         drop(g);
         SessionHandle { shared: Arc::clone(&self.shared), id }
     }
@@ -584,6 +709,17 @@ impl IngestHub {
     /// The hub's configuration.
     pub fn config(&self) -> HubConfig {
         self.shared.config
+    }
+
+    /// Capture a live [`obs::MetricsSnapshot`]: the catalog's registry
+    /// (phase histograms, hub/session/WAL/checkpoint series) merged with
+    /// the process-global registry (executor pool, `span/*`). Safe to
+    /// call at any time — writers are never stopped and the commit path
+    /// takes no lock for this.
+    pub fn metrics(&self) -> obs::MetricsSnapshot {
+        let mut snap = self.shared.registry.snapshot();
+        snap.merge(&obs::MetricsRegistry::global().snapshot());
+        snap
     }
 
     /// Run one background-style drain round right now (one coalesced
@@ -627,9 +763,18 @@ impl IngestHub {
             }
         };
         g.sessions.clear();
+        self.shared.m.sessions.set(0);
+        self.shared.m.queued_batches.set(0);
         drop(g);
         // Wake any straggler commit/drain so it observes the closed hub.
         self.shared.ack.notify_all();
+        // Operational escape hatch: `XQVIEW_METRICS_DUMP=<path>` writes
+        // the final merged snapshot as JSON on graceful shutdown.
+        if let Ok(path) = std::env::var("XQVIEW_METRICS_DUMP") {
+            if !path.is_empty() {
+                let _ = std::fs::write(&path, self.metrics().to_json());
+            }
+        }
         inner
     }
 
@@ -681,11 +826,20 @@ impl SessionHandle {
             _ => return Err(IngestError::HubClosed(batch)),
         };
         if p.queue.len() >= capacity {
+            drop(g);
+            self.shared.m.queue_full.inc();
+            self.shared.registry.emit(
+                obs::Event::new(obs::EventKind::QueueFull)
+                    .session(self.id)
+                    .detail(format!("capacity {capacity}")),
+            );
             return Err(IngestError::QueueFull { batch, capacity });
         }
         p.queued_ops += batch.len();
         p.queue.push_back(batch);
         p.submitted += 1;
+        p.depth.set(p.queue.len() as i64);
+        self.shared.m.queued_batches.set(g.queued_total() as i64);
         if g.oldest_pending.is_none() {
             g.oldest_pending = Some(Instant::now());
         }
@@ -725,7 +879,9 @@ impl SessionHandle {
         let mut g = self.shared.state.lock().expect("hub state");
         let Some(p) = g.sessions.get_mut(&self.id) else { return Vec::new() };
         p.queued_ops = 0;
-        let out = p.queue.drain(..).collect();
+        let out: Vec<UpdateBatch> = p.queue.drain(..).collect();
+        p.depth.set(0);
+        self.shared.m.queued_batches.set(g.queued_total() as i64);
         // The discarded batches may have been the window anchor; a stale
         // anchor would make the next fresh submission drain immediately
         // instead of coalescing.
@@ -897,10 +1053,12 @@ impl Drop for RoundGuard<'_> {
             if let Some(p) = g.sessions.get_mut(&sid) {
                 p.inflight -= 1;
                 if p.error.is_none() {
-                    p.error = Some(round_panicked_error(
+                    let e = round_panicked_error(
                         "while applying this session's chunk; its effects are unknown and it \
                          was not requeued",
-                    ));
+                    );
+                    self.shared.note_sticky(sid, &e);
+                    p.error = Some(e);
                 }
             }
         }
@@ -911,12 +1069,15 @@ impl Drop for RoundGuard<'_> {
         for (sid, receipt) in self.acks.drain(..) {
             if let Some(p) = g.sessions.get_mut(&sid) {
                 p.inflight -= 1;
+                self.shared.m.session.record_receipt(&receipt);
                 p.receipts.push(receipt);
                 if p.error.is_none() {
-                    p.error = Some(round_panicked_error(
+                    let e = round_panicked_error(
                         "before this session's applied chunks were acknowledged; their \
                          durability is unknown",
-                    ));
+                    );
+                    self.shared.note_sticky(sid, &e);
+                    p.error = Some(e);
                 }
             }
         }
@@ -928,6 +1089,8 @@ impl Drop for RoundGuard<'_> {
                 if p.open {
                     p.queued_ops += chunk.len();
                     p.queue.push_front(chunk);
+                    p.depth.set(p.queue.len() as i64);
+                    self.shared.note_requeued(sid, 1, "round unwound before this chunk started");
                 }
             }
         }
@@ -938,16 +1101,21 @@ impl Drop for RoundGuard<'_> {
             if let Some(p) = g.sessions.get_mut(&sid) {
                 p.inflight -= batches.len();
                 if p.open {
+                    let n = batches.len();
                     for b in batches.into_iter().rev() {
                         p.queued_ops += b.len();
                         p.queue.push_front(b);
                     }
+                    p.depth.set(p.queue.len() as i64);
+                    self.shared.note_requeued(sid, n, "chunk failed during an unwound round");
                     if p.error.is_none() {
+                        self.shared.note_sticky(sid, &error);
                         p.error = Some(error);
                     }
                 }
             }
         }
+        self.shared.m.queued_batches.set(g.queued_total() as i64);
         drop(g);
         self.shared.ack.notify_all();
         self.shared.work.notify_all();
@@ -981,6 +1149,7 @@ fn drain_round(shared: &HubShared, only: Option<u64>) -> usize {
         }
         g = shared.ack.wait(g).expect("hub state");
     };
+    let round_start = Instant::now();
     let mut guard = RoundGuard {
         shared,
         inner: Some(inner),
@@ -1025,7 +1194,10 @@ fn drain_round(shared: &HubShared, only: Option<u64>) -> usize {
                 break; // background rounds take one chunk per session
             }
         }
+        p.depth.set(p.queue.len() as i64);
     }
+    shared.m.round_sessions.record(ids.len() as u64);
+    shared.m.queued_batches.set(g.queued_total() as i64);
     if !g.sessions.values().any(Producer::drainable) {
         g.oldest_pending = None;
     }
@@ -1094,16 +1266,21 @@ fn drain_round(shared: &HubShared, only: Option<u64>) -> usize {
         if let Some(p) = g.sessions.get_mut(&sid) {
             p.inflight -= batches.len();
             if p.open {
+                let n = batches.len();
                 for b in batches.into_iter().rev() {
                     p.queued_ops += b.len();
                     p.queue.push_front(b);
                 }
+                p.depth.set(p.queue.len() as i64);
+                shared.note_requeued(sid, n, "chunk failed to apply");
                 if p.error.is_none() {
+                    shared.note_sticky(sid, &error);
                     p.error = Some(error);
                 }
             }
         }
     }
+    shared.m.queued_batches.set(g.queued_total() as i64);
     drop(g);
     shared.ack.notify_all();
 
@@ -1144,6 +1321,7 @@ fn drain_round(shared: &HubShared, only: Option<u64>) -> usize {
             for (sid, receipt) in guard.acks.drain(..) {
                 if let Some(p) = g.sessions.get_mut(&sid) {
                     p.inflight -= 1;
+                    shared.m.session.record_receipt(&receipt);
                     p.receipts.push(receipt);
                 }
             }
@@ -1158,12 +1336,13 @@ fn drain_round(shared: &HubShared, only: Option<u64>) -> usize {
             for (sid, receipt) in guard.acks.drain(..) {
                 if let Some(p) = g.sessions.get_mut(&sid) {
                     p.inflight -= 1;
+                    shared.m.session.record_receipt(&receipt);
                     p.receipts.push(receipt);
                     if p.error.is_none() {
-                        p.error = Some(IngestError::Journal(std::io::Error::new(
-                            io.kind(),
-                            io.to_string(),
-                        )));
+                        let e =
+                            IngestError::Journal(std::io::Error::new(io.kind(), io.to_string()));
+                        shared.note_sticky(sid, &e);
+                        p.error = Some(e);
                     }
                 }
             }
@@ -1171,8 +1350,12 @@ fn drain_round(shared: &HubShared, only: Option<u64>) -> usize {
     }
     // Reap sessions whose handle dropped and whose work is finished.
     g.sessions.retain(|_, p| p.open || !p.queue.is_empty() || p.inflight > 0);
+    shared.m.sessions.set(g.sessions.len() as i64);
     drop(g);
     shared.ack.notify_all();
     shared.work.notify_all();
+    shared.m.rounds.inc();
+    shared.m.chunks.add(applied as u64);
+    shared.m.round.record_duration(round_start.elapsed());
     applied
 }

@@ -156,10 +156,21 @@ impl<'s> Executor<'s> {
     }
 
     /// Evaluate an annotated plan, returning its output table.
+    ///
+    /// Each evaluation also mirrors its [`ExecStats`] slice into the
+    /// global `span/xat/*` histograms, so engine-stage costs (overriding
+    /// order, semantic ids, final sort — the paper's Figure 3.7–4.10
+    /// breakdowns) show up in any metrics snapshot.
     pub fn eval(&mut self, plan: &Plan) -> EResult<XatTable> {
+        let before = self.stats;
         let t0 = Instant::now();
         let out = self.eval_inner(plan);
-        self.stats.total += t0.elapsed();
+        let total = t0.elapsed();
+        self.stats.total += total;
+        obs::record_span("xat/total", total);
+        obs::record_span("xat/overriding", self.stats.overriding.saturating_sub(before.overriding));
+        obs::record_span("xat/semid", self.stats.semid.saturating_sub(before.semid));
+        obs::record_span("xat/final_sort", self.stats.final_sort.saturating_sub(before.final_sort));
         out
     }
 

@@ -38,6 +38,7 @@
 //!
 //! | Layer | Crate | Paper chapter |
 //! |---|---|---|
+//! | Metrics, tracing, events (dep-free) | [`obs`] | — (observability substrate) |
 //! | Shared worker pool (structured fan-out) | [`exec`] | — (execution substrate) |
 //! | Binary codec (WAL records, snapshots) | [`wire`] | — (persistence substrate) |
 //! | Order keys, semantic ids | [`flexkey`] | 3, 4 |
@@ -154,6 +155,7 @@
 
 pub use exec;
 pub use flexkey;
+pub use obs;
 pub use viewsrv;
 pub use vpa_core;
 pub use wire;
