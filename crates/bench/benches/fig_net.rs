@@ -1,0 +1,24 @@
+//! `fig_net` — many-connection open-loop load against the TCP front
+//! door: p99 request latency at a few connection counts, measured from
+//! each request's *scheduled* arrival (coordinated-omission-free). The
+//! full connection sweep (and the `BENCH_net.json` series) lives in the
+//! `figures` binary; this target gives the statistical min/median
+//! points.
+//!
+//! ```sh
+//! cargo bench -p vpa-bench --bench fig_net
+//! ```
+
+use std::time::Duration;
+use vpa_bench::{harness, measure_net};
+
+fn main() {
+    let books = 200;
+    let rate = 100.0;
+    let requests = 100;
+    for connections in [1, 4, 16] {
+        harness::bench(&format!("open-loop p99, {connections} connections"), 3, || {
+            Duration::from_micros(measure_net(books, connections, rate, requests).p99_us)
+        });
+    }
+}

@@ -67,6 +67,54 @@ fn main() {
     if run("fig_phases") {
         fig_phases();
     }
+    if run("fig_net") {
+        fig_net();
+    }
+}
+
+/// Network front-door sweep (beyond the paper): open-loop many-connection
+/// load against an in-process TCP server — throughput and p50/p90/p99
+/// request latency (measured from each request's *scheduled* arrival, so
+/// queueing delay is not hidden by coordinated omission) across
+/// connection counts. Emits `BENCH_net.json`.
+fn fig_net() {
+    println!("== fig_net: open-loop network load vs connection count ==");
+    let books = 200usize;
+    let rate = 100.0f64;
+    let requests = 200usize;
+    let mut rows = Vec::new();
+    for connections in [1usize, 2, 4, 8, 16] {
+        let r = measure_net(books, connections, rate, requests);
+        println!(
+            "connections {connections:>2}: {:7.0} req/s   p50 {:>6} µs   p90 {:>6} µs   p99 \
+             {:>6} µs   max {:>7} µs   ({} backpressure, {} errors)",
+            r.throughput_rps, r.p50_us, r.p90_us, r.p99_us, r.max_us, r.backpressure, r.errors
+        );
+        rows.push(format!(
+            "{{\"connections\": {connections}, \"requests\": {}, \"throughput_rps\": {:.1}, \
+             \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \"max_us\": {}, \"backpressure\": \
+             {}, \"errors\": {}}}",
+            r.requests,
+            r.throughput_rps,
+            r.p50_us,
+            r.p90_us,
+            r.p99_us,
+            r.max_us,
+            r.backpressure,
+            r.errors
+        ));
+    }
+    let json = format!(
+        "{{\n  \"figure\": \"net\",\n  {},\n  \"catalog\": \"volatile\",\n  \"books\": {books},\n  \
+         \"views\": 2,\n  \"rate_per_conn\": {rate},\n  \"requests_per_conn\": {requests},\n  \
+         \"latency_basis\": \"scheduled arrival (open loop)\",\n  \"series\": [\n    {}\n  ]\n}}\n",
+        env_header_json(),
+        rows.join(",\n    ")
+    );
+    match std::fs::write("BENCH_net.json", &json) {
+        Ok(()) => println!("wrote BENCH_net.json"),
+        Err(e) => println!("could not write BENCH_net.json: {e}"),
+    }
 }
 
 /// Phase-observability sweep (beyond the paper): drive multi-writer hub

@@ -722,6 +722,58 @@ pub fn measure_phases(
     PhasePoint { snapshot, chunks_applied, ops }
 }
 
+/// Beyond the paper: one open-loop network load point. An in-process
+/// [`server::Server`] over a volatile catalog is seeded with the
+/// `books`-book bib/prices pair and two maintained views (one the insert
+/// workload hits, one it only routes past), then driven by
+/// `connections` open-loop clients at `rate_per_conn` arrivals/s each —
+/// [`client::load`]'s coordinated-omission-free generator. The returned
+/// report carries throughput and p50/p90/p99 scheduled-arrival latency.
+pub fn measure_net(
+    books: usize,
+    connections: usize,
+    rate_per_conn: f64,
+    requests_per_conn: usize,
+) -> client::load::LoadReport {
+    let (store, _cfg) = bib_store(books);
+    let mut cat = viewsrv::ViewCatalog::new(store);
+    // The load generator inserts year-2002 books; "hot" is maintained on
+    // every batch, "cold" is routed and skipped.
+    cat.register(
+        "hot",
+        r#"<result>{
+  for $b in doc("bib.xml")/bib/book
+  where $b/@year = "2002"
+  return <hit>{$b/title}</hit>
+}</result>"#,
+    )
+    .expect("register hot view");
+    cat.register(
+        "cold",
+        r#"<result>{
+  for $b in doc("bib.xml")/bib/book
+  where $b/@year = "1901"
+  return <hit>{$b/title}</hit>
+}</result>"#,
+    )
+    .expect("register cold view");
+    let srv = server::Server::start_volatile(cat, server::ServerConfig::default())
+        .expect("start in-process server");
+    let cfg = client::load::LoadConfig {
+        addr: srv.local_addr().to_string(),
+        connections,
+        rate_per_conn,
+        requests_per_conn,
+        // One op per batch: the figure measures the front door and the
+        // hub round path, not batch-size scaling (fig_ingest covers that).
+        ops_per_batch: 1,
+        ..client::load::LoadConfig::default()
+    };
+    let report = client::load::run(&cfg).expect("load run");
+    drop(srv);
+    report
+}
+
 pub mod harness {
     //! Minimal statistical bench harness (the environment has no registry
     //! access, so Criterion is unavailable): fixed sample count, median +

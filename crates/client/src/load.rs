@@ -1,0 +1,197 @@
+//! Open-loop many-connection load generation.
+//!
+//! Each connection schedules request *arrival times* on a fixed-rate
+//! clock set before the run starts (`t_i = start + i/rate`), and latency
+//! is measured from the **scheduled** arrival to completion. Unlike a
+//! closed loop — where a slow server slows the workload down and hides
+//! its own queueing delay (coordinated omission) — an open loop keeps
+//! offering load at the configured rate, so tail latencies include the
+//! time requests spent waiting behind a saturated server.
+//!
+//! The workload per arrival is one [`Client::submit`] of a small insert
+//! batch; every `commit_every`-th arrival issues a [`Client::commit`]
+//! instead, bounding server-side queue growth and exercising the remote
+//! durability boundary. Queue-full rejections trigger an immediate
+//! commit-and-retry (counted in [`LoadReport::backpressure`]).
+
+use crate::{Client, ClientError};
+use std::time::{Duration, Instant};
+use xquery_lang::{InsertPosition, UpdateBatch, UpdateOp};
+
+/// Knobs of one load run (one connection count).
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Server address.
+    pub addr: String,
+    /// Concurrent connections, each with its own open-loop clock.
+    pub connections: usize,
+    /// Target arrivals per second **per connection**.
+    pub rate_per_conn: f64,
+    /// Arrivals scheduled per connection.
+    pub requests_per_conn: usize,
+    /// Typed ops per submitted batch.
+    pub ops_per_batch: usize,
+    /// Every `commit_every`-th arrival commits instead of submitting.
+    pub commit_every: usize,
+    /// Document the generated inserts target.
+    pub doc: String,
+    /// Insert path inside the document (e.g. `/bib`).
+    pub path: String,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            addr: "127.0.0.1:7464".to_string(),
+            connections: 4,
+            rate_per_conn: 50.0,
+            requests_per_conn: 200,
+            ops_per_batch: 4,
+            commit_every: 8,
+            doc: "bib.xml".to_string(),
+            path: "/bib".to_string(),
+        }
+    }
+}
+
+/// Merged result of one load run.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Connections that completed the run.
+    pub connections: usize,
+    /// Requests completed (submits + commits).
+    pub requests: u64,
+    /// Queue-full rejections absorbed by commit-and-retry.
+    pub backpressure: u64,
+    /// Requests failed for any other reason.
+    pub errors: u64,
+    /// Wall time of the whole run.
+    pub elapsed: Duration,
+    /// Completed requests per second of wall time.
+    pub throughput_rps: f64,
+    /// Median open-loop latency (scheduled arrival → completion), µs.
+    pub p50_us: u64,
+    /// 90th percentile latency, µs.
+    pub p90_us: u64,
+    /// 99th percentile latency, µs.
+    pub p99_us: u64,
+    /// Largest observed latency, µs.
+    pub max_us: u64,
+}
+
+/// One generated insert batch. The fragment varies by connection and
+/// sequence number so batches are distinguishable in extents.
+fn make_batch(cfg: &LoadConfig, conn: usize, seq: usize) -> UpdateBatch {
+    let mut batch = UpdateBatch::new();
+    for k in 0..cfg.ops_per_batch.max(1) {
+        let frag = format!("<book year=\"2002\"><title>load-c{conn}-s{seq}-k{k}</title></book>");
+        let op = UpdateOp::insert(&cfg.doc, &cfg.path, InsertPosition::Into, &frag)
+            .expect("well-formed generated op");
+        batch.push(op);
+    }
+    batch
+}
+
+/// Run one open-loop load: `connections` clients, each firing
+/// `requests_per_conn` arrivals at `rate_per_conn`/s.
+pub fn run(cfg: &LoadConfig) -> Result<LoadReport, ClientError> {
+    let start = Instant::now();
+    let mut workers = Vec::with_capacity(cfg.connections);
+    for conn in 0..cfg.connections {
+        let cfg = cfg.clone();
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("xqview-load-{conn}"))
+                .spawn(move || worker(&cfg, conn, start))
+                .expect("spawn load worker"),
+        );
+    }
+    let mut lat_ns: Vec<u64> = Vec::new();
+    let mut requests = 0u64;
+    let mut backpressure = 0u64;
+    let mut errors = 0u64;
+    for w in workers {
+        let r = w.join().expect("load worker never panics")?;
+        lat_ns.extend(r.lat_ns);
+        requests += r.requests;
+        backpressure += r.backpressure;
+        errors += r.errors;
+    }
+    let elapsed = start.elapsed();
+    lat_ns.sort_unstable();
+    let q = |f: f64| -> u64 {
+        if lat_ns.is_empty() {
+            return 0;
+        }
+        let i = ((lat_ns.len() as f64 - 1.0) * f).round() as usize;
+        lat_ns[i] / 1_000
+    };
+    Ok(LoadReport {
+        connections: cfg.connections,
+        requests,
+        backpressure,
+        errors,
+        elapsed,
+        throughput_rps: requests as f64 / elapsed.as_secs_f64().max(1e-9),
+        p50_us: q(0.50),
+        p90_us: q(0.90),
+        p99_us: q(0.99),
+        max_us: lat_ns.last().copied().unwrap_or(0) / 1_000,
+    })
+}
+
+struct WorkerResult {
+    lat_ns: Vec<u64>,
+    requests: u64,
+    backpressure: u64,
+    errors: u64,
+}
+
+fn worker(cfg: &LoadConfig, conn: usize, start: Instant) -> Result<WorkerResult, ClientError> {
+    let mut c = Client::connect_with_retry(
+        &cfg.addr,
+        &format!("load-{conn}"),
+        20,
+        Duration::from_millis(50),
+    )?;
+    let gap = Duration::from_secs_f64(1.0 / cfg.rate_per_conn.max(1e-6));
+    let mut out = WorkerResult { lat_ns: Vec::new(), requests: 0, backpressure: 0, errors: 0 };
+    for seq in 0..cfg.requests_per_conn {
+        // Open loop: wait for the scheduled arrival, never for the server.
+        let scheduled = start + gap * (seq as u32);
+        if let Some(wait) = scheduled.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        let is_commit = cfg.commit_every > 0 && seq % cfg.commit_every == cfg.commit_every - 1;
+        let r = if is_commit {
+            c.commit().map(|_| ())
+        } else {
+            let batch = make_batch(cfg, conn, seq);
+            match c.submit(&batch) {
+                Err(e) if e.is_queue_full() => {
+                    // Remote backpressure: drain our queue, then retry
+                    // the batch we still own.
+                    out.backpressure += 1;
+                    c.commit().and_then(|_| c.submit(&batch)).map(|_| ())
+                }
+                other => other.map(|_| ()),
+            }
+        };
+        match r {
+            Ok(()) => {
+                out.requests += 1;
+                out.lat_ns.push(scheduled.elapsed().as_nanos() as u64);
+            }
+            Err(ClientError::Io(_)) | Err(ClientError::Frame(_)) => {
+                // The connection is gone; the worker's remaining
+                // arrivals are lost — report what completed.
+                out.errors += 1;
+                break;
+            }
+            Err(_) => out.errors += 1,
+        }
+    }
+    // Leave the server-side session empty so the next run starts clean.
+    let _ = c.commit();
+    Ok(out)
+}

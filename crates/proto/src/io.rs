@@ -1,0 +1,243 @@
+//! Stream framing: one [`wire::frame`] per message over any `Read`/`Write`
+//! pair.
+//!
+//! The on-disk frame layout (version byte, `u32` LE length, payload,
+//! CRC-32) is reused verbatim — but a live stream needs failure classes
+//! the append-only log does not: a *clean* close between frames
+//! ([`FrameError::Closed`], the peer hung up politely), a close *inside*
+//! a frame ([`FrameError::Truncated`], the stream died mid-message), and
+//! an adversarial or corrupted peer ([`FrameError::BadVersion`],
+//! [`FrameError::Oversized`], [`FrameError::Corrupt`],
+//! [`FrameError::Decode`]). A receiver enforces its maximum frame size
+//! against the *header* before allocating a byte of payload, so a
+//! garbage length prefix cannot balloon memory.
+//!
+//! After any defect the stream is unsynchronized — there is no reliable
+//! resync point in a length-prefixed protocol — so the only sound
+//! continuation is to report and close.
+
+use std::io::{ErrorKind as IoKind, Read, Write};
+use wire::frame::{crc32, HEADER, TRAILER, VERSION};
+use wire::{Decode, Encode, WireError};
+
+/// Default per-message size bound: 64 MiB. Generous for extents and
+/// metrics dumps, small enough that a garbage length prefix cannot
+/// balloon allocation.
+pub const DEFAULT_MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// Reading a frame from a live stream failed.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the stream cleanly at a frame boundary.
+    Closed,
+    /// The stream ended inside a frame (header or body cut short).
+    Truncated,
+    /// The frame led with an unknown format-version byte.
+    BadVersion(u8),
+    /// The header announced a payload larger than the receiver's bound.
+    Oversized {
+        /// Announced payload length.
+        len: usize,
+        /// The receiver's configured maximum.
+        max: usize,
+    },
+    /// The payload's CRC-32 did not match the trailer.
+    Corrupt,
+    /// The frame was intact but its payload did not decode as the
+    /// expected message type.
+    Decode(WireError),
+    /// The underlying transport failed (including read timeouts, which
+    /// surface as [`std::io::ErrorKind::WouldBlock`] /
+    /// [`std::io::ErrorKind::TimedOut`]).
+    Io(std::io::Error),
+}
+
+impl FrameError {
+    /// True when the failure is a read timeout rather than a dead or
+    /// defective stream.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, FrameError::Io(e)
+            if matches!(e.kind(), IoKind::WouldBlock | IoKind::TimedOut))
+    }
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "peer closed the stream"),
+            FrameError::Truncated => write!(f, "stream ended inside a frame"),
+            FrameError::BadVersion(v) => write!(f, "unknown frame version byte {v:#04x}"),
+            FrameError::Oversized { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds the {max}-byte bound")
+            }
+            FrameError::Corrupt => write!(f, "frame checksum mismatch"),
+            FrameError::Decode(e) => write!(f, "frame payload did not decode: {e}"),
+            FrameError::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Decode(e) => Some(e),
+            FrameError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> FrameError {
+        FrameError::Io(e)
+    }
+}
+
+/// Write one frame wrapping `payload` and flush.
+///
+/// The frame is assembled in memory and written with a single
+/// `write_all`, so a concurrent reader never observes a torn header.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    let mut buf = Vec::with_capacity(wire::frame::frame_len(payload.len()));
+    wire::frame::write_frame(&mut buf, payload);
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Encode `value` and [`write_frame`] it.
+pub fn send<T: Encode + ?Sized>(w: &mut impl Write, value: &T) -> std::io::Result<()> {
+    write_frame(w, &wire::to_vec(value))
+}
+
+/// Read one complete frame, returning its payload bytes.
+///
+/// `max` bounds the announced payload length ([`FrameError::Oversized`])
+/// and is checked before any payload allocation.
+pub fn read_frame(r: &mut impl Read, max: usize) -> Result<Vec<u8>, FrameError> {
+    let mut header = [0u8; HEADER];
+    // The first byte distinguishes a clean close (zero bytes readable at
+    // a frame boundary) from a mid-frame truncation.
+    let mut got = 0usize;
+    while got < 1 {
+        match r.read(&mut header[..1]) {
+            Ok(0) => return Err(FrameError::Closed),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == IoKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    read_exact(r, &mut header[1..])?;
+    if header[0] != VERSION {
+        return Err(FrameError::BadVersion(header[0]));
+    }
+    let len = u32::from_le_bytes([header[1], header[2], header[3], header[4]]) as usize;
+    if len > max {
+        return Err(FrameError::Oversized { len, max });
+    }
+    let mut body = vec![0u8; len + TRAILER];
+    read_exact(r, &mut body)?;
+    let stored = u32::from_le_bytes([body[len], body[len + 1], body[len + 2], body[len + 3]]);
+    body.truncate(len);
+    if crc32(&body) != stored {
+        return Err(FrameError::Corrupt);
+    }
+    Ok(body)
+}
+
+/// Read one frame and decode its payload as `T`.
+pub fn recv<T: Decode>(r: &mut impl Read, max: usize) -> Result<T, FrameError> {
+    let payload = read_frame(r, max)?;
+    wire::from_slice(&payload).map_err(FrameError::Decode)
+}
+
+/// `read_exact` mapping a mid-frame EOF to [`FrameError::Truncated`].
+fn read_exact(r: &mut impl Read, buf: &mut [u8]) -> Result<(), FrameError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == IoKind::UnexpectedEof {
+            FrameError::Truncated
+        } else {
+            FrameError::Io(e)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip_over_a_stream() {
+        let mut buf = Vec::new();
+        send(&mut buf, "hello").unwrap();
+        send(&mut buf, "world").unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(recv::<String>(&mut r, DEFAULT_MAX_FRAME).unwrap(), "hello");
+        assert_eq!(recv::<String>(&mut r, DEFAULT_MAX_FRAME).unwrap(), "world");
+        assert!(matches!(
+            recv::<String>(&mut r, DEFAULT_MAX_FRAME).unwrap_err(),
+            FrameError::Closed
+        ));
+    }
+
+    #[test]
+    fn every_truncation_is_truncated_not_closed() {
+        let mut buf = Vec::new();
+        send(&mut buf, "payload").unwrap();
+        for cut in 1..buf.len() {
+            let mut r = Cursor::new(&buf[..cut]);
+            assert!(
+                matches!(read_frame(&mut r, DEFAULT_MAX_FRAME), Err(FrameError::Truncated)),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_version_corrupt_and_oversized_are_typed() {
+        let mut buf = Vec::new();
+        send(&mut buf, "payload").unwrap();
+
+        let mut bad = buf.clone();
+        bad[0] ^= 0xff;
+        assert!(matches!(
+            read_frame(&mut Cursor::new(bad), DEFAULT_MAX_FRAME),
+            Err(FrameError::BadVersion(_))
+        ));
+
+        let mut flipped = buf.clone();
+        let mid = HEADER + 2;
+        flipped[mid] ^= 0x40;
+        assert!(matches!(
+            read_frame(&mut Cursor::new(flipped), DEFAULT_MAX_FRAME),
+            Err(FrameError::Corrupt)
+        ));
+
+        assert!(matches!(
+            read_frame(&mut Cursor::new(buf), 3),
+            Err(FrameError::Oversized { max: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_checks_before_allocating() {
+        // A header announcing a 4 GiB-ish payload with nothing behind it
+        // must fail on the bound, not on allocation or truncation.
+        let mut buf = vec![VERSION];
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut Cursor::new(buf), DEFAULT_MAX_FRAME),
+            Err(FrameError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn undecodable_payload_is_decode() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[0xff, 0xfe]).unwrap();
+        assert!(matches!(
+            recv::<String>(&mut Cursor::new(buf), DEFAULT_MAX_FRAME),
+            Err(FrameError::Decode(_))
+        ));
+    }
+}

@@ -1,0 +1,486 @@
+//! # proto — the network session protocol
+//!
+//! The catalog's network front door speaks a **length-framed
+//! request/response session protocol** over any ordered byte stream
+//! (TCP in practice). It is layered directly on the [`wire`] codec the
+//! storage stack already uses — the same value encoding serializes a
+//! [`UpdateBatch`] into the WAL and onto the socket, so the
+//! executor↔WAL contract never leaks through the protocol boundary in a
+//! second format.
+//!
+//! ## Frame format
+//!
+//! Every message travels as exactly one [`wire::frame`] — the WAL's
+//! on-disk record format reused verbatim on the stream:
+//!
+//! ```text
+//! ┌─────────┬────────────┬───────────────┬──────────────┐
+//! │ version │ len        │ payload       │ crc32        │
+//! │ 1 byte  │ u32 LE     │ `len` bytes   │ u32 LE       │
+//! └─────────┴────────────┴───────────────┴──────────────┘
+//! ```
+//!
+//! * `version` — the frame-format version byte ([`wire::frame::VERSION`]);
+//!   a peer that sees any other value refuses the frame.
+//! * `len` — payload length; a receiver enforces its own maximum
+//!   ([`FrameError::Oversized`]) *before* allocating.
+//! * `crc32` — CRC-32 (IEEE, reflected) of the payload.
+//!
+//! The payload is one [`wire`]-encoded [`Request`] (client → server) or
+//! [`Response`] (server → client). Read failures classify exactly like
+//! the WAL's recovery trichotomy, extended for a live stream: a clean
+//! close at a frame boundary ([`FrameError::Closed`]), a complete valid
+//! frame, or one of the typed defects — truncation mid-frame, a wrong
+//! version byte, an oversized length, a checksum mismatch, or a payload
+//! that does not decode. A server answers a defective frame with
+//! [`Response::Error`] and drops **only that connection**; the stream
+//! cannot be resynchronized past a bad frame, so closing is the only
+//! sound continuation.
+//!
+//! ## Session flow
+//!
+//! A session is strictly request/response — one outstanding request per
+//! connection, responses in request order:
+//!
+//! 1. [`Request::Hello`] / [`Response::HelloOk`] negotiate the protocol
+//!    version ([`PROTOCOL_VERSION`]) and name the peers. Servers reject
+//!    a mismatched version with a typed error.
+//! 2. Admin: [`Request::RegisterView`] / [`Request::DropView`] mutate the
+//!    view registry (checkpointed server-side on a durable catalog).
+//! 3. Data: [`Request::Submit`] enqueues a typed [`UpdateBatch`] into the
+//!    connection's ingest session; backpressure surfaces as
+//!    [`ErrorKind::QueueFull`] carrying the queue capacity, so a remote
+//!    producer sees exactly the bound an in-process one does.
+//!    [`Request::Flush`] nudges a drain round; [`Request::Commit`] drains
+//!    the session's queue, waits for the (group) fsync, and returns the
+//!    folded [`CommitReceipt`] — the durability boundary, verbatim.
+//! 4. Read: [`Request::QueryView`] returns the materialized extent as
+//!    [`wire`]-encoded bytes, byte-identical to the server's in-process
+//!    encoding. [`Request::Stats`] and [`Request::MetricsDump`] expose
+//!    the live observability surface, including the server's `net/*`
+//!    request-latency histograms.
+//! 5. [`Request::Shutdown`] asks the server to drain every session and
+//!    seal its WAL; the server answers [`Response::ShuttingDown`] before
+//!    closing.
+//!
+//! Every fallible request can instead answer [`Response::Error`] with a
+//! typed [`WireErr`]; [`ErrorKind`] keeps the in-process error taxonomy
+//! (`IngestError` / `CatalogError`) distinguishable on the wire.
+
+pub mod io;
+mod wirecodec;
+
+pub use io::{read_frame, recv, send, write_frame, FrameError, DEFAULT_MAX_FRAME};
+pub use xquery_lang::UpdateBatch;
+
+/// Session-protocol version negotiated by `Hello` (independent of the
+/// frame-format version byte, which [`wire::frame::VERSION`] owns).
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// One client→server message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Open the session: name the client and its protocol version.
+    Hello {
+        /// Free-form client identification (CLI name, bench worker id…).
+        client: String,
+        /// The client's [`PROTOCOL_VERSION`]; mismatches are refused.
+        protocol: u32,
+    },
+    /// Define, materialize, and register a view under `name`.
+    RegisterView {
+        /// Catalog-unique view name.
+        name: String,
+        /// The XQuery view definition.
+        query: String,
+    },
+    /// Drop the view named `name`.
+    DropView {
+        /// Name of the registered view to drop.
+        name: String,
+    },
+    /// Enqueue a typed update batch into this connection's ingest
+    /// session (bounded queue; see [`ErrorKind::QueueFull`]).
+    Submit(UpdateBatch),
+    /// Nudge a drain round without waiting for durability.
+    Flush,
+    /// Drain this session's queue, wait for the (group) fsync, and fold
+    /// the receipts — the durability boundary.
+    Commit,
+    /// The materialized extent of the view named `name`, wire-encoded.
+    QueryView {
+        /// Name of the registered view to read.
+        name: String,
+    },
+    /// Service counters: views, routing totals, WAL position, `net/*`.
+    Stats,
+    /// The full merged metrics snapshot as JSON.
+    MetricsDump,
+    /// Graceful stop: drain sessions, seal the WAL, exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Stable short name of this request's kind — the `net/req/<kind>`
+    /// metrics label and the CLI verb.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Hello { .. } => "hello",
+            Request::RegisterView { .. } => "register_view",
+            Request::DropView { .. } => "drop_view",
+            Request::Submit(_) => "submit",
+            Request::Flush => "flush",
+            Request::Commit => "commit",
+            Request::QueryView { .. } => "query_view",
+            Request::Stats => "stats",
+            Request::MetricsDump => "metrics_dump",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// One server→client message. Ordering mirrors [`Request`]; any fallible
+/// request may answer [`Response::Error`] instead.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Session accepted.
+    HelloOk {
+        /// Free-form server identification.
+        server: String,
+        /// The server's [`PROTOCOL_VERSION`].
+        protocol: u32,
+        /// Names of the currently registered views, registration order.
+        views: Vec<String>,
+    },
+    /// The view was registered (and checkpointed, when durable).
+    Registered {
+        /// The registered view's name.
+        name: String,
+    },
+    /// The view was dropped.
+    Dropped {
+        /// The dropped view's name.
+        name: String,
+    },
+    /// The batch is queued (not yet applied, not yet durable).
+    Submitted {
+        /// Batches waiting in this session's queue after the enqueue.
+        queued_batches: u64,
+        /// Typed ops waiting in this session's queue.
+        queued_ops: u64,
+    },
+    /// A drain round ran.
+    Flushed {
+        /// Coalesced chunks the round applied (all sessions).
+        chunks_applied: u64,
+    },
+    /// The session's queue is applied and durable.
+    Committed(CommitReceipt),
+    /// A materialized extent.
+    Extent {
+        /// The view's name, echoed.
+        name: String,
+        /// The [`wire`]-encoded `ViewExtent`, byte-identical to the
+        /// server's in-process encoding.
+        bytes: Vec<u8>,
+    },
+    /// Service statistics.
+    Stats(ServerStats),
+    /// The merged metrics snapshot, JSON-encoded.
+    Metrics {
+        /// `MetricsSnapshot::to_json` output.
+        json: String,
+    },
+    /// The server acknowledges [`Request::Shutdown`] and will close.
+    ShuttingDown,
+    /// The request failed with a typed error.
+    Error(WireErr),
+}
+
+/// The folded result of one [`Request::Commit`] — the network image of
+/// the in-process `SessionReceipt` (durations flattened to nanoseconds).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CommitReceipt {
+    /// Batches accepted by `Submit` since the last commit.
+    pub batches_submitted: u64,
+    /// Coalesced batches actually applied.
+    pub batches_applied: u64,
+    /// Typed ops ingested.
+    pub ops: u64,
+    /// Update primitives the ops resolved to.
+    pub resolved: u64,
+    /// Union of the view names any applied batch touched, sorted.
+    pub views_touched: Vec<String>,
+    /// Wall time of the shared Validate phase, nanoseconds.
+    pub validate_ns: u64,
+    /// Wall time of the Propagate phases, nanoseconds.
+    pub propagate_ns: u64,
+    /// Wall time of the Apply phases, nanoseconds.
+    pub apply_ns: u64,
+}
+
+/// Log₂-bucket latency summary of one histogram (nanoseconds), the
+/// per-request-kind slice of the server's metrics surfaced by
+/// [`Response::Stats`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Series name (e.g. `net/req/submit`).
+    pub name: String,
+    /// Samples recorded.
+    pub count: u64,
+    /// Median, nanoseconds (log₂-bucket resolution).
+    pub p50_ns: u64,
+    /// 90th percentile, nanoseconds.
+    pub p90_ns: u64,
+    /// 99th percentile, nanoseconds.
+    pub p99_ns: u64,
+    /// Largest recorded sample, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// The [`Response::Stats`] body: catalog shape, routing totals, WAL
+/// position, and the server's `net/*` connection and request-latency
+/// series.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Registered view names, registration order.
+    pub views: Vec<String>,
+    /// Documents some registered view reads, sorted.
+    pub docs: Vec<String>,
+    /// Update batches applied over the catalog's lifetime.
+    pub batches: u64,
+    /// Resolved update primitives seen.
+    pub updates_seen: u64,
+    /// (update, view) pairs routed into propagation.
+    pub views_routed: u64,
+    /// (update, view) pairs skipped by relevancy.
+    pub views_skipped: u64,
+    /// WAL generation (0 on a volatile catalog).
+    pub generation: u64,
+    /// Records in the active WAL tail.
+    pub wal_records: u64,
+    /// Bytes in the active WAL tail.
+    pub wal_bytes: u64,
+    /// Connections accepted since the server started.
+    pub connections_accepted: u64,
+    /// Connections open right now.
+    pub connections_active: i64,
+    /// Requests served (all kinds).
+    pub requests: u64,
+    /// Defective frames received (torn, bad CRC, oversized, undecodable).
+    pub frame_errors: u64,
+    /// Per-request-kind latency summaries (`net/req/<kind>`), sorted by
+    /// name.
+    pub request_latency: Vec<HistogramSummary>,
+}
+
+/// A typed wire error: the in-process error taxonomy kept
+/// distinguishable across the protocol boundary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireErr {
+    /// What failed.
+    pub kind: ErrorKind,
+    /// Human-readable context (never required to dispatch on).
+    pub detail: String,
+}
+
+impl WireErr {
+    /// A typed error with empty detail.
+    pub fn new(kind: ErrorKind) -> WireErr {
+        WireErr { kind, detail: String::new() }
+    }
+
+    /// Attach human-readable context.
+    pub fn detail(mut self, d: impl Into<String>) -> WireErr {
+        self.detail = d.into();
+        self
+    }
+}
+
+impl std::fmt::Display for WireErr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            ErrorKind::QueueFull { capacity } => {
+                write!(f, "ingestion queue is full ({capacity} batches)")?;
+            }
+            ErrorKind::HubClosed => write!(f, "the ingest hub has shut down")?,
+            ErrorKind::UnknownView { name } => write!(f, "no view named {name:?}")?,
+            ErrorKind::DuplicateView { name } => {
+                write!(f, "view {name:?} is already registered")?;
+            }
+            ErrorKind::Catalog => write!(f, "catalog error")?,
+            ErrorKind::Journal => write!(f, "journaling error")?,
+            ErrorKind::Frame => write!(f, "defective frame")?,
+            ErrorKind::Protocol => write!(f, "protocol error")?,
+            ErrorKind::ConnectionLimit { max } => {
+                write!(f, "server is at its connection limit ({max})")?;
+            }
+            ErrorKind::ShuttingDown => write!(f, "server is shutting down")?,
+        }
+        if !self.detail.is_empty() {
+            write!(f, ": {}", self.detail)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for WireErr {}
+
+/// The dispatchable failure classes of [`WireErr`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The session's bounded ingest queue is at capacity — remote
+    /// backpressure. Round-trips the configured bound so a remote
+    /// producer can apply the same retry/shed policy as an in-process
+    /// one (`IngestError::QueueFull`).
+    QueueFull {
+        /// The configured queue bound the session is at.
+        capacity: u64,
+    },
+    /// The server's ingest hub has shut down (`IngestError::HubClosed`).
+    HubClosed,
+    /// No view with this name (`CatalogError::UnknownView`).
+    UnknownView {
+        /// The unknown name.
+        name: String,
+    },
+    /// A view with this name exists (`CatalogError::DuplicateView`).
+    DuplicateView {
+        /// The duplicate name.
+        name: String,
+    },
+    /// Any other catalog/maintenance failure (`CatalogError`); the
+    /// detail carries the rendered error.
+    Catalog,
+    /// A durability failure (`IngestError::Journal`): the WAL append or
+    /// fsync failed, durability of applied work is unknown.
+    Journal,
+    /// The peer sent a defective frame (torn, bad version, bad CRC,
+    /// oversized); the connection closes after this error.
+    Frame,
+    /// A well-framed but invalid payload (undecodable body, version
+    /// mismatch in `Hello`, a request out of session order).
+    Protocol,
+    /// The server refused the connection at its concurrency bound.
+    ConnectionLimit {
+        /// The configured maximum number of connections.
+        max: u64,
+    },
+    /// The server is draining for shutdown and refuses new work.
+    ShuttingDown,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xquery_lang::{InsertPosition, UpdateOp};
+
+    fn rt_req(v: Request) {
+        assert_eq!(wire::from_slice::<Request>(&wire::to_vec(&v)).unwrap(), v);
+    }
+
+    fn rt_resp(v: Response) {
+        assert_eq!(wire::from_slice::<Response>(&wire::to_vec(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        rt_req(Request::Hello { client: "cli".into(), protocol: PROTOCOL_VERSION });
+        rt_req(Request::RegisterView { name: "v".into(), query: "<r>{ () }</r>".into() });
+        rt_req(Request::DropView { name: "v".into() });
+        let op = UpdateOp::insert("bib.xml", "/bib", InsertPosition::Into, "<book/>").unwrap();
+        rt_req(Request::Submit(UpdateBatch::new().with(op)));
+        rt_req(Request::Submit(UpdateBatch::new()));
+        rt_req(Request::Flush);
+        rt_req(Request::Commit);
+        rt_req(Request::QueryView { name: "v".into() });
+        rt_req(Request::Stats);
+        rt_req(Request::MetricsDump);
+        rt_req(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        rt_resp(Response::HelloOk {
+            server: "xqview".into(),
+            protocol: PROTOCOL_VERSION,
+            views: vec!["a".into(), "b".into()],
+        });
+        rt_resp(Response::Registered { name: "v".into() });
+        rt_resp(Response::Dropped { name: "v".into() });
+        rt_resp(Response::Submitted { queued_batches: 3, queued_ops: 9 });
+        rt_resp(Response::Flushed { chunks_applied: 2 });
+        rt_resp(Response::Committed(CommitReceipt {
+            batches_submitted: 4,
+            batches_applied: 1,
+            ops: 8,
+            resolved: 11,
+            views_touched: vec!["v".into()],
+            validate_ns: 1,
+            propagate_ns: 2,
+            apply_ns: 3,
+        }));
+        rt_resp(Response::Extent { name: "v".into(), bytes: vec![1, 2, 3, 0, 255] });
+        rt_resp(Response::Stats(ServerStats {
+            views: vec!["v".into()],
+            docs: vec!["bib.xml".into()],
+            batches: 5,
+            updates_seen: 6,
+            views_routed: 7,
+            views_skipped: 8,
+            generation: 2,
+            wal_records: 3,
+            wal_bytes: 4096,
+            connections_accepted: 10,
+            connections_active: 2,
+            requests: 40,
+            frame_errors: 1,
+            request_latency: vec![HistogramSummary {
+                name: "net/req/submit".into(),
+                count: 12,
+                p50_ns: 100,
+                p90_ns: 200,
+                p99_ns: 300,
+                max_ns: 400,
+            }],
+        }));
+        rt_resp(Response::Metrics { json: "{}".into() });
+        rt_resp(Response::ShuttingDown);
+    }
+
+    #[test]
+    fn errors_roundtrip_with_queue_full_capacity() {
+        for kind in [
+            ErrorKind::QueueFull { capacity: 64 },
+            ErrorKind::HubClosed,
+            ErrorKind::UnknownView { name: "x".into() },
+            ErrorKind::DuplicateView { name: "x".into() },
+            ErrorKind::Catalog,
+            ErrorKind::Journal,
+            ErrorKind::Frame,
+            ErrorKind::Protocol,
+            ErrorKind::ConnectionLimit { max: 8 },
+            ErrorKind::ShuttingDown,
+        ] {
+            rt_resp(Response::Error(WireErr::new(kind).detail("ctx")));
+        }
+        // The backpressure bound specifically must survive the trip.
+        let bytes =
+            wire::to_vec(&Response::Error(WireErr::new(ErrorKind::QueueFull { capacity: 1234 })));
+        let Response::Error(e) = wire::from_slice::<Response>(&bytes).unwrap() else { panic!() };
+        assert_eq!(e.kind, ErrorKind::QueueFull { capacity: 1234 });
+    }
+
+    #[test]
+    fn bad_tags_are_decode_errors() {
+        assert!(wire::from_slice::<Request>(&[200]).is_err());
+        assert!(wire::from_slice::<Response>(&[200]).is_err());
+    }
+
+    #[test]
+    fn request_kinds_are_stable() {
+        assert_eq!(Request::Flush.kind(), "flush");
+        assert_eq!(Request::Submit(UpdateBatch::new()).kind(), "submit");
+        assert_eq!(Request::QueryView { name: String::new() }.kind(), "query_view");
+    }
+}

@@ -1178,6 +1178,12 @@ impl DurableCatalog {
         self.catalog.extent_xml(name)
     }
 
+    /// Wire-encoded extent of the view named `name` — see
+    /// [`ViewCatalog::extent_bytes`].
+    pub fn extent_bytes(&self, name: &str) -> Result<Vec<u8>, CatalogError> {
+        self.catalog.extent_bytes(name)
+    }
+
     /// Registered view names, in registration order.
     pub fn view_names(&self) -> Vec<&str> {
         self.catalog.view_names()

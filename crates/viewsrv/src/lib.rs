@@ -461,6 +461,14 @@ impl ViewCatalog {
         self.slot(name).map(|s| s.view.extent_xml())
     }
 
+    /// Wire-encoded extent of the view named `name` — the remote read
+    /// path. The bytes are exactly `wire::to_vec` of the in-process
+    /// [`ViewExtent`](xat::ViewExtent), so a client that decodes them
+    /// holds a byte-identical copy of the materialized view.
+    pub fn extent_bytes(&self, name: &str) -> Result<Vec<u8>, CatalogError> {
+        self.slot(name).map(|s| wire::to_vec(s.view.extent()))
+    }
+
     /// The store-less view core registered under `name`.
     pub fn view(&self, name: &str) -> Result<&MaintView, CatalogError> {
         self.slot(name).map(|s| &s.view)
@@ -928,6 +936,23 @@ mod tests {
         assert_eq!(cat.indexed_docs(), vec!["bib.xml", "prices.xml"]);
         assert!(cat.views_for_doc("nope.xml").is_empty());
         cat.verify_all().unwrap();
+    }
+
+    /// The remote read path must be byte-identical to the in-process
+    /// extent: `extent_bytes` is exactly `wire::to_vec(extent)`, decodes
+    /// back to an equal extent, and serializes to the same XML.
+    #[test]
+    fn extent_bytes_roundtrips_byte_identically() {
+        let cat = catalog();
+        for name in ["flat", "join", "prices_only"] {
+            let bytes = cat.extent_bytes(name).unwrap();
+            let local = cat.view(name).unwrap().extent();
+            assert_eq!(bytes, wire::to_vec(local), "{name}: bytes differ from in-process encode");
+            let decoded: xat::ViewExtent = wire::from_slice(&bytes).unwrap();
+            assert_eq!(decoded.to_xml(), local.to_xml(), "{name}: decoded extent diverged");
+            assert_eq!(wire::to_vec(&decoded), bytes, "{name}: re-encode not byte-identical");
+        }
+        assert!(matches!(cat.extent_bytes("nope"), Err(CatalogError::UnknownView(_))));
     }
 
     #[test]

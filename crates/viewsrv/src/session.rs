@@ -722,6 +722,59 @@ impl IngestHub {
         snap
     }
 
+    /// The registry every hub/session/catalog series lives in — lets a
+    /// host (e.g. the network server) register its own instruments so
+    /// they ride along in [`IngestHub::metrics`] snapshots.
+    pub fn metrics_registry(&self) -> Arc<obs::MetricsRegistry> {
+        Arc::clone(&self.shared.registry)
+    }
+
+    /// Run `f` with exclusive access to the hub's catalog, checked out of
+    /// the hub state exactly like a drain round: no hub lock is held
+    /// while `f` runs, so producers keep enqueueing at memory speed, and
+    /// catalog ownership serializes `f` against concurrent rounds. The
+    /// check-out is panic-safe — an unwind in `f` still hands the catalog
+    /// back and wakes waiters. Returns `None` once the hub has shut down.
+    ///
+    /// This is the control-plane path (register/drop views, read extents,
+    /// inspect recovery state) for hosts that own the catalog only
+    /// through a hub; keep `f` short — drains stall while it runs.
+    pub fn with_inner<R>(&self, f: impl FnOnce(&mut HubInner) -> R) -> Option<R> {
+        let mut g = self.shared.state.lock().expect("hub state");
+        let inner = loop {
+            if let Some(inner) = g.inner.take() {
+                break inner;
+            }
+            if g.shutdown && g.sessions.is_empty() {
+                return None;
+            }
+            g = self.shared.ack.wait(g).expect("hub state");
+        };
+        drop(g);
+
+        /// Hands the catalog back on every exit path, unwinds included.
+        struct Restore<'a> {
+            shared: &'a HubShared,
+            inner: Option<HubInner>,
+        }
+        impl Drop for Restore<'_> {
+            fn drop(&mut self) {
+                let mut g = self.shared.state.lock().expect("hub state");
+                g.inner = self.inner.take();
+                drop(g);
+                self.shared.ack.notify_all();
+                self.shared.work.notify_all();
+            }
+        }
+        let mut guard = Restore { shared: &self.shared, inner: Some(inner) };
+        Some(f(guard.inner.as_mut().expect("checked out above")))
+    }
+
+    /// Read-only variant of [`IngestHub::with_inner`].
+    pub fn with_catalog<R>(&self, f: impl FnOnce(&ViewCatalog) -> R) -> Option<R> {
+        self.with_inner(|inner| f(inner.catalog()))
+    }
+
     /// Run one background-style drain round right now (one coalesced
     /// chunk per drainable session, round-robin order, one group fsync) —
     /// deterministic drains for tests and an operational nudge. Returns

@@ -48,6 +48,9 @@
 //! | VPA maintenance framework | [`vpa_core`] | 5, 6, 7, 8 |
 //! | Multi-view catalog + ingestion front | [`viewsrv`] | 5 (SAPT routing), beyond paper |
 //! | Durability (WAL + snapshots) | [`viewsrv::durability`] | 3.3 (MASS persistence), beyond paper |
+//! | Session protocol (framed requests) | [`proto`] | — (network substrate) |
+//! | TCP front door (`xqview-server`) | [`server`] | — (beyond paper) |
+//! | Blocking client + CLI + load gen | [`client`] | — (beyond paper) |
 //! | Synthetic data / workloads | [`datagen`] | 3.5, 9 |
 //!
 //! Every storage layer implements the [`wire`] `Encode`/`Decode` codec for
@@ -152,10 +155,54 @@
 //! rotation, background vs stop-the-world). Drain rounds are panic-safe:
 //! a round that unwinds mid-apply hands the catalog back and surfaces a
 //! sticky error instead of deadlocking `shutdown`.
+//!
+//! ## The network front door
+//!
+//! The `xqview-server` binary (crate [`server`]) puts either catalog
+//! behind TCP: [`proto`] layers a request/response session protocol over
+//! the same [`wire::frame`] encoding the WAL uses (version byte + u32
+//! length + CRC-32 — one codec, two transports), and every connection is
+//! an [`IngestHub`] session of its own — per-connection bounded queues,
+//! typed remote backpressure ([`proto::ErrorKind::QueueFull`] carries the
+//! capacity so a [`client::Client`] can commit-and-retry), and
+//! `commit()` as the remote durability boundary. Defective peers cost at
+//! most their own connection (torn/bad-CRC/oversized frames become typed
+//! error responses; handler panics are caught at the thread edge), and a
+//! client `Shutdown` or SIGTERM drains every session and seals the WAL.
+//! Remote reads are byte-identical to in-process ones
+//! ([`ViewCatalog::extent_bytes`] is what travels), `xqview-cli` scripts
+//! the whole protocol from a shell, and [`client::load`] is an open-loop
+//! many-connection generator (latency measured from *scheduled* arrival,
+//! so server queueing is not hidden by coordinated omission) feeding the
+//! `fig_net` bench:
+//!
+//! ```
+//! use xqview::client::Client;
+//! use xqview::server::{Server, ServerConfig};
+//! use xqview::{Store, ViewCatalog};
+//!
+//! let mut store = Store::new();
+//! store.load_doc("bib.xml", r#"<bib><book year="1994"><title>T</title></book></bib>"#).unwrap();
+//! let srv = Server::start_volatile(ViewCatalog::new(store), ServerConfig::default()).unwrap();
+//!
+//! let mut c = Client::connect(&srv.local_addr().to_string(), "doc-test").unwrap();
+//! c.register_view("titles", r#"<r>{ for $b in doc("bib.xml")/bib/book return $b/title }</r>"#)
+//!     .unwrap();
+//! c.submit_script(r#"for $r in doc("bib.xml")/bib update $r
+//!     insert <book year="2001"><title>U</title></book> into $r"#)
+//!     .unwrap();
+//! let receipt = c.commit().unwrap();
+//! assert_eq!(receipt.views_touched, vec!["titles"]);
+//! assert!(c.query_view("titles").unwrap().to_xml().contains("<title>U</title>"));
+//! srv.shutdown();
+//! ```
 
+pub use client;
 pub use exec;
 pub use flexkey;
 pub use obs;
+pub use proto;
+pub use server;
 pub use viewsrv;
 pub use vpa_core;
 pub use wire;
