@@ -29,6 +29,12 @@ use std::time::Duration;
 use wire::Encode;
 use xquery_lang::UpdateBatch;
 
+/// Default socket I/O timeout for every call: generous enough for a
+/// commit waiting on a loaded group fsync, small enough that a wedged
+/// server fails the call ([`ClientError::TimedOut`]) instead of hanging
+/// the caller forever.
+pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(30);
+
 /// A client-side failure: transport, framing, a typed server error, or a
 /// response of the wrong shape.
 #[derive(Debug)]
@@ -37,6 +43,14 @@ pub enum ClientError {
     Io(std::io::Error),
     /// The response stream was defective (torn frame, bad CRC, …).
     Frame(FrameError),
+    /// The server produced no (complete) response within the socket
+    /// timeout ([`DEFAULT_IO_TIMEOUT`] unless overridden via
+    /// [`Client::set_io_timeout`]). The stream may have been left
+    /// mid-frame, so the connection is no longer usable — reconnect.
+    TimedOut {
+        /// The timeout that expired.
+        after: Duration,
+    },
     /// The server answered with a typed [`WireErr`] — inspect
     /// [`WireErr::kind`]; [`ErrorKind::QueueFull`] is the remote
     /// backpressure signal (the submitted batch is still owned by the
@@ -56,6 +70,9 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "connection error: {e}"),
             ClientError::Frame(e) => write!(f, "response stream defective: {e}"),
+            ClientError::TimedOut { after } => {
+                write!(f, "no response within {after:?}; the connection must be re-established")
+            }
             ClientError::Server(e) => write!(f, "server error: {e}"),
             ClientError::Unexpected { expected, got } => {
                 write!(f, "expected a {expected} response, got {got}")
@@ -70,7 +87,7 @@ impl std::error::Error for ClientError {
             ClientError::Io(e) => Some(e),
             ClientError::Frame(e) => Some(e),
             ClientError::Server(e) => Some(e),
-            ClientError::Unexpected { .. } => None,
+            ClientError::TimedOut { .. } | ClientError::Unexpected { .. } => None,
         }
     }
 }
@@ -112,15 +129,27 @@ impl Encode for SubmitRef<'_> {
 pub struct Client {
     stream: TcpStream,
     max_frame: usize,
+    io_timeout: Option<Duration>,
     views: Vec<String>,
     server: String,
 }
 
 impl Client {
-    /// Connect and greet. `name` identifies this client in server logs.
+    /// Connect and greet with the [`DEFAULT_IO_TIMEOUT`]. `name`
+    /// identifies this client in server logs.
     pub fn connect(addr: &str, name: &str) -> Result<Client, ClientError> {
+        Client::connect_with(addr, name, Some(DEFAULT_IO_TIMEOUT))
+    }
+
+    /// Connect and greet with an explicit socket timeout (`None` blocks
+    /// forever, the pre-timeout behavior).
+    pub fn connect_with(
+        addr: &str,
+        name: &str,
+        io_timeout: Option<Duration>,
+    ) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr)?;
-        Client::handshake(stream, name)
+        Client::handshake(stream, name, io_timeout)
     }
 
     /// Connect with retries — for racing a server that is still binding
@@ -135,7 +164,7 @@ impl Client {
         let mut last: Option<ClientError> = None;
         for _ in 0..attempts.max(1) {
             match TcpStream::connect(addr) {
-                Ok(stream) => match Client::handshake(stream, name) {
+                Ok(stream) => match Client::handshake(stream, name, Some(DEFAULT_IO_TIMEOUT)) {
                     Ok(c) => return Ok(c),
                     Err(e) => last = Some(e),
                 },
@@ -146,11 +175,18 @@ impl Client {
         Err(last.expect("at least one attempt"))
     }
 
-    fn handshake(stream: TcpStream, name: &str) -> Result<Client, ClientError> {
+    fn handshake(
+        stream: TcpStream,
+        name: &str,
+        io_timeout: Option<Duration>,
+    ) -> Result<Client, ClientError> {
         stream.set_nodelay(true).ok();
+        stream.set_read_timeout(io_timeout)?;
+        stream.set_write_timeout(io_timeout)?;
         let mut c = Client {
             stream,
             max_frame: proto::DEFAULT_MAX_FRAME,
+            io_timeout,
             views: Vec::new(),
             server: String::new(),
         };
@@ -167,6 +203,14 @@ impl Client {
         }
     }
 
+    /// Override the per-call socket timeout (`None` blocks forever).
+    pub fn set_io_timeout(&mut self, io_timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(io_timeout)?;
+        self.stream.set_write_timeout(io_timeout)?;
+        self.io_timeout = io_timeout;
+        Ok(())
+    }
+
     /// The server's self-identification from the handshake.
     pub fn server(&self) -> &str {
         &self.server
@@ -179,8 +223,29 @@ impl Client {
 
     /// Send one request, read one response.
     fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
-        proto::send(&mut self.stream, req)?;
-        Ok(proto::recv(&mut self.stream, self.max_frame)?)
+        proto::send(&mut self.stream, req).map_err(|e| self.io_err(e))?;
+        proto::recv(&mut self.stream, self.max_frame).map_err(|e| self.frame_err(e))
+    }
+
+    /// Classify a transport error, surfacing an expired socket timeout
+    /// as the typed [`ClientError::TimedOut`].
+    fn io_err(&self, e: std::io::Error) -> ClientError {
+        use std::io::ErrorKind;
+        if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+            ClientError::TimedOut { after: self.io_timeout.unwrap_or_default() }
+        } else {
+            ClientError::Io(e)
+        }
+    }
+
+    /// Classify a response-stream error, surfacing an expired socket
+    /// timeout as the typed [`ClientError::TimedOut`].
+    fn frame_err(&self, e: FrameError) -> ClientError {
+        if e.is_timeout() {
+            ClientError::TimedOut { after: self.io_timeout.unwrap_or_default() }
+        } else {
+            ClientError::Frame(e)
+        }
     }
 
     /// Turn a `Response::Error` into `ClientError::Server`, pass the rest.
@@ -215,8 +280,9 @@ impl Client {
     /// [`ErrorKind::QueueFull`] the caller still owns it and can commit
     /// then resubmit. Returns `(queued_batches, queued_ops)`.
     pub fn submit(&mut self, batch: &UpdateBatch) -> Result<(u64, u64), ClientError> {
-        proto::send(&mut self.stream, &SubmitRef(batch))?;
-        let resp: Response = proto::recv(&mut self.stream, self.max_frame)?;
+        proto::send(&mut self.stream, &SubmitRef(batch)).map_err(|e| self.io_err(e))?;
+        let resp: Response =
+            proto::recv(&mut self.stream, self.max_frame).map_err(|e| self.frame_err(e))?;
         match Self::ok(resp)? {
             Response::Submitted { queued_batches, queued_ops } => Ok((queued_batches, queued_ops)),
             other => Err(unexpected("Submitted", other)),
@@ -315,5 +381,25 @@ mod tests {
         let owned = wire::to_vec(&Request::Submit(batch.clone()));
         let borrowed = wire::to_vec(&SubmitRef(&batch));
         assert_eq!(owned, borrowed);
+    }
+
+    /// A server that accepts but never answers must fail the call with
+    /// the typed timeout, not hang the caller.
+    #[test]
+    fn silent_server_times_out_typed() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let hold = std::thread::spawn(move || {
+            // Accept and hold the socket open, answering nothing.
+            let (s, _) = listener.accept().unwrap();
+            std::thread::sleep(Duration::from_millis(400));
+            drop(s);
+        });
+        let err = match Client::connect_with(&addr, "impatient", Some(Duration::from_millis(100))) {
+            Err(e) => e,
+            Ok(_) => panic!("handshake against a silent server must not succeed"),
+        };
+        assert!(matches!(err, ClientError::TimedOut { .. }), "expected a timeout, got {err:?}");
+        hold.join().unwrap();
     }
 }

@@ -182,9 +182,12 @@ fn worker(cfg: &LoadConfig, conn: usize, start: Instant) -> Result<WorkerResult,
                 out.requests += 1;
                 out.lat_ns.push(scheduled.elapsed().as_nanos() as u64);
             }
-            Err(ClientError::Io(_)) | Err(ClientError::Frame(_)) => {
-                // The connection is gone; the worker's remaining
-                // arrivals are lost — report what completed.
+            Err(ClientError::Io(_))
+            | Err(ClientError::Frame(_))
+            | Err(ClientError::TimedOut { .. }) => {
+                // The connection is gone (or timed out mid-frame, which
+                // leaves it unusable); the worker's remaining arrivals
+                // are lost — report what completed.
                 out.errors += 1;
                 break;
             }

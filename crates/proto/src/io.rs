@@ -15,6 +15,13 @@
 //! After any defect the stream is unsynchronized — there is no reliable
 //! resync point in a length-prefixed protocol — so the only sound
 //! continuation is to report and close.
+//!
+//! Sockets with a short read timeout (the server polls its stop flag
+//! between reads) add one more failure class: a timeout can fire *inside*
+//! a frame whose bytes legitimately span several ticks. [`FrameReader`]
+//! keeps the partial frame buffered across timeouts, so resuming the read
+//! continues mid-frame instead of restarting header parsing on the
+//! half-consumed stream.
 
 use std::io::{ErrorKind as IoKind, Read, Write};
 use wire::frame::{crc32, HEADER, TRAILER, VERSION};
@@ -24,6 +31,18 @@ use wire::{Decode, Encode, WireError};
 /// metrics dumps, small enough that a garbage length prefix cannot
 /// balloon allocation.
 pub const DEFAULT_MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// Size bound for the first frame of a session. Every legal opening
+/// request (`Hello`) is tiny, so a server can hold pre-handshake peers to
+/// this bound and an unauthenticated connection cannot demand a large
+/// payload allocation.
+pub const HANDSHAKE_MAX_FRAME: usize = 4 * 1024;
+
+/// Frame bodies are read into a buffer grown in chunks of this size, so
+/// the memory committed to a length prefix tracks the bytes the peer
+/// actually delivered (plus at most one chunk) — never the announced
+/// length alone.
+const BODY_CHUNK: usize = 64 * 1024;
 
 /// Reading a frame from a live stream failed.
 #[derive(Debug)]
@@ -109,56 +128,156 @@ pub fn send<T: Encode + ?Sized>(w: &mut impl Write, value: &T) -> std::io::Resul
     write_frame(w, &wire::to_vec(value))
 }
 
+/// Where a [`FrameReader`] stands inside the current frame.
+enum ReadState {
+    /// Collecting the 5-byte header (version + length).
+    Header {
+        /// Header bytes collected so far.
+        buf: [u8; HEADER],
+        /// How many of them are valid.
+        got: usize,
+    },
+    /// Header validated; collecting `len` payload bytes plus the CRC
+    /// trailer into an incrementally-grown buffer.
+    Body {
+        /// Announced payload length (already checked against the bound).
+        len: usize,
+        /// Body bytes, grown in [`BODY_CHUNK`] steps as data arrives.
+        buf: Vec<u8>,
+        /// How many body+trailer bytes are valid.
+        got: usize,
+    },
+}
+
+/// A resumable frame parser: [`read_frame`](FrameReader::read_frame)
+/// buffers partial progress, so a read timeout ([`FrameError::is_timeout`])
+/// can be retried and the parse continues exactly where it stopped —
+/// a frame whose bytes span several timeout ticks is reassembled, never
+/// mistaken for a fresh frame starting mid-stream.
+///
+/// After any **non**-timeout error the stream is unsynchronized and the
+/// reader must be discarded along with the connection.
+pub struct FrameReader {
+    state: ReadState,
+}
+
+impl Default for FrameReader {
+    fn default() -> FrameReader {
+        FrameReader::new()
+    }
+}
+
+impl FrameReader {
+    /// A reader positioned at a frame boundary.
+    pub fn new() -> FrameReader {
+        FrameReader { state: ReadState::Header { buf: [0u8; HEADER], got: 0 } }
+    }
+
+    /// True when part of a frame is buffered — a timeout with
+    /// `mid_frame()` set means the peer stalled *inside* a message, not
+    /// that it is idle at a frame boundary.
+    pub fn mid_frame(&self) -> bool {
+        !matches!(self.state, ReadState::Header { got: 0, .. })
+    }
+
+    /// Bytes of the current frame consumed so far (header + body);
+    /// resets to zero when a frame completes. Comparing across timeout
+    /// ticks distinguishes a slow-but-progressing peer from a stalled
+    /// one.
+    pub fn buffered(&self) -> usize {
+        match &self.state {
+            ReadState::Header { got, .. } => *got,
+            ReadState::Body { got, .. } => HEADER + *got,
+        }
+    }
+
+    /// Read one complete frame, returning its payload bytes.
+    ///
+    /// `max` bounds the announced payload length
+    /// ([`FrameError::Oversized`]) and is checked before any payload
+    /// allocation; the body buffer then grows with the bytes actually
+    /// received, so a garbage length prefix cannot balloon memory.
+    ///
+    /// On a timeout the partial frame stays buffered and the call can be
+    /// retried; every other error leaves the stream unsynchronized.
+    pub fn read_frame(&mut self, r: &mut impl Read, max: usize) -> Result<Vec<u8>, FrameError> {
+        loop {
+            match &mut self.state {
+                ReadState::Header { buf, got } => {
+                    while *got < HEADER {
+                        match r.read(&mut buf[*got..]) {
+                            // EOF on the first byte is a clean close at a
+                            // frame boundary; later it cut a frame short.
+                            Ok(0) if *got == 0 => return Err(FrameError::Closed),
+                            Ok(0) => return Err(FrameError::Truncated),
+                            Ok(n) => *got += n,
+                            Err(e) if e.kind() == IoKind::Interrupted => continue,
+                            Err(e) => return Err(FrameError::Io(e)),
+                        }
+                    }
+                    if buf[0] != VERSION {
+                        return Err(FrameError::BadVersion(buf[0]));
+                    }
+                    let len = u32::from_le_bytes([buf[1], buf[2], buf[3], buf[4]]) as usize;
+                    if len > max {
+                        return Err(FrameError::Oversized { len, max });
+                    }
+                    self.state = ReadState::Body { len, buf: Vec::new(), got: 0 };
+                }
+                ReadState::Body { len, buf, got } => {
+                    let total = *len + TRAILER;
+                    while *got < total {
+                        let target = total.min(*got + BODY_CHUNK);
+                        if buf.len() < target {
+                            buf.resize(target, 0);
+                        }
+                        match r.read(&mut buf[*got..target]) {
+                            Ok(0) => return Err(FrameError::Truncated),
+                            Ok(n) => *got += n,
+                            Err(e) if e.kind() == IoKind::Interrupted => continue,
+                            Err(e) => return Err(FrameError::Io(e)),
+                        }
+                    }
+                    let len = *len;
+                    let mut body = std::mem::take(buf);
+                    self.state = ReadState::Header { buf: [0u8; HEADER], got: 0 };
+                    let stored = u32::from_le_bytes([
+                        body[len],
+                        body[len + 1],
+                        body[len + 2],
+                        body[len + 3],
+                    ]);
+                    body.truncate(len);
+                    if crc32(&body) != stored {
+                        return Err(FrameError::Corrupt);
+                    }
+                    return Ok(body);
+                }
+            }
+        }
+    }
+
+    /// [`read_frame`](FrameReader::read_frame), decoding the payload as
+    /// `T`.
+    pub fn recv<T: Decode>(&mut self, r: &mut impl Read, max: usize) -> Result<T, FrameError> {
+        let payload = self.read_frame(r, max)?;
+        wire::from_slice(&payload).map_err(FrameError::Decode)
+    }
+}
+
 /// Read one complete frame, returning its payload bytes.
 ///
 /// `max` bounds the announced payload length ([`FrameError::Oversized`])
-/// and is checked before any payload allocation.
+/// and is checked before any payload allocation. One-shot: a timeout
+/// surfaces as [`FrameError::Io`] and discards any partial frame — use a
+/// [`FrameReader`] to resume across timeouts.
 pub fn read_frame(r: &mut impl Read, max: usize) -> Result<Vec<u8>, FrameError> {
-    let mut header = [0u8; HEADER];
-    // The first byte distinguishes a clean close (zero bytes readable at
-    // a frame boundary) from a mid-frame truncation.
-    let mut got = 0usize;
-    while got < 1 {
-        match r.read(&mut header[..1]) {
-            Ok(0) => return Err(FrameError::Closed),
-            Ok(n) => got += n,
-            Err(e) if e.kind() == IoKind::Interrupted => continue,
-            Err(e) => return Err(FrameError::Io(e)),
-        }
-    }
-    read_exact(r, &mut header[1..])?;
-    if header[0] != VERSION {
-        return Err(FrameError::BadVersion(header[0]));
-    }
-    let len = u32::from_le_bytes([header[1], header[2], header[3], header[4]]) as usize;
-    if len > max {
-        return Err(FrameError::Oversized { len, max });
-    }
-    let mut body = vec![0u8; len + TRAILER];
-    read_exact(r, &mut body)?;
-    let stored = u32::from_le_bytes([body[len], body[len + 1], body[len + 2], body[len + 3]]);
-    body.truncate(len);
-    if crc32(&body) != stored {
-        return Err(FrameError::Corrupt);
-    }
-    Ok(body)
+    FrameReader::new().read_frame(r, max)
 }
 
 /// Read one frame and decode its payload as `T`.
 pub fn recv<T: Decode>(r: &mut impl Read, max: usize) -> Result<T, FrameError> {
-    let payload = read_frame(r, max)?;
-    wire::from_slice(&payload).map_err(FrameError::Decode)
-}
-
-/// `read_exact` mapping a mid-frame EOF to [`FrameError::Truncated`].
-fn read_exact(r: &mut impl Read, buf: &mut [u8]) -> Result<(), FrameError> {
-    r.read_exact(buf).map_err(|e| {
-        if e.kind() == IoKind::UnexpectedEof {
-            FrameError::Truncated
-        } else {
-            FrameError::Io(e)
-        }
-    })
+    FrameReader::new().recv(r, max)
 }
 
 #[cfg(test)]
@@ -229,6 +348,125 @@ mod tests {
             read_frame(&mut Cursor::new(buf), DEFAULT_MAX_FRAME),
             Err(FrameError::Oversized { .. })
         ));
+    }
+
+    /// A stream that delivers `data` a few bytes per call, returning a
+    /// `WouldBlock` timeout between deliveries — a slow peer under a
+    /// socket read timeout.
+    struct Trickle {
+        data: Vec<u8>,
+        pos: usize,
+        chunk: usize,
+        tick: usize,
+    }
+
+    impl Read for Trickle {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.tick += 1;
+            if self.tick % 2 == 1 {
+                return Err(IoKind::WouldBlock.into());
+            }
+            if self.pos >= self.data.len() {
+                return Ok(0);
+            }
+            let n = buf.len().min(self.chunk).min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    /// The resumable reader reassembles a frame whose bytes span many
+    /// read timeouts; the one-shot `read_frame` gives up on the first.
+    #[test]
+    fn frame_reader_resumes_across_timeouts() {
+        let mut framed = Vec::new();
+        send(&mut framed, "a payload that takes several ticks to arrive").unwrap();
+
+        let mut slow = Trickle { data: framed.clone(), pos: 0, chunk: 3, tick: 0 };
+        let mut reader = FrameReader::new();
+        let mut timeouts = 0;
+        let mut saw_mid_frame_timeout = false;
+        let payload = loop {
+            match reader.read_frame(&mut slow, DEFAULT_MAX_FRAME) {
+                Ok(p) => break p,
+                Err(e) if e.is_timeout() => {
+                    timeouts += 1;
+                    saw_mid_frame_timeout |= reader.mid_frame();
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        };
+        assert_eq!(
+            wire::from_slice::<String>(&payload).unwrap(),
+            "a payload that takes several ticks to arrive"
+        );
+        assert!(timeouts > 1, "the trickle must have timed out repeatedly");
+        assert!(saw_mid_frame_timeout, "timeouts must have fired inside the frame");
+        assert!(!reader.mid_frame(), "a completed frame resets the reader");
+        assert_eq!(reader.buffered(), 0);
+
+        let mut slow = Trickle { data: framed, pos: 0, chunk: 3, tick: 0 };
+        assert!(read_frame(&mut slow, DEFAULT_MAX_FRAME).unwrap_err().is_timeout());
+    }
+
+    /// `buffered()` tracks consumed bytes across ticks — the signal a
+    /// server uses to tell slow progress from a stall.
+    #[test]
+    fn buffered_reflects_progress() {
+        let mut framed = Vec::new();
+        send(&mut framed, "abc").unwrap();
+        let cut = HEADER + 2; // stop partway into the body
+        let mut partial = Trickle { data: framed[..cut].to_vec(), pos: 0, chunk: 2, tick: 0 };
+        let mut reader = FrameReader::new();
+        let mut last = 0;
+        loop {
+            match reader.read_frame(&mut partial, DEFAULT_MAX_FRAME) {
+                Err(e) if e.is_timeout() => {
+                    assert!(reader.buffered() >= last, "progress never regresses");
+                    last = reader.buffered();
+                }
+                Err(FrameError::Truncated) => break, // trickle ran dry mid-frame
+                other => panic!("unexpected outcome: {other:?}"),
+            }
+        }
+        assert_eq!(last, cut, "every delivered byte must be buffered");
+    }
+
+    /// Back-to-back frames parse through one reader (state resets cleanly
+    /// at each boundary).
+    #[test]
+    fn frame_reader_parses_a_sequence() {
+        let mut buf = Vec::new();
+        send(&mut buf, "first").unwrap();
+        send(&mut buf, "second").unwrap();
+        let mut r = Cursor::new(buf);
+        let mut reader = FrameReader::new();
+        assert_eq!(reader.recv::<String>(&mut r, DEFAULT_MAX_FRAME).unwrap(), "first");
+        assert_eq!(reader.recv::<String>(&mut r, DEFAULT_MAX_FRAME).unwrap(), "second");
+        assert!(matches!(
+            reader.recv::<String>(&mut r, DEFAULT_MAX_FRAME),
+            Err(FrameError::Closed)
+        ));
+    }
+
+    /// A huge announced length with almost nothing behind it must fail on
+    /// truncation after a small incremental allocation — the commitment
+    /// tracks delivered bytes, not the attacker-controlled prefix.
+    #[test]
+    fn body_allocation_tracks_delivered_bytes() {
+        let mut buf = vec![VERSION];
+        buf.extend_from_slice(&(48u32 * 1024 * 1024).to_le_bytes());
+        buf.extend_from_slice(&[0u8; 16]);
+        let mut reader = FrameReader::new();
+        assert!(matches!(
+            reader.read_frame(&mut Cursor::new(buf), DEFAULT_MAX_FRAME),
+            Err(FrameError::Truncated)
+        ));
+        // The header and the 16 delivered body bytes were consumed; the
+        // 48 MiB promise was not trusted with an up-front allocation
+        // (the buffer grows in BODY_CHUNK steps as bytes arrive).
+        assert_eq!(reader.buffered(), HEADER + 16);
     }
 
     #[test]

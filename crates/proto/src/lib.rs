@@ -35,7 +35,14 @@
 //! that does not decode. A server answers a defective frame with
 //! [`Response::Error`] and drops **only that connection**; the stream
 //! cannot be resynchronized past a bad frame, so closing is the only
-//! sound continuation.
+//! sound continuation. A read *timeout* is not a defect: receivers that
+//! poll with a short socket timeout use a [`FrameReader`], which keeps a
+//! partially-received frame buffered across ticks so a message whose
+//! bytes arrive slowly is reassembled rather than torn. Until `Hello`
+//! completes, servers bound frames by [`HANDSHAKE_MAX_FRAME`] instead of
+//! their configured maximum — every legal opening request is tiny, and
+//! body buffers grow with the bytes actually received, so an
+//! unauthenticated length prefix cannot reserve real memory.
 //!
 //! ## Session flow
 //!
@@ -70,7 +77,10 @@
 pub mod io;
 mod wirecodec;
 
-pub use io::{read_frame, recv, send, write_frame, FrameError, DEFAULT_MAX_FRAME};
+pub use io::{
+    read_frame, recv, send, write_frame, FrameError, FrameReader, DEFAULT_MAX_FRAME,
+    HANDSHAKE_MAX_FRAME,
+};
 pub use xquery_lang::UpdateBatch;
 
 /// Session-protocol version negotiated by `Hello` (independent of the

@@ -24,6 +24,14 @@
 //!   stream has no resync point after a bad frame;
 //! * a well-framed but undecodable or out-of-order request gets a
 //!   [`proto::ErrorKind::Protocol`] error;
+//! * slow is not defective: frames are read through a resumable
+//!   [`proto::FrameReader`], so a message whose bytes span several poll
+//!   ticks is reassembled — only a peer that stops delivering bytes for
+//!   [`ServerConfig::read_timeout`] is reaped;
+//! * until `Hello` completes, frames are bounded by
+//!   [`proto::HANDSHAKE_MAX_FRAME`] and body buffers grow only with
+//!   bytes actually received, so pre-handshake peers cannot reserve
+//!   real memory with a garbage length prefix;
 //! * handler panics are caught at the thread boundary; the hub and every
 //!   other connection keep running.
 //!
@@ -61,9 +69,11 @@ pub struct ServerConfig {
     /// Concurrent-connection bound; the `max+1`-th client is answered
     /// with [`proto::ErrorKind::ConnectionLimit`] and closed.
     pub max_connections: usize,
-    /// Idle bound: a connection that sends nothing for this long is
-    /// closed. Measured across poll ticks, so a silent peer never pins a
-    /// thread past the bound.
+    /// Idle bound: a connection that delivers no bytes for this long is
+    /// closed. Measured across poll ticks; bytes arriving mid-frame count
+    /// as progress (a slow peer trickling a legitimate frame is served),
+    /// while a silent peer — idle at a frame boundary or stalled inside
+    /// one — never pins a thread past the bound.
     pub read_timeout: Duration,
     /// Per-write bound on response transmission.
     pub write_timeout: Duration,
@@ -296,15 +306,34 @@ fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
     let mut session: Option<SessionHandle> = None;
     let mut greeted = false;
     let mut idle = Duration::ZERO;
+    // Frames are read through a resumable parser: the short poll-tick
+    // socket timeout can fire *inside* a frame whose bytes span several
+    // ticks (a large Submit over a slow link), and the partial frame must
+    // stay buffered — restarting header parsing mid-frame would
+    // desynchronize the stream.
+    let mut reader = proto::FrameReader::new();
+    let mut buffered = 0usize;
 
     loop {
         if shared.stop.load(Ordering::SeqCst) {
             return;
         }
-        let req: Request = match proto::recv(&mut stream, max_frame) {
+        // Until the handshake lands, frames are held to the tiny
+        // handshake bound so an unauthenticated peer cannot demand a
+        // large payload.
+        let bound = if greeted { max_frame } else { proto::HANDSHAKE_MAX_FRAME.min(max_frame) };
+        let req: Request = match reader.recv(&mut stream, bound) {
             Ok(req) => req,
             Err(FrameError::Closed) => return,
             Err(e) if e.is_timeout() => {
+                // A tick that delivered bytes — even mid-frame — is
+                // progress and resets the idle clock; only a peer that
+                // goes silent (at a boundary or stalled inside a frame)
+                // accumulates toward the read timeout.
+                if reader.buffered() != buffered {
+                    buffered = reader.buffered();
+                    idle = Duration::ZERO;
+                }
                 idle += POLL_TICK;
                 if idle >= shared.config.read_timeout {
                     return;
@@ -334,6 +363,7 @@ fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
             }
         };
         idle = Duration::ZERO;
+        buffered = 0;
         shared.m.requests.inc();
 
         if !greeted && !matches!(req, Request::Hello { .. }) {

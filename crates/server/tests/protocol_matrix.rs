@@ -233,6 +233,22 @@ fn malformed_input_matrix() {
     round += 1;
     assert_healthy(&mut good, round);
 
+    // 10. A first frame above the handshake bound: an unauthenticated
+    // peer cannot claim a large payload, even one under the server's
+    // post-handshake maximum.
+    {
+        let mut s = raw(&srv);
+        let mut bytes = vec![wire::frame::VERSION];
+        bytes.extend_from_slice(&(16u32 * 1024).to_le_bytes());
+        s.write_all(&bytes).unwrap();
+        match reaction(&mut s, "pre-hello oversized") {
+            Outcome::TypedError(ErrorKind::Frame) | Outcome::Dropped => {}
+            other => panic!("pre-hello oversized: {other:?}"),
+        }
+    }
+    round += 1;
+    assert_healthy(&mut good, round);
+
     // The abuse was all counted, and only the abuse.
     let stats = good.stats().unwrap();
     assert!(
@@ -251,6 +267,62 @@ fn malformed_input_matrix() {
             panic!("expected the volatile catalog back")
         }
     }
+}
+
+/// A legitimate frame whose bytes span many poll ticks must be
+/// reassembled and served: a slow link is not a protocol defect, and a
+/// mid-frame read timeout must never restart header parsing on the
+/// half-consumed stream.
+#[test]
+fn slow_frames_spanning_poll_ticks_are_served() {
+    let srv = start_server(64 * 1024);
+    let mut s = raw(&srv);
+    // Trickle the Hello frame a few bytes at a time, each gap well past
+    // the server's 100 ms poll tick, so the read timeout fires inside
+    // the frame repeatedly while bytes keep arriving.
+    let bytes = hello_bytes("slowpoke");
+    for chunk in bytes.chunks(3) {
+        s.write_all(chunk).unwrap();
+        s.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(150));
+    }
+    match proto::recv::<Response>(&mut s, proto::DEFAULT_MAX_FRAME).unwrap() {
+        Response::HelloOk { .. } => {}
+        other => panic!("slow hello: expected HelloOk, got {other:?}"),
+    }
+    // The stream stayed synchronized: a normal follow-up round-trips.
+    proto::send(&mut s, &Request::Stats).unwrap();
+    match proto::recv::<Response>(&mut s, proto::DEFAULT_MAX_FRAME).unwrap() {
+        Response::Stats(stats) => assert_eq!(stats.frame_errors, 0),
+        other => panic!("stats after slow hello: {other:?}"),
+    }
+}
+
+/// A peer that stalls *inside* a frame is reaped at the read timeout —
+/// delivering bytes resets the idle clock, going silent does not.
+#[test]
+fn stalled_mid_frame_is_reaped() {
+    let mut store = Store::new();
+    store.load_doc("bib.xml", BIB).unwrap();
+    let srv = Server::start_volatile(
+        ViewCatalog::new(store),
+        ServerConfig { read_timeout: Duration::from_millis(300), ..ServerConfig::default() },
+    )
+    .unwrap();
+    let mut s = raw(&srv);
+    // Half a Hello frame, then silence past the read timeout.
+    let bytes = hello_bytes("staller");
+    s.write_all(&bytes[..bytes.len() / 2]).unwrap();
+    s.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(900));
+    match reaction(&mut s, "mid-frame stall") {
+        Outcome::Dropped => {}
+        other => panic!("mid-frame stall: expected a quiet drop, got {other:?}"),
+    }
+    // A fresh client is unaffected.
+    let mut c = Client::connect(&srv.local_addr().to_string(), "after-stall").unwrap();
+    c.register_view("y1900", VIEW).unwrap();
+    assert_eq!(c.stats().unwrap().views, vec!["y1900"]);
 }
 
 /// A silent connection is reaped at the read timeout without affecting
