@@ -1,0 +1,24 @@
+//! `fig_reads` — lock-free epoch reads under concurrent write load:
+//! statistical points for in-process read fan-out (pin + serialize off
+//! the frozen snapshot, zero locks) with and without a writer hammering
+//! the hub. The full reader-count × write-load sweep, the network
+//! read-under-load companion, and the `BENCH_reads.json` series live in
+//! the `figures` binary.
+//!
+//! ```sh
+//! cargo bench -p vpa-bench --bench fig_reads
+//! ```
+
+use std::time::Duration;
+use vpa_bench::{harness, measure_reads};
+
+fn main() {
+    let books = 200;
+    let window = Duration::from_millis(300);
+    for (readers, write_load) in [(1, false), (4, false), (4, true), (8, true)] {
+        let label = if write_load { "writer committing" } else { "idle hub" };
+        harness::bench(&format!("read p99, {readers} readers, {label}"), 3, || {
+            measure_reads(books, readers, write_load, window).read_p99
+        });
+    }
+}

@@ -525,8 +525,22 @@ pub fn measure_checkpoint(
         t0.elapsed()
     };
 
-    // Steady state: rotation disabled, every commit is append+apply+fsync.
+    // Phase hygiene (the BENCH_checkpoint anomaly): document loads and
+    // view registration themselves checkpoint, and in Background mode
+    // the detached encode job can still hold the captured store/extent
+    // Arcs when the first "steady" commits run — those commits then pay
+    // the one-time copy-on-write unshare of every touched document,
+    // which used to leak setup cost into steady_p99 (background's
+    // *steady* p99 read worse than stop-the-world's). Settle the
+    // in-flight job and pay the unshare in unmeasured warmup commits so
+    // the steady phase measures steady state only.
     cat.set_rotate_policy(viewsrv::RotatePolicy::disabled());
+    cat.settle_checkpoint();
+    for i in 0..4 {
+        let _ = commit_once(&mut cat, 20_000 + i);
+    }
+
+    // Steady state: rotation disabled, every commit is append+apply+fsync.
     let mut steady: Vec<Duration> = (0..commits).map(|i| commit_once(&mut cat, i)).collect();
 
     // Rotation-heavy: the policy fires at every commit, so each latency
@@ -735,10 +749,29 @@ pub fn measure_net(
     rate_per_conn: f64,
     requests_per_conn: usize,
 ) -> client::load::LoadReport {
+    let srv = server::Server::start_volatile(net_catalog(books), server::ServerConfig::default())
+        .expect("start in-process server");
+    let cfg = client::load::LoadConfig {
+        addr: srv.local_addr().to_string(),
+        connections,
+        rate_per_conn,
+        requests_per_conn,
+        // One op per batch: the figure measures the front door and the
+        // hub round path, not batch-size scaling (fig_ingest covers that).
+        ops_per_batch: 1,
+        ..client::load::LoadConfig::default()
+    };
+    let report = client::load::run(&cfg).expect("load run");
+    drop(srv);
+    report
+}
+
+/// The two-view volatile catalog every network-front experiment serves:
+/// the open-loop load generator inserts year-2002 books, so "hot" is
+/// maintained on every batch while "cold" is routed and skipped.
+fn net_catalog(books: usize) -> viewsrv::ViewCatalog {
     let (store, _cfg) = bib_store(books);
     let mut cat = viewsrv::ViewCatalog::new(store);
-    // The load generator inserts year-2002 books; "hot" is maintained on
-    // every batch, "cold" is routed and skipped.
     cat.register(
         "hot",
         r#"<result>{
@@ -757,21 +790,239 @@ pub fn measure_net(
 }</result>"#,
     )
     .expect("register cold view");
-    let srv = server::Server::start_volatile(cat, server::ServerConfig::default())
+    cat
+}
+
+/// Outcome of one in-process epoch-read fan-out measurement (ISSUE 8):
+/// `readers` handles pinning and serializing the hot extent in a closed
+/// loop, optionally against a writer committing as fast as the hub
+/// accepts.
+#[derive(Clone, Copy, Debug)]
+pub struct ReadsPoint {
+    pub readers: usize,
+    /// Whether a concurrent writer was committing during the window.
+    pub write_load: bool,
+    /// Reads completed across all readers.
+    pub reads: u64,
+    /// Aggregate reads per second of wall time.
+    pub read_throughput_rps: f64,
+    pub read_p50: Duration,
+    pub read_p99: Duration,
+    /// Epoch age observed at pin time — the staleness a reader actually
+    /// experiences (distribution, not a bound).
+    pub staleness_p50: Duration,
+    pub staleness_p99: Duration,
+    /// Epochs the hub published during the window.
+    pub epochs_published: u64,
+    /// Batches the concurrent writer committed (0 when idle).
+    pub commits: u64,
+    pub write_throughput_rps: f64,
+}
+
+/// Pin-and-read fan-out over a live hub: `readers` threads each own a
+/// [`viewsrv::ReadHandle`] and loop `pin → age → serialize extent` for
+/// `window`, while (optionally) one writer submits and commits
+/// single-insert batches flat out. Nothing in the read loop takes a
+/// lock or touches the hub state mutex — the measured scaling *is* the
+/// tentpole claim. Ends with the epoch-vs-oracle verification (every
+/// bench doubles as a correctness check).
+pub fn measure_reads(
+    books: usize,
+    readers: usize,
+    write_load: bool,
+    window: Duration,
+) -> ReadsPoint {
+    let cfg = bib_config(books);
+    let hub = net_catalog(books).into_hub(viewsrv::HubConfig {
+        // Drain promptly so epochs track the write stream closely.
+        window_ms: 1,
+        ..viewsrv::HubConfig::default()
+    });
+    let publishes0 = hub.metrics().counter("epoch/publishes");
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let t0 = Instant::now();
+
+    let (mut lat, mut stale, mut commits) = (Vec::new(), Vec::new(), 0u64);
+    std::thread::scope(|s| {
+        let stop = &stop;
+        let writer = write_load.then(|| {
+            let handle = hub.handle();
+            let cfg = &cfg;
+            s.spawn(move || {
+                let mut n = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let script =
+                        datagen::insert_books_script(cfg, 7000 + n as usize, 1, Some(2002));
+                    let batch =
+                        viewsrv::UpdateBatch::from_script(&script).expect("workload parses");
+                    handle.try_submit(batch).expect("queue never fills: commit drains inline");
+                    let _ = handle.commit().expect("commit succeeds");
+                    n += 1;
+                }
+                n
+            })
+        });
+        let reader_joins: Vec<_> = (0..readers)
+            .map(|_| {
+                let mut rh = hub.read_handle();
+                s.spawn(move || {
+                    let mut lat = Vec::new();
+                    let mut stale = Vec::new();
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        let t = Instant::now();
+                        let epoch = rh.pin();
+                        stale.push(epoch.age());
+                        let bytes = epoch.extent_bytes("hot").expect("hot view exists");
+                        std::hint::black_box(&bytes);
+                        lat.push(t.elapsed());
+                    }
+                    (lat, stale)
+                })
+            })
+            .collect();
+        std::thread::sleep(window);
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for j in reader_joins {
+            let (l, st) = j.join().expect("reader thread");
+            lat.extend(l);
+            stale.extend(st);
+        }
+        if let Some(w) = writer {
+            commits = w.join().expect("writer thread");
+        }
+    });
+    let elapsed = t0.elapsed();
+    let epochs_published = hub.metrics().counter("epoch/publishes") - publishes0;
+
+    // Correctness: the final epoch equals recomputing every view from its
+    // own frozen store, and the shut-down catalog passes the full oracle.
+    let final_epoch = hub.read_handle().pin();
+    final_epoch.verify().expect("final epoch oracle");
+    match hub.shutdown() {
+        viewsrv::HubInner::Volatile(cat) => cat.verify_all().expect("reads oracle"),
+        viewsrv::HubInner::Durable(_) => unreachable!("volatile bench catalog"),
+    }
+
+    lat.sort_unstable();
+    stale.sort_unstable();
+    let reads = lat.len() as u64;
+    ReadsPoint {
+        readers,
+        write_load,
+        reads,
+        read_throughput_rps: reads as f64 / elapsed.as_secs_f64().max(1e-9),
+        read_p50: percentile(&lat, 50),
+        read_p99: percentile(&lat, 99),
+        staleness_p50: percentile(&stale, 50),
+        staleness_p99: percentile(&stale, 99),
+        epochs_published,
+        commits,
+        write_throughput_rps: commits as f64 / elapsed.as_secs_f64().max(1e-9),
+    }
+}
+
+/// Outcome of one network read-under-write-load measurement: closed-loop
+/// `QueryView` clients against a server that is simultaneously being
+/// driven by the open-loop write generator.
+#[derive(Clone, Debug)]
+pub struct NetReadsPoint {
+    pub read_conns: usize,
+    /// Queries completed across all read connections.
+    pub reads: u64,
+    pub read_throughput_rps: f64,
+    /// Closed-loop per-request latency (send → decoded response), µs.
+    pub read_p50_us: u64,
+    pub read_p99_us: u64,
+    /// The concurrent write run's report (open-loop, scheduled-arrival
+    /// latency basis — not comparable to the read numbers).
+    pub write: client::load::LoadReport,
+}
+
+/// The before/after companion to [`measure_net`]'s saturation point:
+/// run the same open-loop write load, and *while it runs* hammer the
+/// server with `read_conns` closed-loop `QueryView` clients. On the
+/// pre-epoch server those reads queued behind every drain round's
+/// catalog checkout; on the epoch path they are answered from the
+/// frozen snapshot. Every 64th response is decoded as a correctness
+/// check.
+pub fn measure_reads_net(
+    books: usize,
+    read_conns: usize,
+    write_conns: usize,
+    rate_per_conn: f64,
+    requests_per_conn: usize,
+) -> NetReadsPoint {
+    let srv = server::Server::start_volatile(net_catalog(books), server::ServerConfig::default())
         .expect("start in-process server");
-    let cfg = client::load::LoadConfig {
-        addr: srv.local_addr().to_string(),
-        connections,
-        rate_per_conn,
-        requests_per_conn,
-        // One op per batch: the figure measures the front door and the
-        // hub round path, not batch-size scaling (fig_ingest covers that).
-        ops_per_batch: 1,
-        ..client::load::LoadConfig::default()
-    };
-    let report = client::load::run(&cfg).expect("load run");
+    let addr = srv.local_addr().to_string();
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let t0 = Instant::now();
+    let (mut lat_ns, mut write_report) = (Vec::<u64>::new(), None);
+    std::thread::scope(|s| {
+        let stop = &stop;
+        let addr = &addr;
+        let load = s.spawn(move || {
+            let report = client::load::run(&client::load::LoadConfig {
+                addr: addr.clone(),
+                connections: write_conns,
+                rate_per_conn,
+                requests_per_conn,
+                ops_per_batch: 1,
+                ..client::load::LoadConfig::default()
+            })
+            .expect("write load run");
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            report
+        });
+        let readers: Vec<_> = (0..read_conns)
+            .map(|i| {
+                s.spawn(move || {
+                    let mut c = client::Client::connect_with_retry(
+                        addr,
+                        &format!("reader-{i}"),
+                        20,
+                        Duration::from_millis(50),
+                    )
+                    .expect("reader connects");
+                    let mut lat = Vec::new();
+                    let mut n = 0u64;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        let t = Instant::now();
+                        let bytes = c.query_view_bytes("hot").expect("epoch read");
+                        lat.push(t.elapsed().as_nanos() as u64);
+                        if n.is_multiple_of(64) {
+                            let _: xat::ViewExtent =
+                                wire::from_slice(&bytes).expect("extent decodes");
+                        }
+                        n += 1;
+                    }
+                    lat
+                })
+            })
+            .collect();
+        for r in readers {
+            lat_ns.extend(r.join().expect("reader connection"));
+        }
+        write_report = Some(load.join().expect("write load thread"));
+    });
+    let elapsed = t0.elapsed();
     drop(srv);
-    report
+    lat_ns.sort_unstable();
+    let q = |p: usize| -> u64 {
+        if lat_ns.is_empty() {
+            return 0;
+        }
+        lat_ns[(lat_ns.len() - 1) * p / 100] / 1_000
+    };
+    let reads = lat_ns.len() as u64;
+    NetReadsPoint {
+        read_conns,
+        reads,
+        read_throughput_rps: reads as f64 / elapsed.as_secs_f64().max(1e-9),
+        read_p50_us: q(50),
+        read_p99_us: q(99),
+        write: write_report.expect("load thread joined"),
+    }
 }
 
 pub mod harness {

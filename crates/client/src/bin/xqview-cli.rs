@@ -143,6 +143,10 @@ fn main() {
                 s.generation, s.wal_records, s.wal_bytes
             );
             println!(
+                "epoch       #{} at watermark {}, {} us old",
+                s.epoch, s.epoch_watermark, s.epoch_age_us
+            );
+            println!(
                 "connections {} accepted, {} active",
                 s.connections_accepted, s.connections_active
             );

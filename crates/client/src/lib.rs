@@ -326,9 +326,17 @@ impl Client {
     /// The materialized extent of `name` as raw wire bytes —
     /// byte-identical to the server's in-process `extent_bytes`.
     pub fn query_view_bytes(&mut self, name: &str) -> Result<Vec<u8>, ClientError> {
+        self.query_view_stamped(name).map(|(bytes, _, _)| bytes)
+    }
+
+    /// Like [`Client::query_view_bytes`], plus the snapshot provenance:
+    /// the epoch sequence the bytes were served from and its commit
+    /// watermark (batches applied when the epoch was frozen). Two reads
+    /// returning the same epoch are guaranteed byte-identical.
+    pub fn query_view_stamped(&mut self, name: &str) -> Result<(Vec<u8>, u64, u64), ClientError> {
         let resp = self.call(&Request::QueryView { name: name.to_string() })?;
         match Self::ok(resp)? {
-            Response::Extent { bytes, .. } => Ok(bytes),
+            Response::Extent { bytes, epoch, watermark, .. } => Ok((bytes, epoch, watermark)),
             other => Err(unexpected("Extent", other)),
         }
     }

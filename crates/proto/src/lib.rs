@@ -85,7 +85,10 @@ pub use xquery_lang::UpdateBatch;
 
 /// Session-protocol version negotiated by `Hello` (independent of the
 /// frame-format version byte, which [`wire::frame::VERSION`] owns).
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Version 2 added the epoch read-path stamps: `Extent` carries the
+/// serving epoch's sequence and commit watermark, and `ServerStats`
+/// reports the published epoch position and age.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// One client→server message.
 #[derive(Clone, Debug, PartialEq)]
@@ -186,13 +189,19 @@ pub enum Response {
     },
     /// The session's queue is applied and durable.
     Committed(CommitReceipt),
-    /// A materialized extent.
+    /// A materialized extent, served from a frozen read epoch.
     Extent {
         /// The view's name, echoed.
         name: String,
         /// The [`wire`]-encoded `ViewExtent`, byte-identical to the
         /// server's in-process encoding.
         bytes: Vec<u8>,
+        /// Publish sequence of the epoch that served this read.
+        epoch: u64,
+        /// The epoch's commit watermark: update batches applied to the
+        /// catalog when the epoch was captured — how fresh the extent
+        /// is, observable per response.
+        watermark: u64,
     },
     /// Service statistics.
     Stats(ServerStats),
@@ -279,6 +288,13 @@ pub struct ServerStats {
     pub requests: u64,
     /// Defective frames received (torn, bad CRC, oversized, undecodable).
     pub frame_errors: u64,
+    /// Publish sequence of the epoch currently serving reads.
+    pub epoch: u64,
+    /// That epoch's commit watermark (batches applied at capture).
+    pub epoch_watermark: u64,
+    /// That epoch's age when this response was assembled, microseconds —
+    /// the staleness a read issued now would observe.
+    pub epoch_age_us: u64,
     /// Per-request-kind latency summaries (`net/req/<kind>`), sorted by
     /// name.
     pub request_latency: Vec<HistogramSummary>,
@@ -430,7 +446,12 @@ mod tests {
             propagate_ns: 2,
             apply_ns: 3,
         }));
-        rt_resp(Response::Extent { name: "v".into(), bytes: vec![1, 2, 3, 0, 255] });
+        rt_resp(Response::Extent {
+            name: "v".into(),
+            bytes: vec![1, 2, 3, 0, 255],
+            epoch: 17,
+            watermark: 42,
+        });
         rt_resp(Response::Stats(ServerStats {
             views: vec!["v".into()],
             docs: vec!["bib.xml".into()],
@@ -445,6 +466,9 @@ mod tests {
             connections_active: 2,
             requests: 40,
             frame_errors: 1,
+            epoch: 9,
+            epoch_watermark: 5,
+            epoch_age_us: 1500,
             request_latency: vec![HistogramSummary {
                 name: "net/req/submit".into(),
                 count: 12,

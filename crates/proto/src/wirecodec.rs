@@ -90,10 +90,12 @@ impl Encode for Response {
                 out.push(5);
                 receipt.encode(out);
             }
-            Response::Extent { name, bytes } => {
+            Response::Extent { name, bytes, epoch, watermark } => {
                 out.push(6);
                 name.encode(out);
                 put_bytes(out, bytes);
+                put_u64(out, *epoch);
+                put_u64(out, *watermark);
             }
             Response::Stats(stats) => {
                 out.push(7);
@@ -125,7 +127,12 @@ impl Decode for Response {
             3 => Response::Submitted { queued_batches: r.u64()?, queued_ops: r.u64()? },
             4 => Response::Flushed { chunks_applied: r.u64()? },
             5 => Response::Committed(CommitReceipt::decode(r)?),
-            6 => Response::Extent { name: String::decode(r)?, bytes: r.bytes()?.to_vec() },
+            6 => Response::Extent {
+                name: String::decode(r)?,
+                bytes: r.bytes()?.to_vec(),
+                epoch: r.u64()?,
+                watermark: r.u64()?,
+            },
             7 => Response::Stats(ServerStats::decode(r)?),
             8 => Response::Metrics { json: String::decode(r)? },
             9 => Response::ShuttingDown,
@@ -202,6 +209,9 @@ impl Encode for ServerStats {
         self.connections_active.encode(out);
         put_u64(out, self.requests);
         put_u64(out, self.frame_errors);
+        put_u64(out, self.epoch);
+        put_u64(out, self.epoch_watermark);
+        put_u64(out, self.epoch_age_us);
         put_slice(out, &self.request_latency);
     }
 }
@@ -222,6 +232,9 @@ impl Decode for ServerStats {
             connections_active: r.i64()?,
             requests: r.u64()?,
             frame_errors: r.u64()?,
+            epoch: r.u64()?,
+            epoch_watermark: r.u64()?,
+            epoch_age_us: r.u64()?,
             request_latency: Vec::<HistogramSummary>::decode(r)?,
         })
     }

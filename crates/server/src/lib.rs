@@ -7,7 +7,12 @@
 //! Each accepted connection gets a dedicated OS thread and its own hub
 //! [`SessionHandle`] — per-connection bounded queues, per-connection
 //! receipts, exactly the in-process multi-producer contract extended over
-//! TCP. Connection handlers deliberately do **not** run on the shared
+//! TCP. Reads never touch the hub's catalog lock: every connection also
+//! carries a lazily-opened [`ReadHandle`] onto the hub's epoch chain, so
+//! `QueryView`, `Stats`, and the `Hello` view listing are served from the
+//! latest frozen snapshot with zero writer coordination — a wedged or
+//! checkpoint-stalled writer cannot block them. Only mutating requests
+//! (`RegisterView`, `DropView`, `Submit`, `Commit`) take the hub path. Connection handlers deliberately do **not** run on the shared
 //! [`exec`](https://docs.rs) pool: that pool has a fixed number of lanes
 //! sized for CPU work, and a blocking socket read parked on a lane would
 //! starve maintenance. CPU-bound work still reaches the pool the same way
@@ -55,7 +60,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 use viewsrv::{
-    CatalogError, DurabilityError, HubInner, IngestError, IngestHub, SessionHandle, ViewCatalog,
+    CatalogError, DurabilityError, HubInner, IngestError, IngestHub, ReadHandle, SessionHandle,
+    ViewCatalog,
 };
 
 // Re-exported so the binary, tests, and examples share one import path.
@@ -304,6 +310,10 @@ fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
     // The per-connection ingest session. Opened lazily so control-plane
     // clients (stats scrapers) don't register producers.
     let mut session: Option<SessionHandle> = None;
+    // The per-connection epoch read handle, also opened lazily (write-only
+    // producers never subscribe). Once open it pins at most one epoch and
+    // revalidates with a single atomic load per read.
+    let mut reads: Option<ReadHandle> = None;
     let mut greeted = false;
     let mut idle = Duration::ZERO;
     // Frames are read through a resumable parser: the short poll-tick
@@ -379,7 +389,7 @@ fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
 
         let kind = req.kind();
         let start = Instant::now();
-        let (resp, close) = dispatch(req, shared, &mut session, &mut greeted);
+        let (resp, close) = dispatch(req, shared, &mut session, &mut reads, &mut greeted);
         if let Some(h) = shared.m.req.get(kind) {
             h.record_duration(start.elapsed());
         }
@@ -400,6 +410,7 @@ fn dispatch(
     req: Request,
     shared: &Arc<Shared>,
     session: &mut Option<SessionHandle>,
+    reads: &mut Option<ReadHandle>,
     greeted: &mut bool,
 ) -> (Response, bool) {
     if shared.stop.load(Ordering::SeqCst) {
@@ -421,9 +432,9 @@ fn dispatch(
                 );
             }
             *greeted = true;
-            let views = hub
-                .with_catalog(|cat| cat.view_names().iter().map(|s| s.to_string()).collect())
-                .unwrap_or_default();
+            // Served from the current epoch — no catalog checkout, so the
+            // greeting stays fast even while a round is in flight.
+            let views = reads.get_or_insert_with(|| hub.read_handle()).view_names();
             (
                 Response::HelloOk {
                     server: format!("xqview-server/{}", env!("CARGO_PKG_VERSION")),
@@ -480,17 +491,21 @@ fn dispatch(
             }
         }
         Request::QueryView { name } => {
-            let r = hub.with_catalog(|cat| cat.extent_bytes(&name));
+            // Lock-free read path: serialize the extent out of the pinned
+            // epoch. Concurrent writers are invisible — the bytes are a
+            // batch-boundary snapshot stamped with its epoch/watermark.
+            let r = reads.get_or_insert_with(|| hub.read_handle()).extent_bytes(&name);
             match r {
-                None => (Response::Error(WireErr::new(ErrorKind::HubClosed)), true),
-                Some(Err(e)) => (Response::Error(catalog_err(e)), false),
-                Some(Ok(bytes)) => (Response::Extent { name, bytes }, false),
+                Err(e) => (Response::Error(catalog_err(e)), false),
+                Ok((bytes, epoch, watermark)) => {
+                    (Response::Extent { name, bytes, epoch, watermark }, false)
+                }
             }
         }
-        Request::Stats => match server_stats(hub, shared) {
-            Some(stats) => (Response::Stats(stats), false),
-            None => (Response::Error(WireErr::new(ErrorKind::HubClosed)), true),
-        },
+        Request::Stats => {
+            let rh = reads.get_or_insert_with(|| hub.read_handle());
+            (Response::Stats(server_stats(hub, shared, rh)), false)
+        }
         Request::MetricsDump => (Response::Metrics { json: hub.metrics().to_json() }, false),
         Request::Shutdown => {
             shared.stop.store(true, Ordering::SeqCst);
@@ -499,29 +514,30 @@ fn dispatch(
     }
 }
 
-/// Assemble the [`Response::Stats`] body: one catalog check-out for the
-/// shape and routing totals, atomics for the `net/*` counters, one
-/// metrics snapshot for the per-kind latency summaries.
-fn server_stats(hub: &IngestHub, shared: &Arc<Shared>) -> Option<ServerStats> {
-    let mut stats = hub.with_inner(|inner| {
-        let cat = inner.catalog();
-        let s = cat.stats();
-        let mut out = ServerStats {
-            views: cat.view_names().iter().map(|s| s.to_string()).collect(),
-            docs: cat.indexed_docs().iter().map(|s| s.to_string()).collect(),
-            batches: s.batches as u64,
-            updates_seen: s.updates_seen as u64,
-            views_routed: s.views_routed as u64,
-            views_skipped: s.views_skipped as u64,
-            ..ServerStats::default()
-        };
-        if let HubInner::Durable(dc) = inner {
-            out.generation = dc.generation();
-            out.wal_records = dc.wal_records() as u64;
-            out.wal_bytes = dc.wal_bytes();
-        }
-        out
-    })?;
+/// Assemble the [`Response::Stats`] body: the catalog shape, routing
+/// totals, and durability marks all come from the pinned epoch (no
+/// catalog check-out — a wedged writer cannot block a stats scrape),
+/// atomics supply the `net/*` counters, and one metrics snapshot the
+/// per-kind latency summaries.
+fn server_stats(hub: &IngestHub, shared: &Arc<Shared>, reads: &mut ReadHandle) -> ServerStats {
+    let epoch = reads.pin();
+    let s = epoch.stats();
+    let marks = epoch.durable_marks();
+    let mut stats = ServerStats {
+        views: epoch.view_names().iter().map(|s| s.to_string()).collect(),
+        docs: epoch.indexed_docs().to_vec(),
+        batches: s.batches as u64,
+        updates_seen: s.updates_seen as u64,
+        views_routed: s.views_routed as u64,
+        views_skipped: s.views_skipped as u64,
+        generation: marks.generation,
+        wal_records: marks.wal_records,
+        wal_bytes: marks.wal_bytes,
+        epoch: epoch.seq(),
+        epoch_watermark: epoch.watermark(),
+        epoch_age_us: epoch.age().as_micros() as u64,
+        ..ServerStats::default()
+    };
     stats.connections_accepted = shared.m.accepted.get();
     stats.connections_active = shared.m.active.get();
     stats.requests = shared.m.requests.get();
@@ -540,7 +556,7 @@ fn server_stats(hub: &IngestHub, shared: &Arc<Shared>) -> Option<ServerStats> {
             max_ns: h.max(),
         })
         .collect();
-    Some(stats)
+    stats
 }
 
 /// Flatten an in-process [`viewsrv::SessionReceipt`] for the wire.

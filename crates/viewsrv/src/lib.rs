@@ -39,15 +39,21 @@
 //! Updates arrive as **typed** [`UpdateBatch`]es ([`ViewCatalog::apply_batch`]
 //! returns a structured [`BatchReceipt`]); the [`session`] module adds the
 //! queued ingestion front ([`CatalogSession`]) with a bounded queue,
-//! coalescing window, and explicit backpressure.
+//! coalescing window, and explicit backpressure. The [`epoch`] module is
+//! the matching **read** front: the hub publishes a frozen
+//! `(Store, extents)` [`Epoch`] after every applied round, and any number
+//! of [`ReadHandle`]s serve queries from it with zero locks and zero
+//! coordination with writers.
 
 pub mod durability;
+pub mod epoch;
 pub mod session;
 
 pub use durability::{
     CheckpointMode, DurabilityError, DurableCatalog, RecoveryReport, RotatePolicy, Snapshot,
     SnapshotView, Wal, WalSyncStats,
 };
+pub use epoch::{DurableMarks, Epoch, EpochPublisher, ReadHandle};
 use flexkey::FlexKey;
 pub use session::{
     CatalogSession, HubConfig, HubInner, IngestError, IngestHub, SessionConfig, SessionHandle,

@@ -409,6 +409,14 @@ pub struct HubConfig {
     /// calling [`SessionHandle::commit`] never wait for the window —
     /// commit drains its own queue inline.
     pub window_ms: u64,
+    /// Idle epoch republish period, milliseconds. Every applied drain
+    /// round publishes a fresh read [`crate::Epoch`] regardless; with
+    /// `epoch_ms > 0` the drain thread *also* republishes after this
+    /// long without write traffic, so epoch capture timestamps (and the
+    /// `epoch/staleness` histogram) keep tracking wall time on an idle
+    /// catalog. `0` (default) disables the idle timer — epochs then move
+    /// only with writes, which is already fully consistent.
+    pub epoch_ms: u64,
     /// Test-only failpoint: when true, the *next* drain round panics
     /// with the catalog checked out and chunk number
     /// `inject_round_panic_at` mid-apply — the worst point for an
@@ -422,6 +430,13 @@ pub struct HubConfig {
     /// first; 1 exercises the applied-but-unacknowledged path).
     #[doc(hidden)]
     pub inject_round_panic_at: usize,
+    /// Test-only failpoint: when nonzero, the *next* drain round sleeps
+    /// this many milliseconds with the catalog checked out before
+    /// applying — a deterministic wedged writer (a checkpoint or apply
+    /// stall). `with_catalog`/`with_inner` callers block for the whole
+    /// stall; epoch readers must not. Fires once per hub.
+    #[doc(hidden)]
+    pub inject_round_stall_ms: u64,
 }
 
 impl Default for HubConfig {
@@ -430,8 +445,10 @@ impl Default for HubConfig {
             queue_capacity: 64,
             window_ops: 256,
             window_ms: 2,
+            epoch_ms: 0,
             inject_round_panic: false,
             inject_round_panic_at: 0,
+            inject_round_stall_ms: 0,
         }
     }
 }
@@ -582,10 +599,15 @@ struct HubShared {
     config: HubConfig,
     /// One-shot failpoint armed by [`HubConfig::inject_round_panic`].
     panic_once: AtomicBool,
+    /// One-shot failpoint armed by [`HubConfig::inject_round_stall_ms`].
+    stall_once: AtomicBool,
     /// The catalog's metrics registry, captured at start so events and
     /// gauges stay recordable while the catalog is checked out of the
     /// hub state by a round.
     registry: Arc<obs::MetricsRegistry>,
+    /// The lock-free read path: the current frozen [`crate::Epoch`],
+    /// republished by whoever holds the catalog at each batch boundary.
+    epochs: Arc<crate::EpochPublisher>,
     m: HubMetrics,
 }
 
@@ -670,6 +692,9 @@ impl IngestHub {
     fn start(inner: HubInner, config: HubConfig) -> IngestHub {
         let registry = Arc::clone(inner.catalog().metrics_registry());
         let m = HubMetrics::new(&registry);
+        // Epoch 1 is captured before the hub opens for business, so a
+        // reader subscribing at any point always finds a served state.
+        let epochs = crate::EpochPublisher::start_inner(&registry, &inner);
         let shared = Arc::new(HubShared {
             state: Mutex::new(HubState {
                 inner: Some(inner),
@@ -683,7 +708,9 @@ impl IngestHub {
             ack: Condvar::new(),
             config,
             panic_once: AtomicBool::new(config.inject_round_panic),
+            stall_once: AtomicBool::new(config.inject_round_stall_ms > 0),
             registry,
+            epochs,
             m,
         });
         let for_thread = Arc::clone(&shared);
@@ -729,6 +756,20 @@ impl IngestHub {
         Arc::clone(&self.shared.registry)
     }
 
+    /// The hub's [`crate::EpochPublisher`] — the lock-free read side.
+    /// Lets a host hold the read path independently of the hub's
+    /// lifetime (epochs published before shutdown stay readable).
+    pub fn epochs(&self) -> Arc<crate::EpochPublisher> {
+        Arc::clone(&self.shared.epochs)
+    }
+
+    /// Open a lock-free [`crate::ReadHandle`] onto the current epoch:
+    /// queries and extent reads served from the frozen snapshot, zero
+    /// coordination with the write path.
+    pub fn read_handle(&self) -> crate::ReadHandle {
+        self.shared.epochs.subscribe()
+    }
+
     /// Run `f` with exclusive access to the hub's catalog, checked out of
     /// the hub state exactly like a drain round: no hub lock is held
     /// while `f` runs, so producers keep enqueueing at memory speed, and
@@ -759,6 +800,16 @@ impl IngestHub {
         }
         impl Drop for Restore<'_> {
             fn drop(&mut self) {
+                // `f` may have changed what readers should see (views
+                // registered/dropped, documents loaded): republish the
+                // epoch before the hand-back. Not on an unwind — a
+                // panicking `f` may have left mid-mutation state, and an
+                // epoch must only ever capture a consistent boundary.
+                if !std::thread::panicking() {
+                    if let Some(inner) = self.inner.as_ref() {
+                        self.shared.epochs.publish_inner(inner);
+                    }
+                }
                 let mut g = self.shared.state.lock().expect("hub state");
                 g.inner = self.inner.take();
                 drop(g);
@@ -998,6 +1049,10 @@ impl Drop for SessionHandle {
 /// immediately — the window only delays *fresh* submissions.
 fn drain_loop(shared: &HubShared) {
     let window = Duration::from_millis(shared.config.window_ms);
+    // Idle epoch republish: with `epoch_ms > 0` the wait-for-work sleep
+    // is bounded so a quiet catalog still gets fresh capture timestamps.
+    let idle_republish =
+        (shared.config.epoch_ms > 0).then(|| Duration::from_millis(shared.config.epoch_ms));
     loop {
         {
             let mut g = shared.state.lock().expect("hub state");
@@ -1008,7 +1063,23 @@ fn drain_loop(shared: &HubShared) {
                 if g.any_drainable() {
                     break;
                 }
-                g = shared.work.wait(g).expect("hub state");
+                match idle_republish {
+                    None => g = shared.work.wait(g).expect("hub state"),
+                    Some(period) => {
+                        let (g2, t) = shared.work.wait_timeout(g, period).expect("hub state");
+                        g = g2;
+                        // Republish only if the catalog is actually home
+                        // (a concurrent with_inner/round already
+                        // publishes at its own hand-back). Capture is
+                        // O(docs+views) refcount bumps; holding the idle
+                        // hub's lock for it contends with nothing.
+                        if t.timed_out() {
+                            if let Some(inner) = g.inner.as_ref() {
+                                shared.epochs.publish_inner(inner);
+                            }
+                        }
+                    }
+                }
             }
             // Time-based coalescing, anchored at the oldest pending
             // submission (so no submission waits longer than the window).
@@ -1256,6 +1327,14 @@ fn drain_round(shared: &HubShared, only: Option<u64>) -> usize {
     }
     drop(g);
 
+    // Test failpoint: wedge this round with the catalog checked out and
+    // no hub lock held — `with_catalog`/`with_inner` callers stack up on
+    // the hand-back condvar for the whole stall, while epoch readers
+    // keep being served from the last published snapshot (see HubConfig).
+    if shared.config.inject_round_stall_ms > 0 && shared.stall_once.swap(false, Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(shared.config.inject_round_stall_ms));
+    }
+
     // ── No hub lock held from here: append + apply each chunk in order
     // (catalog ownership makes this the WAL order), then the group fsync.
     // Results accumulate *in the guard* so an unwind anywhere below still
@@ -1301,6 +1380,15 @@ fn drain_round(shared: &HubShared, only: Option<u64>) -> usize {
         }
     }
     let applied = guard.acks.len();
+
+    // ── Publish the read epoch at the batch boundary, while this round
+    // still owns the catalog (so the capture cannot interleave with
+    // another round's apply). Readers see applied-in-memory state — on a
+    // durable catalog that can precede the group fsync below, exactly as
+    // a with_catalog read always has.
+    if applied > 0 {
+        shared.epochs.publish_inner(guard.inner.as_ref().expect("round holds the catalog"));
+    }
 
     // ── Hand the catalog back *before* the fsync and requeue failures:
     // the next round can append (and race into the group sync as a

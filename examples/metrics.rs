@@ -84,12 +84,38 @@ fn main() {
         }
     });
 
+    // The lock-free read path: pin the current frozen epoch and serve
+    // queries off it — these reads never touch the hub or catalog lock,
+    // and every one records into the epoch/* series.
+    let mut reads = hub.read_handle();
+    let epoch = reads.pin();
+    println!(
+        "== epoch == #{} at watermark {}, {} docs, {} views, {} us old",
+        epoch.seq(),
+        epoch.watermark(),
+        epoch.indexed_docs().len(),
+        epoch.view_names().len(),
+        epoch.age().as_micros(),
+    );
+    for view in ["y1900", "prices"] {
+        let (bytes, _, _) = reads.extent_bytes(view).expect("epoch read");
+        assert!(!bytes.is_empty(), "frozen extent {view}");
+    }
+
     // The live surface: captured while the hub (drain thread included)
     // is still running, no stop-the-world anywhere.
     let snap = hub.metrics();
 
     println!("== counters ==");
-    for name in ["hub/rounds", "hub/chunks", "wal/fsyncs", "wal/synced_commits", "wal/rotations"] {
+    for name in [
+        "hub/rounds",
+        "hub/chunks",
+        "wal/fsyncs",
+        "wal/synced_commits",
+        "wal/rotations",
+        "epoch/publishes",
+        "epoch/reads",
+    ] {
         println!("  {name:<24} {}", snap.counter(name));
     }
     println!("== latency histograms (p50/p99 ns) ==");
@@ -131,6 +157,13 @@ fn main() {
         assert!(snap.histogram(&name).is_some_and(|h| h.count() > 0), "ckpt stage {name}");
     }
     assert!(snap.events.iter().any(|e| e.kind == xqview::obs::EventKind::WalRotated));
+    assert!(snap.counter("epoch/publishes") > 0, "epochs published at batch boundaries");
+    assert!(snap.counter("epoch/reads") >= 2, "epoch reads counted");
+    assert!(snap.gauge("epoch/readers") >= 1, "live read handle holds the gauge");
+    assert!(
+        snap.histogram("epoch/staleness").is_some_and(|h| h.count() > 0),
+        "served-epoch staleness series"
+    );
 
     // Shutdown honors XQVIEW_METRICS_DUMP (the hub writes the dump
     // itself); the JSON also round-trips through a plain parser — the CI

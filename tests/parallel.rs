@@ -718,6 +718,7 @@ fn panic_after_an_applied_chunk_releases_all_sessions() {
         window_ms: 60_000,
         inject_round_panic: true,
         inject_round_panic_at: 1,
+        ..HubConfig::default()
     });
     // Round-robin visits session 1 first (the cursor starts at 0):
     // chunk 0 = `acked`'s (applies), chunk 1 = `hit`'s (panics
