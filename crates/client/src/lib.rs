@@ -117,6 +117,7 @@ impl ClientError {
 /// keeps ownership for retry after backpressure.
 struct SubmitRef<'a>(&'a UpdateBatch);
 
+// xqcheck: allow(codec-pair) — outbound-only borrowed mirror of Request::Submit; the owned Request decodes
 impl Encode for SubmitRef<'_> {
     fn encode(&self, out: &mut Vec<u8>) {
         out.push(3); // Request::Submit's tag (pinned by a unit test below)
@@ -161,18 +162,19 @@ impl Client {
         attempts: usize,
         delay: Duration,
     ) -> Result<Client, ClientError> {
-        let mut last: Option<ClientError> = None;
-        for _ in 0..attempts.max(1) {
-            match TcpStream::connect(addr) {
-                Ok(stream) => match Client::handshake(stream, name, Some(DEFAULT_IO_TIMEOUT)) {
-                    Ok(c) => return Ok(c),
-                    Err(e) => last = Some(e),
-                },
-                Err(e) => last = Some(e.into()),
+        let attempts = attempts.max(1);
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            let r = TcpStream::connect(addr)
+                .map_err(ClientError::from)
+                .and_then(|stream| Client::handshake(stream, name, Some(DEFAULT_IO_TIMEOUT)));
+            match r {
+                Ok(c) => return Ok(c),
+                Err(e) if attempt >= attempts => return Err(e),
+                Err(_) => std::thread::sleep(delay),
             }
-            std::thread::sleep(delay);
         }
-        Err(last.expect("at least one attempt"))
     }
 
     fn handshake(

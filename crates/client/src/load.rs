@@ -86,6 +86,7 @@ fn make_batch(cfg: &LoadConfig, conn: usize, seq: usize) -> UpdateBatch {
     for k in 0..cfg.ops_per_batch.max(1) {
         let frag = format!("<book year=\"2002\"><title>load-c{conn}-s{seq}-k{k}</title></book>");
         let op = UpdateOp::insert(&cfg.doc, &cfg.path, InsertPosition::Into, &frag)
+            // xqcheck: allow(no-panic) — fragment comes from a fixed template; a parse failure is a generator bug, not runtime input
             .expect("well-formed generated op");
         batch.push(op);
     }
@@ -102,8 +103,7 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, ClientError> {
         workers.push(
             std::thread::Builder::new()
                 .name(format!("xqview-load-{conn}"))
-                .spawn(move || worker(&cfg, conn, start))
-                .expect("spawn load worker"),
+                .spawn(move || worker(&cfg, conn, start))?,
         );
     }
     let mut lat_ns: Vec<u64> = Vec::new();
@@ -111,7 +111,9 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, ClientError> {
     let mut backpressure = 0u64;
     let mut errors = 0u64;
     for w in workers {
-        let r = w.join().expect("load worker never panics")?;
+        let r = w.join().map_err(|_| {
+            ClientError::Io(std::io::Error::other("load worker panicked; report discarded"))
+        })??;
         lat_ns.extend(r.lat_ns);
         requests += r.requests;
         backpressure += r.backpressure;

@@ -43,6 +43,8 @@ fn install_signal_handlers() {
     }
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
+    // SAFETY: the declaration matches `signal(2)`'s C prototype, and the
+    // installed handler performs only an async-signal-safe atomic store.
     unsafe {
         signal(SIGTERM, on_signal);
         signal(SIGINT, on_signal);

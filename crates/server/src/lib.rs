@@ -67,6 +67,38 @@ use viewsrv::{
 // Re-exported so the binary, tests, and examples share one import path.
 pub use viewsrv::HubConfig;
 
+/// Why a [`Server`] failed to start. Both variants wrap the OS error;
+/// the distinction matters operationally — a bind failure is usually an
+/// address conflict the operator can fix, a spawn failure means the
+/// process is resource-exhausted.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Binding or configuring the listener socket failed.
+    Listen { addr: String, source: std::io::Error },
+    /// The OS refused to spawn the accept thread.
+    Spawn(std::io::Error),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Listen { addr, source } => {
+                write!(f, "cannot listen on {addr}: {source}")
+            }
+            ServerError::Spawn(e) => write!(f, "cannot spawn accept thread: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Listen { source, .. } => Some(source),
+            ServerError::Spawn(e) => Some(e),
+        }
+    }
+}
+
 /// Tuning knobs of a [`Server`].
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
@@ -168,23 +200,27 @@ impl Server {
         config: ServerConfig,
         hub: IngestHub,
         stop: Arc<AtomicBool>,
-    ) -> std::io::Result<Server> {
-        let listener = TcpListener::bind(&config.addr)?;
-        listener.set_nonblocking(true)?;
-        let local_addr = listener.local_addr()?;
+    ) -> Result<Server, ServerError> {
+        let listen = |e| ServerError::Listen { addr: config.addr.clone(), source: e };
+        let listener = TcpListener::bind(&config.addr).map_err(listen)?;
+        listener.set_nonblocking(true).map_err(listen)?;
+        let local_addr = listener.local_addr().map_err(listen)?;
         let m = NetMetrics::new(&hub.metrics_registry());
         let shared = Arc::new(Shared { hub: RwLock::new(Some(hub)), config, stop, m });
         let for_accept = Arc::clone(&shared);
         let accept = std::thread::Builder::new()
             .name("xqview-accept".into())
             .spawn(move || accept_loop(&listener, &for_accept))
-            .expect("spawn accept thread");
+            .map_err(ServerError::Spawn)?;
         Ok(Server { shared, local_addr, accept: Some(accept) })
     }
 
     /// Convenience: a volatile catalog behind a default hub behind this
     /// server — the in-memory path for tests, examples, and benches.
-    pub fn start_volatile(catalog: ViewCatalog, config: ServerConfig) -> std::io::Result<Server> {
+    pub fn start_volatile(
+        catalog: ViewCatalog,
+        config: ServerConfig,
+    ) -> Result<Server, ServerError> {
         let hub = catalog.into_hub(HubConfig::default());
         Server::start(config, hub, Arc::new(AtomicBool::new(false)))
     }
@@ -218,7 +254,11 @@ impl Server {
                 let _ = c.join();
             }
         }
-        let hub = self.shared.hub.write().expect("hub lock").take()?;
+        // A poisoned lock just means some handler panicked mid-read; the
+        // hub itself is still sound, so shut it down rather than join
+        // the panic.
+        let hub =
+            self.shared.hub.write().unwrap_or_else(std::sync::PoisonError::into_inner).take()?;
         let mut inner = hub.shutdown();
         if let HubInner::Durable(dc) = &mut inner {
             if let Err(e) = dc.snapshot() {
@@ -257,7 +297,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) -> Vec<std::thread:
                 shared.m.accepted.inc();
                 shared.m.active.inc();
                 let for_conn = Arc::clone(shared);
-                let handle = std::thread::Builder::new()
+                let spawned = std::thread::Builder::new()
                     .name(format!("xqview-conn-{peer}"))
                     .spawn(move || {
                         // A panicking handler must cost only its own
@@ -269,9 +309,17 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) -> Vec<std::thread:
                         if r.is_err() {
                             eprintln!("xqview-server: connection handler for {peer} panicked");
                         }
-                    })
-                    .expect("spawn connection thread");
-                conns.push(handle);
+                    });
+                match spawned {
+                    Ok(handle) => conns.push(handle),
+                    Err(e) => {
+                        // Thread exhaustion costs this connection only:
+                        // dropping the closure closes the socket, and the
+                        // accept loop keeps serving existing peers.
+                        shared.m.active.dec();
+                        eprintln!("xqview-server: cannot serve {peer}: spawn failed: {e}");
+                    }
+                }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(POLL_TICK);
@@ -416,7 +464,9 @@ fn dispatch(
     if shared.stop.load(Ordering::SeqCst) {
         return (Response::Error(WireErr::new(ErrorKind::ShuttingDown)), true);
     }
-    let hub_guard = shared.hub.read().expect("hub lock");
+    // Poisoning only records that some thread panicked while holding the
+    // guard; the Option<IngestHub> inside is still consistent.
+    let hub_guard = shared.hub.read().unwrap_or_else(std::sync::PoisonError::into_inner);
     let Some(hub) = hub_guard.as_ref() else {
         return (Response::Error(WireErr::new(ErrorKind::ShuttingDown)), true);
     };

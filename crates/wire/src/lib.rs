@@ -277,6 +277,7 @@ impl Decode for bool {
     }
 }
 
+// xqcheck: allow(codec-pair) — unsized borrow; the owned `String` form carries the Decode side
 impl Encode for str {
     fn encode(&self, out: &mut Vec<u8>) {
         put_bytes(out, self.as_bytes());

@@ -1,0 +1,19 @@
+//! Clean fixture: network-facing crate whose only panics sit in test
+//! code or behind a justified allow.
+
+pub fn parse(v: &[u8]) -> Result<u8, ()> {
+    v.first().copied().ok_or(())
+}
+
+pub fn startup_invariant(x: Option<u8>) -> u8 {
+    // xqcheck: allow(no-panic) — startup-only path, config already validated
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        super::parse(&[1]).unwrap();
+    }
+}

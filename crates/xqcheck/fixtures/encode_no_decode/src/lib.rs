@@ -1,0 +1,17 @@
+//! Seeded violation: a type with an `Encode` impl but no `Decode`.
+
+pub trait Encode {
+    fn encode(&self, out: &mut Vec<u8>);
+}
+
+pub trait Decode: Sized {
+    fn decode(buf: &[u8]) -> Option<Self>;
+}
+
+pub struct Orphan(pub u64);
+
+impl Encode for Orphan {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.0.to_le_bytes());
+    }
+}

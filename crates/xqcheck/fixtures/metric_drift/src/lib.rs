@@ -1,0 +1,20 @@
+//! Seeded violation: a metric name used in source that the obs schema
+//! does not list (and a schema entry no source site uses).
+
+pub struct Registry;
+
+pub struct Counter;
+
+impl Registry {
+    pub fn counter(&self, _name: &str) -> Counter {
+        Counter
+    }
+}
+
+impl Counter {
+    pub fn inc(&self) {}
+}
+
+pub fn record(reg: &Registry) {
+    reg.counter("drift/unregistered").inc();
+}

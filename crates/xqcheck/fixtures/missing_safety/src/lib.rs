@@ -1,0 +1,6 @@
+//! Seeded violation: an `unsafe` block with no justification comment.
+
+pub fn hazard(p: *const u32) -> u32 {
+    // This deref is fine, trust me.
+    unsafe { *p }
+}

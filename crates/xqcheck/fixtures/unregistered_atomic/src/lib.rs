@@ -1,0 +1,8 @@
+//! Seeded violation: an atomic `Ordering` site that is not in the
+//! fixture's ATOMICS.md audit table.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub fn stop(flag: &AtomicBool) {
+    flag.store(true, Ordering::SeqCst);
+}

@@ -1,0 +1,14 @@
+//! Seeded violation: `unwrap()` in the non-test path of a
+//! network-facing crate.
+
+pub fn accept(peer: Option<u32>) -> u32 {
+    peer.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_here_is_fine() {
+        Some(1u32).unwrap();
+    }
+}

@@ -1,0 +1,297 @@
+//! A small hand-rolled Rust lexer — just enough structure for the
+//! project lints: it separates code from comments and string literals
+//! (so a lint never fires on prose or test data), tracks line numbers,
+//! and understands the literal forms that would otherwise desynchronize
+//! a scanner (raw strings with `#` fences, nested block comments,
+//! char-vs-lifetime ticks). It is deliberately **not** a parser: lints
+//! work on token patterns, which keeps the tool dependency-free and fast
+//! enough to run on every file of the workspace in a test.
+
+/// One lexed token with the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: Tok,
+    pub line: u32,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier, keyword, or number run.
+    Word(String),
+    /// Single punctuation character (`::` arrives as two `Punct(':')`).
+    Punct(char),
+    /// String literal (cooked, raw, or byte); payload is the *content*,
+    /// escapes left as written.
+    Str(String),
+    /// Char literal (`'a'`, `'\n'`); content is irrelevant to the lints.
+    Char,
+    /// Lifetime tick (`'a`, `'_`).
+    Lifetime,
+    /// One `//…` line comment or `/*…*/` block comment, text included
+    /// (with its delimiters stripped on line comments, kept raw for
+    /// block comments — the lints only substring-match).
+    Comment(String),
+}
+
+/// Tokenize `src`, never failing: unterminated literals are closed at
+/// end-of-file (a lint pass must degrade gracefully on code that does
+/// not compile yet).
+pub fn tokenize(src: &str) -> Vec<Token> {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = b.len();
+
+    // Count newlines in b[from..to] into `line`.
+    let bump = |from: usize, to: usize, line: &mut u32| {
+        *line += b[from..to.min(n)].iter().filter(|&&c| c == '\n').count() as u32;
+    };
+
+    while i < n {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < n && b[j] != '\n' {
+                    j += 1;
+                }
+                out.push(Token { kind: Tok::Comment(b[start..j].iter().collect()), line });
+                i = j;
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                // Rust block comments nest.
+                let at = line;
+                let start = i;
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < n && depth > 0 {
+                    if j + 1 < n && b[j] == '/' && b[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if j + 1 < n && b[j] == '*' && b[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                bump(start, j, &mut line);
+                out.push(Token {
+                    kind: Tok::Comment(b[start..j.min(n)].iter().collect()),
+                    line: at,
+                });
+                i = j;
+            }
+            '"' => {
+                let at = line;
+                let (content, j) = cooked_string(&b, i + 1);
+                bump(i, j, &mut line);
+                out.push(Token { kind: Tok::Str(content), line: at });
+                i = j;
+            }
+            'r' | 'b' if raw_or_byte_string(&b, i).is_some() => {
+                let at = line;
+                let (content, j) = raw_or_byte_string(&b, i).expect("checked above");
+                bump(i, j, &mut line);
+                out.push(Token { kind: Tok::Str(content), line: at });
+                i = j;
+            }
+            '\'' => {
+                // Char literal or lifetime tick. `'\…'` is always a char;
+                // `'x'` is a char; `'ident` (no closing tick) a lifetime.
+                if i + 1 < n && b[i + 1] == '\\' {
+                    let mut j = i + 2;
+                    if j < n {
+                        j += 1; // the escaped char
+                    }
+                    // Consume to closing quote (handles \u{…}).
+                    while j < n && b[j] != '\'' {
+                        j += 1;
+                    }
+                    out.push(Token { kind: Tok::Char, line });
+                    i = (j + 1).min(n);
+                } else if i + 2 < n && b[i + 2] == '\'' && b[i + 1] != '\'' {
+                    out.push(Token { kind: Tok::Char, line });
+                    i += 3;
+                } else {
+                    let mut j = i + 1;
+                    while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                        j += 1;
+                    }
+                    out.push(Token { kind: Tok::Lifetime, line });
+                    i = j.max(i + 1);
+                }
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                out.push(Token { kind: Tok::Word(b[start..j].iter().collect()), line });
+                i = j;
+            }
+            other => {
+                out.push(Token { kind: Tok::Punct(other), line });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Consume a cooked string body starting after the opening quote;
+/// returns (content, index past the closing quote).
+fn cooked_string(b: &[char], mut i: usize) -> (String, usize) {
+    let n = b.len();
+    let mut s = String::new();
+    while i < n {
+        match b[i] {
+            '\\' if i + 1 < n => {
+                s.push(b[i]);
+                s.push(b[i + 1]);
+                i += 2;
+            }
+            '"' => return (s, i + 1),
+            c => {
+                s.push(c);
+                i += 1;
+            }
+        }
+    }
+    (s, n)
+}
+
+/// Try to lex a raw/byte string starting at `i` (`r"…"`, `r#"…"#`,
+/// `b"…"`, `br#"…"#`); returns (content, index past the close) or None
+/// if this is not one (then `r`/`b` is an ordinary identifier start).
+fn raw_or_byte_string(b: &[char], i: usize) -> Option<(String, usize)> {
+    let n = b.len();
+    let mut j = i;
+    let mut raw = false;
+    if b[j] == 'b' {
+        j += 1;
+        if j < n && b[j] == 'r' {
+            raw = true;
+            j += 1;
+        }
+    } else if b[j] == 'r' {
+        raw = true;
+        j += 1;
+    }
+    let mut fences = 0usize;
+    if raw {
+        while j < n && b[j] == '#' {
+            fences += 1;
+            j += 1;
+        }
+    }
+    if j >= n || b[j] != '"' {
+        return None;
+    }
+    // A bare identifier like `r` or `b` followed by a string would have
+    // been split by whitespace/punct; reaching here means a literal.
+    j += 1;
+    if !raw {
+        let (s, k) = cooked_string(b, j);
+        return Some((s, k));
+    }
+    let start = j;
+    while j < n {
+        if b[j] == '"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while k < n && b[k] == '#' && seen < fences {
+                seen += 1;
+                k += 1;
+            }
+            if seen == fences {
+                return Some((b[start..j].iter().collect(), k));
+            }
+        }
+        j += 1;
+    }
+    Some((b[start..].iter().collect(), n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        tokenize(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn words_puncts_and_lines() {
+        let toks = tokenize("fn a() {\n  b.c();\n}");
+        assert_eq!(toks[0].kind, Tok::Word("fn".into()));
+        assert_eq!(toks[0].line, 1);
+        let dot = toks.iter().find(|t| t.kind == Tok::Punct('.')).expect("dot");
+        assert_eq!(dot.line, 2);
+    }
+
+    #[test]
+    fn comments_are_single_tokens() {
+        let toks = kinds("x // unsafe unwrap()\ny /* Ordering::SeqCst */ z");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Word("x".into()),
+                Tok::Comment(" unsafe unwrap()".into()),
+                Tok::Word("y".into()),
+                Tok::Comment("/* Ordering::SeqCst */".into()),
+                Tok::Word("z".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still */ b");
+        assert_eq!(toks.len(), 3);
+        assert!(matches!(&toks[1], Tok::Comment(c) if c.contains("inner")));
+    }
+
+    #[test]
+    fn strings_swallow_code_lookalikes() {
+        let toks = kinds(r#"let s = "unsafe { x.unwrap() }";"#);
+        assert!(toks.iter().all(|t| !matches!(t, Tok::Word(w) if w == "unsafe")));
+        assert!(toks.iter().any(|t| matches!(t, Tok::Str(s) if s.contains("unwrap"))));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let toks = kinds(r###"let s = r#"a "quoted" panic!()"#; x"###);
+        assert!(toks.iter().any(|t| matches!(t, Tok::Str(s) if s.contains("quoted"))));
+        assert_eq!(toks.last(), Some(&Tok::Word("x".into())));
+    }
+
+    #[test]
+    fn escaped_quotes_in_cooked_strings() {
+        let toks = kinds(r#"f("a\"b"); g"#);
+        assert!(toks.iter().any(|t| matches!(t, Tok::Str(s) if s == "a\\\"b")));
+        assert_eq!(toks.last(), Some(&Tok::Word("g".into())));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = kinds("x: &'a str = 'c'; y = '\\n';");
+        assert_eq!(toks.iter().filter(|t| **t == Tok::Lifetime).count(), 1);
+        assert_eq!(toks.iter().filter(|t| **t == Tok::Char).count(), 2);
+    }
+
+    #[test]
+    fn multiline_string_advances_lines() {
+        let toks = tokenize("let s = \"a\nb\";\nnext");
+        let next = toks.iter().find(|t| t.kind == Tok::Word("next".into())).expect("next");
+        assert_eq!(next.line, 3);
+    }
+}

@@ -1,0 +1,93 @@
+//! CLI for the project-invariant lints.
+//!
+//! ```text
+//! cargo run -p xqcheck -- all                 # every lint
+//! cargo run -p xqcheck -- no-panic            # one lint by name
+//! cargo run -p xqcheck -- selftest            # fixtures must be caught
+//! cargo run -p xqcheck -- atomics-skeleton    # rows for unaudited sites
+//! cargo run -p xqcheck -- all --root <path>   # lint another checkout
+//! ```
+//!
+//! Exit status: 0 when clean, 1 when any lint fires (or any self-test
+//! fixture escapes its lint), 2 on usage errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: xqcheck <all|selftest|atomics-skeleton|LINT> [--root PATH]");
+    eprintln!("lints:");
+    for (name, _) in xqcheck::LINTS {
+        eprintln!("  {name}");
+    }
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd: Option<String> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            _ if cmd.is_none() => cmd = Some(a.clone()),
+            _ => return usage(),
+        }
+    }
+    let Some(cmd) = cmd else { return usage() };
+    // Default to the workspace this binary was built from.
+    let root =
+        root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join(".."));
+
+    match cmd.as_str() {
+        "selftest" => {
+            let fixtures = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+            let failures = xqcheck::selftest::run(&fixtures);
+            if failures.is_empty() {
+                println!("xqcheck selftest: {} fixture cases ok", xqcheck::selftest::CASES.len());
+                ExitCode::SUCCESS
+            } else {
+                for f in &failures {
+                    eprintln!("selftest failure: {f}");
+                }
+                ExitCode::FAILURE
+            }
+        }
+        "atomics-skeleton" => match xqcheck::Workspace::load(&root) {
+            Ok(ws) => {
+                for row in xqcheck::lints::atomics_skeleton(&ws) {
+                    println!("{row}");
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("xqcheck: walking {}: {e}", root.display());
+                ExitCode::from(2)
+            }
+        },
+        name => {
+            let which = if name == "all" { None } else { Some(name) };
+            match xqcheck::check(&root, which) {
+                Ok(findings) if findings.is_empty() => {
+                    println!("xqcheck: clean");
+                    ExitCode::SUCCESS
+                }
+                Ok(findings) => {
+                    for f in &findings {
+                        eprintln!("{f}");
+                    }
+                    eprintln!("xqcheck: {} finding(s)", findings.len());
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("xqcheck: {e}");
+                    usage()
+                }
+            }
+        }
+    }
+}

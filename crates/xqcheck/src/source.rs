@@ -1,0 +1,337 @@
+//! Per-file source model and the workspace walker. A [`SourceFile`]
+//! wraps the token stream with the derived structure every lint needs:
+//! which lines belong to `#[cfg(test)]` modules or `#[test]` functions
+//! (so production-only lints skip them), which lines carry a
+//! `// SAFETY:` comment, and which carry an
+//! `// xqcheck: allow(lint-name) — reason` suppression.
+
+use crate::lexer::{tokenize, Tok, Token};
+use std::path::{Path, PathBuf};
+
+/// Which directory of a crate a file came from — lints scope by this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Section {
+    /// `src/` of the root package or a workspace crate (incl. `src/bin`).
+    Src,
+    /// Integration tests (`tests/`).
+    Tests,
+    /// Benches (`benches/`).
+    Benches,
+    /// Examples (`examples/`).
+    Examples,
+}
+
+/// One `xqcheck: allow(...)` directive.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    pub line: u32,
+    pub lint: String,
+    pub has_reason: bool,
+}
+
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel: String,
+    /// Crate directory name under `crates/`, `None` for the root package.
+    pub crate_name: Option<String>,
+    pub section: Section,
+    pub tokens: Vec<Token>,
+    /// Raw source lines (for fragment matching and reports).
+    pub lines: Vec<String>,
+    /// Inclusive line ranges covered by `#[cfg(test)] mod … { }` or
+    /// `#[test] fn … { }`.
+    pub test_spans: Vec<(u32, u32)>,
+    /// Lines whose comment contains `SAFETY:`.
+    pub safety_lines: Vec<u32>,
+    pub allows: Vec<Allow>,
+}
+
+impl SourceFile {
+    pub fn parse(rel: &str, crate_name: Option<&str>, section: Section, src: &str) -> SourceFile {
+        let tokens = tokenize(src);
+        let lines: Vec<String> = src.lines().map(|l| l.to_string()).collect();
+        let mut safety_lines = Vec::new();
+        let mut allows = Vec::new();
+        for t in &tokens {
+            if let Tok::Comment(c) = &t.kind {
+                if c.contains("SAFETY:") {
+                    // A block comment may span lines; credit them all.
+                    let span = c.matches('\n').count() as u32;
+                    for l in t.line..=t.line + span {
+                        safety_lines.push(l);
+                    }
+                }
+                if let Some(a) = parse_allow(c, t.line) {
+                    allows.push(a);
+                }
+            }
+        }
+        let test_spans = find_test_spans(&tokens);
+        SourceFile {
+            rel: rel.to_string(),
+            crate_name: crate_name.map(|s| s.to_string()),
+            section,
+            tokens,
+            lines,
+            test_spans,
+            safety_lines,
+            allows,
+        }
+    }
+
+    /// True when `line` falls inside test-only code.
+    pub fn in_test_code(&self, line: u32) -> bool {
+        self.test_spans.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// True when an `xqcheck: allow(lint)` directive covers `line`
+    /// (trailing on the line itself, or on the line directly above).
+    pub fn allowed(&self, lint: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.lint == lint && a.has_reason && (a.line == line || a.line + 1 == line))
+    }
+
+    /// The trimmed source text of a 1-based line.
+    pub fn line_text(&self, line: u32) -> &str {
+        self.lines.get(line.saturating_sub(1) as usize).map_or("", |l| l.as_str().trim())
+    }
+}
+
+/// Parse `xqcheck: allow(lint-name) — reason` out of a comment body.
+/// The reason is mandatory: a suppression with no recorded justification
+/// does not count (the lint then still fires, pointing here).
+fn parse_allow(comment: &str, line: u32) -> Option<Allow> {
+    let at = comment.find("xqcheck: allow(")?;
+    let rest = &comment[at + "xqcheck: allow(".len()..];
+    let close = rest.find(')')?;
+    let lint = rest[..close].trim().to_string();
+    let tail = rest[close + 1..].trim_start_matches([' ', '\t', '—', '-', '–']).trim();
+    Some(Allow { line, lint, has_reason: !tail.is_empty() })
+}
+
+/// Find line spans of `#[cfg(test)] mod … { … }` and `#[test] fn … { … }`.
+fn find_test_spans(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let code: Vec<(usize, &Token)> =
+        tokens.iter().enumerate().filter(|(_, t)| !matches!(t.kind, Tok::Comment(_))).collect();
+    let word = |i: usize, w: &str| -> bool {
+        matches!(&code.get(i).map(|(_, t)| &t.kind), Some(Tok::Word(x)) if x == w)
+    };
+    let punct = |i: usize, p: char| -> bool {
+        matches!(code.get(i).map(|(_, t)| &t.kind), Some(Tok::Punct(x)) if *x == p)
+    };
+    let mut i = 0;
+    while i < code.len() {
+        // `#[cfg(test)]` or `#[cfg(all(test, …))]` / `#[test]`
+        let is_attr_start = punct(i, '#') && punct(i + 1, '[');
+        if !is_attr_start {
+            i += 1;
+            continue;
+        }
+        // Scan the attribute's tokens up to its closing `]`.
+        let mut j = i + 2;
+        let mut depth = 1;
+        let mut has_test = false;
+        let mut is_cfg = word(j, "cfg");
+        if word(j, "test") && punct(j + 1, ']') {
+            has_test = true;
+            is_cfg = true; // `#[test]` counts directly
+        }
+        while j < code.len() && depth > 0 {
+            if punct(j, '[') {
+                depth += 1;
+            } else if punct(j, ']') {
+                depth -= 1;
+            } else if word(j, "test") {
+                has_test = true;
+            }
+            j += 1;
+        }
+        if !(has_test && is_cfg) {
+            i = j;
+            continue;
+        }
+        // Skip any further attributes and find the item (`mod` or `fn`).
+        let mut k = j;
+        while punct(k, '#') && punct(k + 1, '[') {
+            let mut d = 1;
+            k += 2;
+            while k < code.len() && d > 0 {
+                if punct(k, '[') {
+                    d += 1;
+                } else if punct(k, ']') {
+                    d -= 1;
+                }
+                k += 1;
+            }
+        }
+        // Find the opening brace of the item body, then match braces.
+        let mut open = k;
+        while open < code.len() && !punct(open, '{') {
+            // A `mod tests;` (no body) has nothing to span.
+            if punct(open, ';') {
+                break;
+            }
+            open += 1;
+        }
+        if open >= code.len() || !punct(open, '{') {
+            i = k;
+            continue;
+        }
+        let start_line = code[i].1.line;
+        let mut d = 1;
+        let mut close = open + 1;
+        while close < code.len() && d > 0 {
+            if punct(close, '{') {
+                d += 1;
+            } else if punct(close, '}') {
+                d -= 1;
+            }
+            close += 1;
+        }
+        let end_line = code.get(close.saturating_sub(1)).map_or(u32::MAX, |(_, t)| t.line);
+        spans.push((start_line, end_line));
+        i = close;
+    }
+    spans
+}
+
+/// The workspace as the lints see it: every `.rs` file under the root
+/// package and `crates/*`, parsed once.
+pub struct Workspace {
+    pub root: PathBuf,
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// Walk `root` (a workspace checkout) and parse every source file.
+    /// Directories named `target`, `fixtures`, and hidden directories are
+    /// skipped.
+    pub fn load(root: &Path) -> std::io::Result<Workspace> {
+        let mut files = Vec::new();
+        let sections: &[(&str, Section)] = &[
+            ("src", Section::Src),
+            ("tests", Section::Tests),
+            ("benches", Section::Benches),
+            ("examples", Section::Examples),
+        ];
+        for (dir, section) in sections {
+            collect(&root.join(dir), root, None, *section, &mut files)?;
+        }
+        let crates = root.join("crates");
+        if crates.is_dir() {
+            let mut entries: Vec<_> = std::fs::read_dir(&crates)?.filter_map(|e| e.ok()).collect();
+            entries.sort_by_key(|e| e.file_name());
+            for e in entries {
+                if !e.path().is_dir() {
+                    continue;
+                }
+                let name = e.file_name().to_string_lossy().to_string();
+                for (dir, section) in sections {
+                    collect(&e.path().join(dir), root, Some(&name), *section, &mut files)?;
+                }
+                // Nested crates (crates/shims/rand).
+                for sub in std::fs::read_dir(e.path())?.filter_map(|e| e.ok()) {
+                    if sub.path().is_dir() && sub.path().join("Cargo.toml").is_file() {
+                        let sub_name = sub.file_name().to_string_lossy().to_string();
+                        for (dir, section) in sections {
+                            collect(
+                                &sub.path().join(dir),
+                                root,
+                                Some(&sub_name),
+                                *section,
+                                &mut files,
+                            )?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Workspace { root: root.to_path_buf(), files })
+    }
+
+    /// Read a root-level companion file (`ATOMICS.md`, the obs schema).
+    pub fn read_root_file(&self, rel: &str) -> Option<String> {
+        std::fs::read_to_string(self.root.join(rel)).ok()
+    }
+}
+
+fn collect(
+    dir: &Path,
+    root: &Path,
+    crate_name: Option<&str>,
+    section: Section,
+    out: &mut Vec<SourceFile>,
+) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?.filter_map(|e| e.ok()).collect();
+    entries.sort_by_key(|e| e.file_name());
+    for e in entries {
+        let path = e.path();
+        let name = e.file_name().to_string_lossy().to_string();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            collect(&path, root, crate_name, section, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+            let src = std::fs::read_to_string(&path)?;
+            out.push(SourceFile::parse(&rel, crate_name, section, &src));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_mod_span_covers_its_body() {
+        let src =
+            "pub fn live() {}\n#[cfg(test)]\nmod tests {\n    fn inner() {}\n}\nfn after() {}\n";
+        let f = SourceFile::parse("x.rs", None, Section::Src, src);
+        assert!(!f.in_test_code(1));
+        assert!(f.in_test_code(3));
+        assert!(f.in_test_code(4));
+        assert!(!f.in_test_code(6));
+    }
+
+    #[test]
+    fn test_fn_span() {
+        let src = "fn a() {}\n#[test]\nfn t() {\n    body();\n}\nfn b() {}\n";
+        let f = SourceFile::parse("x.rs", None, Section::Src, src);
+        assert!(f.in_test_code(4));
+        assert!(!f.in_test_code(1));
+        assert!(!f.in_test_code(6));
+    }
+
+    #[test]
+    fn allow_requires_reason() {
+        let src = "// xqcheck: allow(no-panic) — invariant: queue non-empty\nx.unwrap();\n\
+                   // xqcheck: allow(no-panic)\ny.unwrap();\n";
+        let f = SourceFile::parse("x.rs", None, Section::Src, src);
+        assert!(f.allowed("no-panic", 2), "directive with reason covers the next line");
+        assert!(!f.allowed("no-panic", 4), "reason-less directive does not count");
+        assert!(!f.allowed("safety-comment", 2), "directive is lint-specific");
+    }
+
+    #[test]
+    fn safety_comment_lines_tracked() {
+        let src = "// SAFETY: the ledger outlives the call\nunsafe { go() }\n";
+        let f = SourceFile::parse("x.rs", None, Section::Src, src);
+        assert_eq!(f.safety_lines, vec![1]);
+    }
+
+    #[test]
+    fn attrs_in_strings_do_not_open_spans() {
+        let src = "let s = \"#[cfg(test)] mod x {\";\nfn live() {}\n";
+        let f = SourceFile::parse("x.rs", None, Section::Src, src);
+        assert!(f.test_spans.is_empty());
+        assert!(!f.in_test_code(2));
+    }
+}

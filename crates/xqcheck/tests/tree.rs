@@ -1,0 +1,29 @@
+//! The workspace's own tree must satisfy every project invariant, and
+//! the seeded bad fixtures must each be caught. Running this as an
+//! ordinary integration test makes `cargo test` enforce the lints
+//! permanently — CI's `analysis` job is then just a faster, earlier
+//! surface for the same check.
+
+use std::path::PathBuf;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+#[test]
+fn workspace_tree_is_lint_clean() {
+    let findings = xqcheck::check(&repo_root(), None).expect("workspace loads");
+    assert!(
+        findings.is_empty(),
+        "xqcheck found {} violation(s):\n{}",
+        findings.len(),
+        findings.iter().map(|f| f.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}
+
+#[test]
+fn selftest_fixtures_are_caught() {
+    let fixtures = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let failures = xqcheck::selftest::run(&fixtures);
+    assert!(failures.is_empty(), "selftest failures:\n{}", failures.join("\n"));
+}

@@ -53,6 +53,7 @@
 //! | TCP front door (`xqview-server`) | [`server`] | — (beyond paper) |
 //! | Blocking client + CLI + load gen | [`client`] | — (beyond paper) |
 //! | Synthetic data / workloads | [`datagen`] | 3.5, 9 |
+//! | Project-invariant lints (`cargo run -p xqcheck -- all`) | `xqcheck` | — (correctness tooling) |
 //!
 //! Every storage layer implements the [`wire`] `Encode`/`Decode` codec for
 //! its own types (`flexkey` keys and semantic ids, `xmlstore`
